@@ -1,0 +1,116 @@
+"""Plan quality — the paper's Section 1 motivation, quantified.
+
+"Estimates of intermediate query result sizes are the core ingredient to
+cost-based query optimizers ... The estimates produced by Deep Sketches
+can directly be leveraged by existing, sophisticated join enumeration
+algorithms and cost models."
+
+This extension experiment feeds each estimator into the DP join
+enumerator under the C_out cost model (the standard JOB methodology) and
+scores every chosen plan by its cost under *true* cardinalities,
+relative to the true-optimal plan.  A factor of 1.0 means the
+estimator's errors did not change the plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimizer import PlanOptimizer
+from repro.workload import JobLightConfig, generate_job_light
+
+from conftest import write_result
+
+
+def test_plan_quality_by_estimator(
+    benchmark, imdb_full, table1_sketch, baseline_estimators
+):
+    sketch, _ = table1_sketch
+    queries = [
+        q
+        for q in generate_job_light(imdb_full, JobLightConfig(n_queries=70, seed=42))
+        if q.num_joins >= 2  # join order only matters with >= 3 relations
+    ]
+
+    systems = {
+        "Deep Sketch": sketch,
+        "HyPer": baseline_estimators["HyPer"],
+        "PostgreSQL": baseline_estimators["PostgreSQL"],
+    }
+
+    def run():
+        factors = {}
+        for name, estimator in systems.items():
+            optimizer = PlanOptimizer(imdb_full, estimator)
+            factors[name] = np.array(
+                [optimizer.plan_quality_factor(q) for q in queries]
+            )
+        return factors
+
+    factors = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Plan quality over {len(queries)} JOB-light queries "
+        "(true C_out of chosen plan / true C_out of optimal plan):",
+        f"  {'system':<14} {'mean':>8} {'p90':>8} {'max':>8} {'% optimal':>10}",
+    ]
+    stats = {}
+    for name, values in factors.items():
+        stats[name] = (
+            float(values.mean()),
+            float(np.percentile(values, 90)),
+            float(values.max()),
+            float((values < 1.001).mean() * 100),
+        )
+        mean, p90, worst, pct = stats[name]
+        lines.append(
+            f"  {name:<14} {mean:8.3f} {p90:8.3f} {worst:8.2f} {pct:9.0f}%"
+        )
+        benchmark.extra_info[name] = {
+            "mean": round(mean, 4),
+            "max": round(worst, 3),
+            "pct_optimal": round(pct, 1),
+        }
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("plan_quality", text)
+
+    # Sanity: factors are always >= 1, and the sketch's estimates must
+    # not produce worse plans on average than the weaker baseline.
+    for values in factors.values():
+        assert (values >= 1.0 - 1e-9).all()
+    sketch_mean = stats["Deep Sketch"][0]
+    worst_baseline_mean = max(stats["HyPer"][0], stats["PostgreSQL"][0])
+    assert sketch_mean <= worst_baseline_mean * 1.05
+
+
+def test_plan_quality_dp_vs_greedy(benchmark, imdb_full, truth_oracle):
+    """Enumeration-strategy ablation under perfect estimates: DP is
+    optimal by construction; greedy pays a measurable premium."""
+    queries = [
+        q
+        for q in generate_job_light(imdb_full, JobLightConfig(n_queries=50, seed=8))
+        if q.num_joins >= 2
+    ]
+    dp = PlanOptimizer(imdb_full, truth_oracle, strategy="dp")
+    greedy = PlanOptimizer(imdb_full, truth_oracle, strategy="greedy")
+
+    def run():
+        ratios = []
+        for query in queries:
+            dp_cost = dp.true_cost_of(dp.optimize(query))
+            greedy_cost = greedy.true_cost_of(greedy.optimize(query))
+            ratios.append(greedy_cost / max(dp_cost, 1.0))
+        return np.array(ratios)
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Enumeration ablation (greedy true cost / DP true cost, truth "
+        f"estimates, n={len(queries)}):\n"
+        f"  mean {ratios.mean():.3f}   p90 {np.percentile(ratios, 90):.3f}   "
+        f"max {ratios.max():.3f}"
+    )
+    print("\n" + text)
+    write_result("plan_quality_enumeration", text)
+    benchmark.extra_info["mean_ratio"] = round(float(ratios.mean()), 4)
+    assert (ratios >= 1.0 - 1e-9).all()

@@ -1,0 +1,69 @@
+"""The demo backend walkthrough: SHOW SKETCHES, create, monitor, query.
+
+Mirrors Section 3 of the paper programmatically:
+
+* pre-built models are registered and instantly queryable,
+* a new sketch is defined and its training monitored stage by stage,
+* a second model trains incrementally *while* the pre-built sketch keeps
+  answering queries (the demo's third latency mitigation),
+* sketches are persisted to disk and reloaded.
+
+Run with:  python examples/sketch_manager_demo.py
+"""
+
+import os
+import tempfile
+
+from repro.core import DeepSketch, SketchConfig, build_sketch
+from repro.datasets import load_dataset
+from repro.demo import SketchManager
+from repro.workload import spec_for_imdb
+
+FAST = SketchConfig(n_training_queries=1500, epochs=6, sample_size=300, hidden_units=32)
+SQL = (
+    "SELECT COUNT(*) FROM title t, movie_keyword mk "
+    "WHERE mk.movie_id=t.id AND t.production_year>2010;"
+)
+
+
+def main() -> None:
+    db = load_dataset("imdb", scale=0.5)
+    manager = SketchManager(db)
+
+    # -- pre-built (high quality) models, queryable right away ---------
+    prebuilt, _ = build_sketch(
+        db, spec_for_imdb(), name="prebuilt-joblight", config=FAST
+    )
+    manager.register_sketch(prebuilt)
+    print("SHOW SKETCHES ->", manager.list_sketches())
+
+    # -- create a new sketch with monitoring --------------------------
+    spec_small = spec_for_imdb(tables=("title", "movie_keyword", "movie_info"))
+    sketch, report = manager.create_sketch("three-tables", spec_small, config=FAST)
+    monitor = manager.monitor_for("three-tables")
+    print("\ncreation stages:", " -> ".join(monitor.stages_seen()))
+    for message in monitor.epoch_messages():
+        print("  ", message)
+
+    # -- train a third model while querying the first ------------------
+    print("\nincremental build (querying 'prebuilt-joblight' between epochs):")
+    manager.start_build("background-model", spec_small, config=FAST)
+    while manager.pending_builds():
+        pending = manager.step_build("background-model")
+        estimate = manager.query("prebuilt-joblight", SQL)
+        print(
+            f"  epoch {pending.epochs_done}/{FAST.epochs} done; "
+            f"prebuilt sketch answered {estimate:.0f} meanwhile"
+        )
+    print("SHOW SKETCHES ->", manager.list_sketches())
+
+    # -- persistence ----------------------------------------------------
+    path = os.path.join(tempfile.gettempdir(), "deep-sketch-demo.bin")
+    size = sketch.save(path)
+    loaded = DeepSketch.load(path)
+    print(f"\nsaved 'three-tables' to {path} ({size / 1024:.0f} KiB)")
+    print(f"loaded sketch answers: {loaded.estimate(SQL):.0f}")
+
+
+if __name__ == "__main__":
+    main()

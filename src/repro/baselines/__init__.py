@@ -1,0 +1,25 @@
+"""Baseline cardinality estimators the paper compares against."""
+
+from .hyper import HyperEstimator
+from .postgres import (
+    DEFAULT_EQ_SEL,
+    DEFAULT_INEQ_SEL,
+    PostgresEstimator,
+    eq_selectivity,
+    predicate_selectivity,
+    range_selectivity,
+)
+from .sampling_only import SamplingEstimator
+from .truth import TruthEstimator
+
+__all__ = [
+    "TruthEstimator",
+    "SamplingEstimator",
+    "HyperEstimator",
+    "PostgresEstimator",
+    "eq_selectivity",
+    "range_selectivity",
+    "predicate_selectivity",
+    "DEFAULT_EQ_SEL",
+    "DEFAULT_INEQ_SEL",
+]

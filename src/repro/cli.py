@@ -1,0 +1,159 @@
+"""Command-line interface: build, inspect, and query Deep Sketches.
+
+The file-based analogue of the demo's workflow::
+
+    python -m repro build --dataset imdb --scale 0.5 \
+        --queries 5000 --epochs 12 --samples 500 --out imdb.sketch
+    python -m repro info imdb.sketch
+    python -m repro estimate imdb.sketch \
+        "SELECT COUNT(*) FROM title t WHERE t.production_year>2010;"
+    python -m repro compare --dataset imdb --scale 0.5 imdb.sketch \
+        "SELECT COUNT(*) FROM title t, movie_keyword mk \
+         WHERE mk.movie_id=t.id AND t.production_year>2010;"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import DeepSketch, SketchConfig, build_sketch
+from .datasets import load_dataset
+from .errors import ReproError
+from .workload import spec_for_imdb, spec_for_tpch
+
+_SPECS = {"imdb": spec_for_imdb, "tpch": spec_for_tpch}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deep Sketches: learned cardinality estimation "
+        "(reproduction of Kipf et al., SIGMOD 2019)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="train a sketch and save it")
+    build.add_argument("--dataset", choices=sorted(_SPECS), default="imdb")
+    build.add_argument("--scale", type=float, default=0.5)
+    build.add_argument("--queries", type=int, default=5000,
+                       help="number of training queries")
+    build.add_argument("--epochs", type=int, default=12)
+    build.add_argument("--samples", type=int, default=500,
+                       help="materialized samples per table")
+    build.add_argument("--hidden", type=int, default=64,
+                       help="MSCN hidden units")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--name", default=None, help="sketch name")
+    build.add_argument("--out", required=True, help="output path")
+
+    info = commands.add_parser("info", help="describe a saved sketch")
+    info.add_argument("sketch", help="path to a saved sketch")
+
+    estimate = commands.add_parser("estimate", help="estimate a SQL query")
+    estimate.add_argument("sketch", help="path to a saved sketch")
+    estimate.add_argument("sql", help="SELECT COUNT(*) query text")
+
+    compare = commands.add_parser(
+        "compare",
+        help="estimate with the sketch AND the baselines AND the truth",
+    )
+    compare.add_argument("--dataset", choices=sorted(_SPECS), default="imdb")
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("sketch", help="path to a saved sketch")
+    compare.add_argument("sql", help="SELECT COUNT(*) query text")
+    return parser
+
+
+def _cmd_build(args) -> int:
+    db = load_dataset(args.dataset, scale=args.scale)
+    spec = _SPECS[args.dataset]()
+    config = SketchConfig(
+        sample_size=args.samples,
+        n_training_queries=args.queries,
+        epochs=args.epochs,
+        hidden_units=args.hidden,
+        seed=args.seed,
+    )
+    name = args.name or f"{args.dataset}-sketch"
+
+    def progress(event):
+        if event.stage == "train" and event.message:
+            print(f"  {event.message}")
+
+    sketch, report = build_sketch(db, spec, name=name, config=config, progress=progress)
+    size = sketch.save(args.out)
+    print(
+        f"built {name!r} in {report.total_seconds:.1f}s "
+        f"(val mean q-error {report.training.final_val_mean_qerror:.2f}); "
+        f"saved {size / 1024:.0f} KiB to {args.out}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    sketch = DeepSketch.load(args.sketch)
+    print(f"name       : {sketch.name}")
+    print(f"tables     : {', '.join(sketch.tables)}")
+    print(f"joins      : {len(sketch.featurizer.joins)}")
+    print(f"columns    : {len(sketch.featurizer.columns)}")
+    print(f"parameters : {sketch.model.num_parameters()}")
+    print(f"samples    : {sketch.samples.total_rows()} rows "
+          f"({sketch.samples.sample_size} per table)")
+    print(f"footprint  : {sketch.footprint_bytes() / 1024:.0f} KiB")
+    for key, value in sorted(sketch.metadata.items()):
+        print(f"meta.{key}: {value}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    sketch = DeepSketch.load(args.sketch)
+    estimate = sketch.estimate(args.sql)
+    print(f"{estimate:.0f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .baselines import HyperEstimator, PostgresEstimator
+    from .db import execute_count, parse_sql
+    from .metrics import qerror
+
+    sketch = DeepSketch.load(args.sketch)
+    db = load_dataset(args.dataset, scale=args.scale)
+    query = parse_sql(args.sql)
+    truth = execute_count(db, query)
+    rows = [
+        ("Deep Sketch", sketch.estimate(query)),
+        ("HyPer", HyperEstimator(db, sample_size=sketch.samples.sample_size).estimate(query)),
+        ("PostgreSQL", PostgresEstimator(db).estimate(query)),
+    ]
+    print(f"{'system':<14} {'estimate':>12} {'q-error':>10}")
+    print(f"{'truth':<14} {truth:>12}")
+    for name, estimate in rows:
+        print(f"{name:<14} {estimate:>12.0f} {qerror(estimate, truth):>10.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "estimate": _cmd_estimate,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's contribution: MSCN featurization, model, training, sketches."""
+
+from .batches import Batch, TrainingSet, collate
+from .builder import (
+    BuildReport,
+    ProgressEvent,
+    STAGES,
+    SketchBuilder,
+    SketchConfig,
+    build_sketch,
+)
+from .estimator import CardinalityEstimator, estimate_sql
+from .maintenance import DriftReport, detect_drift, refresh_sketch
+from .featurization import Featurizer, QueryFeatures
+from .mscn import MSCN
+from .sketch import DeepSketch
+from .training import (
+    EpochStats,
+    Trainer,
+    TrainingConfig,
+    TrainingResult,
+    validation_qerrors,
+)
+
+__all__ = [
+    "Featurizer",
+    "QueryFeatures",
+    "Batch",
+    "TrainingSet",
+    "collate",
+    "MSCN",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "EpochStats",
+    "validation_qerrors",
+    "DeepSketch",
+    "SketchBuilder",
+    "SketchConfig",
+    "BuildReport",
+    "ProgressEvent",
+    "STAGES",
+    "build_sketch",
+    "CardinalityEstimator",
+    "estimate_sql",
+    "DriftReport",
+    "detect_drift",
+    "refresh_sketch",
+]

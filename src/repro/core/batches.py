@@ -1,0 +1,109 @@
+"""Padded, masked batches of featurized queries.
+
+MSCN consumes whole sets per query; queries in a batch have different
+set sizes, so each set is padded to the batch maximum and a mask marks
+the real elements (averaging in the model honors the mask).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..rng import SeedLike, make_rng
+from .featurization import QueryFeatures
+
+
+@dataclass
+class Batch:
+    """Dense batch: three padded feature tensors plus their masks."""
+
+    tables: np.ndarray          # (B, S_t, table_dim)
+    table_mask: np.ndarray      # (B, S_t)
+    joins: np.ndarray           # (B, S_j, join_dim)
+    join_mask: np.ndarray       # (B, S_j)
+    predicates: np.ndarray      # (B, S_p, predicate_dim)
+    predicate_mask: np.ndarray  # (B, S_p)
+
+    @property
+    def size(self) -> int:
+        return self.tables.shape[0]
+
+
+def _pad_set(rows: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length (s_i, d) arrays into (B, max_s, d) + mask."""
+    max_s = max(r.shape[0] for r in rows)
+    dim = rows[0].shape[1]
+    data = np.zeros((len(rows), max_s, dim))
+    mask = np.zeros((len(rows), max_s))
+    for i, r in enumerate(rows):
+        data[i, : r.shape[0], :] = r
+        mask[i, : r.shape[0]] = 1.0
+    return data, mask
+
+
+def collate(features: Sequence[QueryFeatures]) -> Batch:
+    """Collate featurized queries into one padded batch."""
+    if not features:
+        raise TrainingError("cannot collate an empty batch")
+    dims = {(f.tables.shape[1], f.joins.shape[1], f.predicates.shape[1]) for f in features}
+    if len(dims) != 1:
+        raise TrainingError(f"inconsistent feature dimensions in batch: {dims}")
+    tables, table_mask = _pad_set([f.tables for f in features])
+    joins, join_mask = _pad_set([f.joins for f in features])
+    predicates, predicate_mask = _pad_set([f.predicates for f in features])
+    return Batch(tables, table_mask, joins, join_mask, predicates, predicate_mask)
+
+
+@dataclass
+class TrainingSet:
+    """Featurized queries plus normalized labels, with batching."""
+
+    features: list[QueryFeatures]
+    labels: np.ndarray  # normalized log labels in [0, 1]
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if len(self.features) != len(self.labels):
+            raise TrainingError(
+                f"{len(self.features)} feature sets but {len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def split(self, validation_fraction: float, seed: SeedLike = None) -> tuple["TrainingSet", "TrainingSet"]:
+        """Shuffled train/validation split."""
+        if not 0.0 < validation_fraction < 1.0:
+            raise TrainingError(
+                f"validation fraction must be in (0, 1), got {validation_fraction}"
+            )
+        rng = make_rng(seed)
+        order = rng.permutation(len(self))
+        n_val = max(int(round(len(self) * validation_fraction)), 1)
+        if n_val >= len(self):
+            raise TrainingError("training set too small to split")
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        return (
+            TrainingSet([self.features[i] for i in train_idx], self.labels[train_idx]),
+            TrainingSet([self.features[i] for i in val_idx], self.labels[val_idx]),
+        )
+
+    def minibatches(
+        self, batch_size: int, shuffle: bool = True, seed: SeedLike = None
+    ) -> Iterator[tuple[Batch, np.ndarray]]:
+        """Yield (batch, labels) minibatches."""
+        if batch_size <= 0:
+            raise TrainingError(f"batch size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            make_rng(seed).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield (
+                collate([self.features[i] for i in idx]),
+                self.labels[idx],
+            )

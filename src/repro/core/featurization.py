@@ -1,0 +1,320 @@
+"""Query featurization for the MSCN model (paper Section 2).
+
+"The featurization of a query is very straightforward.  Based on the
+training data, we enumerate tables, columns, joins, and predicate types
+(=, <, and >) and represent them as unique one-hot vectors.  We
+represent each literal in a query as a value val (val ∈ [0, 1]),
+normalized using the minimum and maximum values of the respective
+column.  Similarly, we logarithmize and then normalize cardinalities
+(labels) using the maximum cardinality present in the training data."
+
+A query becomes three sets of feature vectors:
+
+* **table set** — one-hot table id ⊕ the table's qualifying-sample
+  bitmap (so runtime sampling information enters the model);
+* **join set** — one-hot join id (joins are identified by their
+  table-level signature, e.g. ``movie_keyword.movie_id=title.id``);
+* **predicate set** — one-hot column ⊕ one-hot operator ⊕ normalized
+  literal value.
+
+Empty join/predicate sets are encoded as a single all-zero element with
+an active mask bit, following the reference implementation.
+
+String literals are featurized via their dictionary codes, min–max
+normalized over the code domain (the original MSCN handles only numeric
+columns; dictionary encoding is the standard extension and is what the
+demo relies on for columns like ``keyword.keyword``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FeaturizationError
+from ..db.database import Database
+from ..db.types import DType
+from ..workload.query import Query
+from ..workload.generator import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """The three feature sets of one query."""
+
+    tables: np.ndarray      # (n_tables, table_dim)
+    joins: np.ndarray       # (n_joins or 1, join_dim)
+    predicates: np.ndarray  # (n_predicates or 1, predicate_dim)
+
+
+def _one_hot(index: int, size: int) -> np.ndarray:
+    vec = np.zeros(size)
+    vec[index] = 1.0
+    return vec
+
+
+def _canonical_join(side_a: str, side_b: str) -> str:
+    """Order-independent join signature ``min=max`` over the two sides."""
+    first, second = sorted([side_a, side_b])
+    return f"{first}={second}"
+
+
+@dataclass
+class Featurizer:
+    """Vocabularies and normalization constants for one sketch.
+
+    Construction enumerates the vocabularies from a database and a
+    workload spec (equivalent to enumerating them from training data,
+    but deterministic and closed under everything the generator can
+    produce).  Label bounds are fitted on training labels via
+    :meth:`fit_labels`.
+    """
+
+    tables: list[str]
+    joins: list[str]
+    columns: list[str]                    # "table.column" keys
+    operators: list[str]
+    sample_size: int
+    column_bounds: dict[str, tuple[float, float]]
+    min_log_label: float = 0.0
+    max_log_label: float = 1.0
+    #: Ablation switch: with ``use_bitmaps=False`` the table features
+    #: carry only the one-hot table id (the "static features only" MSCN
+    #: variant) — the paper's runtime-sampling input is disabled.
+    use_bitmaps: bool = True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db: Database,
+        spec: WorkloadSpec,
+        sample_size: int,
+        use_bitmaps: bool = True,
+    ) -> "Featurizer":
+        tables = sorted(spec.tables)
+        joins = sorted(
+            _canonical_join(f"{fk.table}.{fk.column}", f"{fk.ref_table}.{fk.ref_column}")
+            for fk in db.foreign_keys
+            if fk.table in spec.tables and fk.ref_table in spec.tables
+        )
+        columns = []
+        bounds: dict[str, tuple[float, float]] = {}
+        for table_name in tables:
+            for column_name in spec.columns_of(table_name):
+                key = f"{table_name}.{column_name}"
+                columns.append(key)
+                bounds[key] = db.table(table_name).column(column_name).min_max()
+        # The operator vocabulary always covers the engine's full set
+        # (not just the training spec's): the demo serves year-grouping
+        # templates by issuing >=/< range queries against the sketch, so
+        # those operators must be featurizable even if training only
+        # exercised {=, <, >}.
+        from ..ops import OPERATORS
+
+        operators = sorted(set(spec.operators) | set(OPERATORS))
+        return cls(
+            tables=tables,
+            joins=joins,
+            columns=sorted(columns),
+            operators=operators,
+            sample_size=sample_size,
+            column_bounds=bounds,
+            use_bitmaps=use_bitmaps,
+        )
+
+    # ------------------------------------------------------------------
+    # dimensions
+    # ------------------------------------------------------------------
+    @property
+    def table_dim(self) -> int:
+        return len(self.tables) + self.sample_size
+
+    @property
+    def join_dim(self) -> int:
+        return max(len(self.joins), 1)
+
+    @property
+    def predicate_dim(self) -> int:
+        return len(self.columns) + len(self.operators) + 1
+
+    # ------------------------------------------------------------------
+    # label normalization
+    # ------------------------------------------------------------------
+    def fit_labels(self, cardinalities: np.ndarray) -> None:
+        """Fit min/max of log labels from training cardinalities."""
+        cards = np.maximum(np.asarray(cardinalities, dtype=np.float64), 1.0)
+        if cards.size == 0:
+            raise FeaturizationError("cannot fit labels on an empty training set")
+        logs = np.log(cards)
+        low, high = float(logs.min()), float(logs.max())
+        if high <= low:
+            high = low + 1.0  # degenerate training set; keep the map invertible
+        self.min_log_label = low
+        self.max_log_label = high
+
+    @property
+    def log_label_span(self) -> float:
+        return self.max_log_label - self.min_log_label
+
+    def normalize_label(self, cardinality: float) -> float:
+        """Map a cardinality to [0, 1] (log scale, clipped)."""
+        log_card = np.log(max(float(cardinality), 1.0))
+        norm = (log_card - self.min_log_label) / self.log_label_span
+        return float(np.clip(norm, 0.0, 1.0))
+
+    def denormalize_label(self, value: float) -> float:
+        """Inverse of :meth:`normalize_label`."""
+        value = float(np.clip(value, 0.0, 1.0))
+        return float(np.exp(value * self.log_label_span + self.min_log_label))
+
+    # ------------------------------------------------------------------
+    # literal normalization
+    # ------------------------------------------------------------------
+    def normalize_literal(self, db_column, key: str, literal) -> float:
+        low, high = self.column_bounds[key]
+        if db_column is not None and db_column.dtype is DType.STRING:
+            code = db_column.encode_literal(literal)
+            raw = float(code) if code is not None else low
+        else:
+            raw = float(literal)
+        if high <= low:
+            return 0.0
+        return float(np.clip((raw - low) / (high - low), 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # featurization
+    # ------------------------------------------------------------------
+    def _join_signature(self, query: Query, join) -> str:
+        left_table = query.alias_table(join.left_alias)
+        right_table = query.alias_table(join.right_alias)
+        return _canonical_join(
+            f"{left_table}.{join.left_column}",
+            f"{right_table}.{join.right_column}",
+        )
+
+    def featurize_query(
+        self,
+        query: Query,
+        bitmaps: dict[str, np.ndarray],
+        db: Database | None = None,
+    ) -> QueryFeatures:
+        """Featurize one query given its per-alias sample bitmaps.
+
+        ``db`` is needed only to encode string literals; purely numeric
+        queries featurize without it.  Raises
+        :class:`~repro.errors.FeaturizationError` for anything outside
+        the vocabularies (unknown table, join, column, or operator).
+        """
+        table_index = {t: i for i, t in enumerate(self.tables)}
+        join_index = {j: i for i, j in enumerate(self.joins)}
+        column_index = {c: i for i, c in enumerate(self.columns)}
+        op_index = {o: i for i, o in enumerate(self.operators)}
+
+        table_rows = []
+        for ref in sorted(query.tables):
+            if ref.table not in table_index:
+                raise FeaturizationError(
+                    f"table {ref.table!r} is outside this sketch's vocabulary "
+                    f"{self.tables}"
+                )
+            bitmap = bitmaps.get(ref.alias)
+            if bitmap is None:
+                raise FeaturizationError(f"missing bitmap for alias {ref.alias!r}")
+            bitmap = np.asarray(bitmap, dtype=np.float64)
+            if bitmap.shape != (self.sample_size,):
+                raise FeaturizationError(
+                    f"bitmap for {ref.alias!r} has shape {bitmap.shape}, "
+                    f"expected ({self.sample_size},)"
+                )
+            if not self.use_bitmaps:
+                bitmap = np.zeros_like(bitmap)
+            table_rows.append(
+                np.concatenate([_one_hot(table_index[ref.table], len(self.tables)), bitmap])
+            )
+        tables = np.stack(table_rows, axis=0)
+
+        if query.joins:
+            join_rows = []
+            for join in query.joins:
+                signature = self._join_signature(query, join)
+                if signature not in join_index:
+                    raise FeaturizationError(
+                        f"join {signature!r} is outside this sketch's vocabulary"
+                    )
+                join_rows.append(_one_hot(join_index[signature], self.join_dim))
+            joins = np.stack(join_rows, axis=0)
+        else:
+            joins = np.zeros((1, self.join_dim))
+
+        if query.predicates:
+            pred_rows = []
+            for pred in query.predicates:
+                table_name = query.alias_table(pred.alias)
+                key = f"{table_name}.{pred.column}"
+                if key not in column_index:
+                    raise FeaturizationError(
+                        f"predicate column {key!r} is outside this sketch's vocabulary"
+                    )
+                if pred.op not in op_index:
+                    raise FeaturizationError(
+                        f"operator {pred.op!r} is outside this sketch's vocabulary "
+                        f"{self.operators}"
+                    )
+                db_column = (
+                    db.table(table_name).column(pred.column) if db is not None else None
+                )
+                value = self.normalize_literal(db_column, key, pred.literal)
+                pred_rows.append(
+                    np.concatenate(
+                        [
+                            _one_hot(column_index[key], len(self.columns)),
+                            _one_hot(op_index[pred.op], len(self.operators)),
+                            np.array([value]),
+                        ]
+                    )
+                )
+            predicates = np.stack(pred_rows, axis=0)
+        else:
+            predicates = np.zeros((1, self.predicate_dim))
+
+        return QueryFeatures(tables=tables, joins=joins, predicates=predicates)
+
+    # ------------------------------------------------------------------
+    # serialization (the featurizer travels inside the sketch payload)
+    # ------------------------------------------------------------------
+    def to_manifest(self) -> dict:
+        return {
+            "tables": self.tables,
+            "joins": self.joins,
+            "columns": self.columns,
+            "operators": self.operators,
+            "sample_size": self.sample_size,
+            "column_bounds": {k: list(v) for k, v in self.column_bounds.items()},
+            "min_log_label": self.min_log_label,
+            "max_log_label": self.max_log_label,
+            "use_bitmaps": self.use_bitmaps,
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "Featurizer":
+        try:
+            return cls(
+                tables=list(manifest["tables"]),
+                joins=list(manifest["joins"]),
+                columns=list(manifest["columns"]),
+                operators=list(manifest["operators"]),
+                sample_size=int(manifest["sample_size"]),
+                column_bounds={
+                    k: (float(v[0]), float(v[1]))
+                    for k, v in manifest["column_bounds"].items()
+                },
+                min_log_label=float(manifest["min_log_label"]),
+                max_log_label=float(manifest["max_log_label"]),
+                use_bitmaps=bool(manifest.get("use_bitmaps", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FeaturizationError(f"malformed featurizer manifest: {exc}") from exc

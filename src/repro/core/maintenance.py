@@ -1,0 +1,168 @@
+"""Sketch maintenance: drift detection and fine-tuning.
+
+The paper closes with "more research is needed to automate the training
+and utilization of Deep Sketches in query optimizers".  Two building
+blocks of that automation are implemented here:
+
+* **drift detection** — a sketch's materialized samples are a snapshot
+  of the data; when the database changes, stored-sample statistics drift
+  away from fresh-sample statistics.  :func:`detect_drift` quantifies
+  the drift per table (two-sample Kolmogorov–Smirnov over the numeric
+  columns) so callers can decide when a sketch is stale.
+* **refresh + fine-tune** — :func:`refresh_sketch` re-materializes the
+  samples against the current database and continues training the
+  *existing* network on freshly labelled queries (warm start), which is
+  much cheaper than building from scratch when the change is moderate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..errors import SketchError
+from ..rng import SeedLike, make_rng, spawn
+from ..db.database import Database
+from ..db.executor import execute_count
+from ..db.types import DType
+from ..sampling.bitmaps import query_bitmaps
+from ..sampling.sampler import materialize_samples
+from ..workload.generator import TrainingQueryGenerator, WorkloadSpec
+from .batches import TrainingSet
+from .sketch import DeepSketch
+from .training import Trainer, TrainingConfig
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-table drift between stored and fresh samples."""
+
+    #: table -> maximum KS statistic over its numeric columns (0..1).
+    table_drift: dict[str, float]
+    #: Decision threshold used by :meth:`is_stale`.
+    threshold: float = 0.15
+
+    def max_drift(self) -> float:
+        return max(self.table_drift.values(), default=0.0)
+
+    def is_stale(self) -> bool:
+        """True when any table drifted beyond the threshold."""
+        return self.max_drift() > self.threshold
+
+    def __str__(self) -> str:
+        rows = ", ".join(f"{t}={d:.3f}" for t, d in sorted(self.table_drift.items()))
+        return f"DriftReport(max={self.max_drift():.3f}, {rows})"
+
+
+def detect_drift(
+    sketch: DeepSketch,
+    db: Database,
+    seed: SeedLike = None,
+    threshold: float | None = None,
+) -> DriftReport:
+    """Compare the sketch's stored samples against fresh ones from ``db``.
+
+    For every sketch table, a fresh sample of the same size is drawn and
+    each numeric column's two-sample KS statistic is computed; the
+    table's drift is the maximum over its columns.  Identical data gives
+    statistics near zero; distribution shifts (new eras, new categories)
+    push them toward one.
+
+    ``threshold`` defaults to the two-sample KS critical value at
+    α ≈ 0.005 for the sketch's sample size (``1.73 * sqrt(2 / n)``), so
+    two samples of the *same* distribution very rarely read as drift
+    regardless of how large the samples are.
+    """
+    if threshold is None:
+        n = max(sketch.samples.sample_size, 1)
+        threshold = 1.73 * float(np.sqrt(2.0 / n))
+    rng = make_rng(seed)
+    fresh = materialize_samples(
+        db, sketch.tables, sketch.samples.sample_size, seed=rng
+    )
+    drift: dict[str, float] = {}
+    for table_name in sketch.tables:
+        stored_table = sketch.samples.for_table(table_name)
+        fresh_table = fresh.for_table(table_name)
+        worst = 0.0
+        for column_name, stored_col in stored_table.columns.items():
+            if stored_col.dtype is DType.STRING:
+                continue  # dictionary codes are not comparable across DBs
+            a = stored_col.non_null_values().astype(float)
+            b = fresh_table.column(column_name).non_null_values().astype(float)
+            if a.size == 0 or b.size == 0:
+                continue
+            worst = max(worst, float(stats.ks_2samp(a, b).statistic))
+        drift[table_name] = worst
+    return DriftReport(table_drift=drift, threshold=threshold)
+
+
+def refresh_sketch(
+    sketch: DeepSketch,
+    db: Database,
+    spec: WorkloadSpec,
+    n_queries: int = 2000,
+    epochs: int = 5,
+    seed: SeedLike = None,
+) -> DeepSketch:
+    """Refresh samples and fine-tune the existing model on ``db``.
+
+    The network keeps its weights (warm start); only ``epochs`` of
+    additional training on ``n_queries`` freshly labelled queries are
+    run, and the materialized samples are re-drawn so estimation-time
+    bitmaps reflect the current data.  Label normalization constants are
+    kept — they are part of the model's output contract — so the fine-
+    tuned sketch remains comparable to the original.
+
+    Returns a new :class:`DeepSketch`; the input sketch is not modified.
+    """
+    if set(spec.tables) != set(sketch.tables):
+        raise SketchError(
+            f"spec tables {sorted(spec.tables)} must match the sketch's "
+            f"{sketch.tables}"
+        )
+    rng = make_rng(seed)
+    sample_rng, query_rng, train_rng = spawn(rng, 3)
+
+    samples = materialize_samples(
+        db, sketch.tables, sketch.samples.sample_size, seed=sample_rng
+    )
+    generator = TrainingQueryGenerator(db, spec, seed=query_rng)
+    queries = generator.draw_many(n_queries)
+    kept, labels = [], []
+    for query in queries:
+        cardinality = execute_count(db, query)
+        if cardinality > 0:
+            kept.append(query)
+            labels.append(float(cardinality))
+    if len(kept) < 10:
+        raise SketchError(
+            f"only {len(kept)} non-empty fine-tuning queries; need at least 10"
+        )
+
+    featurizer = sketch.featurizer  # vocabularies and label bounds reused
+    features = [
+        featurizer.featurize_query(q, query_bitmaps(samples, q), db=db)
+        for q in kept
+    ]
+    normalized = np.array([featurizer.normalize_label(c) for c in labels])
+
+    import copy
+
+    model = copy.deepcopy(sketch.model)
+    trainer = Trainer(model, featurizer, TrainingConfig(epochs=epochs))
+    result = trainer.fit(TrainingSet(features, normalized), seed=train_rng)
+
+    metadata = dict(sketch.metadata)
+    metadata["refreshed"] = True
+    metadata["fine_tune_epochs"] = epochs
+    metadata["fine_tune_val_mean_qerror"] = result.final_val_mean_qerror
+    return DeepSketch(
+        name=sketch.name,
+        featurizer=featurizer,
+        model=model,
+        samples=samples,
+        metadata=metadata,
+    )

@@ -1,0 +1,109 @@
+"""The multi-set convolutional network (MSCN).
+
+"While the Deep Sets model only addresses single sets, our model —
+called multi-set convolutional network (MSCN) — represents three sets
+(tables, joins, and predicates) and can capture correlations between
+sets.  On a high level ... for each set, it has a separate module,
+comprised of one fully-connected multi-layer perceptron (MLP) per set
+element with shared parameters.  We average module outputs, concatenate
+them, and feed them into a final output MLP, which captures correlations
+between sets and outputs a cardinality estimate."  (paper, Section 2)
+
+Architecture (matching the reference implementation):
+
+    table set  (B,S_t,d_t) --MLP-> (B,S_t,h) --masked avg-> (B,h) \
+    join set   (B,S_j,d_j) --MLP-> (B,S_j,h) --masked avg-> (B,h)  +-concat->
+    pred set   (B,S_p,d_p) --MLP-> (B,S_p,h) --masked avg-> (B,h) /
+                               (B,3h) --MLP-> (B,h) --Linear+sigmoid-> (B,)
+
+Every MLP is two layers with ReLU; the output passes through a sigmoid,
+so predictions live in (0, 1) like the normalized log labels.
+"""
+
+from __future__ import annotations
+
+from ..errors import TrainingError
+from ..rng import SeedLike, make_rng
+from ..nn.functional import masked_mean
+from ..nn.layers import Linear, ReLU, Sequential
+from ..nn.module import Module
+from ..nn.tensor import Tensor, concat
+from .batches import Batch
+
+
+class MSCN(Module):
+    """The three-set MSCN cardinality model."""
+
+    def __init__(
+        self,
+        table_dim: int,
+        join_dim: int,
+        predicate_dim: int,
+        hidden_units: int = 64,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        if hidden_units <= 0:
+            raise TrainingError(f"hidden_units must be positive, got {hidden_units}")
+        rng = make_rng(seed)
+        self.table_dim = table_dim
+        self.join_dim = join_dim
+        self.predicate_dim = predicate_dim
+        self.hidden_units = hidden_units
+
+        def set_module(in_dim: int) -> Sequential:
+            return Sequential(
+                Linear(in_dim, hidden_units, rng=rng),
+                ReLU(),
+                Linear(hidden_units, hidden_units, rng=rng),
+                ReLU(),
+            )
+
+        self.table_mlp = self.register_module("table_mlp", set_module(table_dim))
+        self.join_mlp = self.register_module("join_mlp", set_module(join_dim))
+        self.predicate_mlp = self.register_module(
+            "predicate_mlp", set_module(predicate_dim)
+        )
+        self.out_mlp = self.register_module(
+            "out_mlp",
+            Sequential(
+                Linear(3 * hidden_units, hidden_units, rng=rng),
+                ReLU(),
+                Linear(hidden_units, 1, rng=rng),
+            ),
+        )
+
+    def forward(self, batch: Batch) -> Tensor:
+        """Normalized log-cardinality predictions, shape (B,)."""
+        table_repr = masked_mean(
+            self.table_mlp(Tensor(batch.tables)), batch.table_mask
+        )
+        join_repr = masked_mean(self.join_mlp(Tensor(batch.joins)), batch.join_mask)
+        pred_repr = masked_mean(
+            self.predicate_mlp(Tensor(batch.predicates)), batch.predicate_mask
+        )
+        combined = concat([table_repr, join_repr, pred_repr], axis=1)
+        out = self.out_mlp(combined).sigmoid()
+        return out.reshape(out.shape[0])
+
+    def architecture(self) -> dict:
+        """JSON-able architecture description for serialization."""
+        return {
+            "table_dim": self.table_dim,
+            "join_dim": self.join_dim,
+            "predicate_dim": self.predicate_dim,
+            "hidden_units": self.hidden_units,
+        }
+
+    @classmethod
+    def from_architecture(cls, arch: dict, seed: SeedLike = 0) -> "MSCN":
+        try:
+            return cls(
+                table_dim=int(arch["table_dim"]),
+                join_dim=int(arch["join_dim"]),
+                predicate_dim=int(arch["predicate_dim"]),
+                hidden_units=int(arch["hidden_units"]),
+                seed=seed,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TrainingError(f"malformed MSCN architecture: {exc}") from exc

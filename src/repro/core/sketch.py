@@ -1,0 +1,181 @@
+"""The Deep Sketch itself.
+
+"A Deep Sketch is essentially a wrapper for a (serialized) neural
+network and a set of materialized samples." (paper, Sections 1 and 3)
+
+A sketch bundles the trained MSCN, the featurizer (vocabularies and
+normalization constants), and the materialized samples.  Its interface
+is a single call: consume a SQL query (or a structured
+:class:`~repro.workload.query.Query`), return a cardinality estimate.
+Sketches serialize to one compact binary payload — the paper's
+"small footprint size (a few MiBs)" — and estimation is pure in-memory
+arithmetic ("fast to query (within milliseconds)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SketchError
+from ..metrics import MIN_CARDINALITY
+from ..nn.serialize import state_dict_from_bytes, state_dict_to_bytes
+from ..sampling.bitmaps import query_bitmaps
+from ..sampling.sampler import (
+    MaterializedSamples,
+    samples_from_payload,
+    samples_to_payload,
+)
+from ..workload.query import Query
+from .featurization import Featurizer
+from .batches import collate
+from .mscn import MSCN
+
+_SAMPLE_PREFIX = "sample."
+
+
+class _SampleCatalog:
+    """Adapter letting the featurizer resolve string literals against the
+    sketch's own samples (the full database is not available at
+    estimation time — that is the whole point of a sketch)."""
+
+    def __init__(self, samples: MaterializedSamples):
+        self._samples = samples
+
+    def table(self, name: str):
+        return self._samples.for_table(name)
+
+
+@dataclass
+class DeepSketch:
+    """A trained, queryable Deep Sketch."""
+
+    name: str
+    featurizer: Featurizer
+    model: MSCN
+    samples: MaterializedSamples
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.model.eval()
+        self._catalog = _SampleCatalog(self.samples)
+
+    # ------------------------------------------------------------------
+    # estimation (Figure 1b)
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query | str) -> float:
+        """Cardinality estimate for ``query`` (SQL text or structured).
+
+        Raises :class:`~repro.errors.SketchError` when the query uses a
+        table outside the subset this sketch was defined on.
+        """
+        if isinstance(query, str):
+            from ..db.sql import parse_sql
+
+            query = parse_sql(query)
+        self._check_tables(query)
+        bitmaps = query_bitmaps(self.samples, query)
+        features = self.featurizer.featurize_query(query, bitmaps, db=self._catalog)
+        batch = collate([features])
+        prediction = float(self.model(batch).numpy()[0])
+        return max(self.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
+
+    def _check_tables(self, query: Query) -> None:
+        outside = {t.table for t in query.tables} - set(self.featurizer.tables)
+        if outside:
+            raise SketchError(
+                f"query references tables {sorted(outside)} outside this "
+                f"sketch's subset {self.tables}"
+            )
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        """Batched estimation (one network pass for many queries)."""
+        if not queries:
+            return np.empty(0)
+        features = []
+        for query in queries:
+            self._check_tables(query)
+            bitmaps = query_bitmaps(self.samples, query)
+            features.append(
+                self.featurizer.featurize_query(query, bitmaps, db=self._catalog)
+            )
+        predictions = self.model(collate(features)).numpy()
+        return np.maximum(
+            np.array([self.featurizer.denormalize_label(p) for p in predictions]),
+            MIN_CARDINALITY,
+        )
+
+    @property
+    def tables(self) -> list[str]:
+        """The table subset this sketch was defined on."""
+        return list(self.featurizer.tables)
+
+    # ------------------------------------------------------------------
+    # serialization and footprint
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the whole sketch (model + samples + featurizer)."""
+        payload = {
+            f"model.{k}": v for k, v in self.model.state_dict().items()
+        }
+        sample_arrays, sample_manifest = samples_to_payload(self.samples)
+        payload.update(sample_arrays)
+        meta = {
+            "name": self.name,
+            "architecture": self.model.architecture(),
+            "featurizer": self.featurizer.to_manifest(),
+            "samples": sample_manifest,
+            "metadata": self.metadata,
+        }
+        return state_dict_to_bytes(payload, meta=meta)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "DeepSketch":
+        """Inverse of :meth:`to_bytes`."""
+        arrays, meta = state_dict_from_bytes(blob)
+        for key in ("name", "architecture", "featurizer", "samples"):
+            if key not in meta:
+                raise SketchError(f"sketch payload is missing {key!r} metadata")
+        model = MSCN.from_architecture(meta["architecture"])
+        model.load_state_dict(
+            {
+                k[len("model.") :]: v
+                for k, v in arrays.items()
+                if k.startswith("model.")
+            }
+        )
+        samples = samples_from_payload(
+            {k: v for k, v in arrays.items() if k.startswith(_SAMPLE_PREFIX)},
+            meta["samples"],
+        )
+        return cls(
+            name=str(meta["name"]),
+            featurizer=Featurizer.from_manifest(meta["featurizer"]),
+            model=model,
+            samples=samples,
+            metadata=dict(meta.get("metadata", {})),
+        )
+
+    def save(self, path: str) -> int:
+        """Write the sketch to ``path``; returns the footprint in bytes."""
+        blob = self.to_bytes()
+        with open(path, "wb") as f:
+            f.write(blob)
+        return len(blob)
+
+    @classmethod
+    def load(cls, path: str) -> "DeepSketch":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read())
+
+    def footprint_bytes(self) -> int:
+        """Serialized size — the paper's "few MiBs" footprint claim."""
+        return len(self.to_bytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"DeepSketch({self.name!r}, tables={self.tables}, "
+            f"params={self.model.num_parameters()}, "
+            f"sample_size={self.samples.sample_size})"
+        )

@@ -1,0 +1,177 @@
+"""MSCN training loop (paper Figure 1a, step 4).
+
+"We featurize the training queries and train the MSCN model for the
+specified number of epochs."  Training minimizes the mean q-error of
+denormalized predictions with Adam; per-epoch training loss and
+validation q-error statistics are recorded so the demo's monitoring UI
+(here: repro.demo.monitor) can display progress, and so that the
+"25 epochs are usually enough" observation can be checked (F1a bench).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..rng import SeedLike, make_rng
+from ..metrics import QErrorSummary, summarize_qerrors
+from ..nn.loss import MSELoss, QErrorLoss
+from ..nn.optim import Adam
+from .batches import TrainingSet
+from .featurization import Featurizer
+from .mscn import MSCN
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters; defaults follow the reference implementation."""
+
+    epochs: int = 25
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    loss: str = "qerror"  # or "mse"
+    validation_fraction: float = 0.1
+    #: Early stopping: stop when the validation mean q-error has not
+    #: improved for this many consecutive epochs (None = run all epochs,
+    #: matching the demo where the user fixes the epoch count up front).
+    patience: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {self.epochs}")
+        if self.loss not in ("qerror", "mse"):
+            raise TrainingError(f"unknown loss {self.loss!r}")
+        if self.patience is not None and self.patience <= 0:
+            raise TrainingError(f"patience must be positive, got {self.patience}")
+
+
+@dataclass
+class EpochStats:
+    """Bookkeeping for one epoch."""
+
+    epoch: int
+    train_loss: float
+    val_qerror_mean: float
+    val_qerror_median: float
+    seconds: float
+
+
+@dataclass
+class TrainingResult:
+    """Everything the training run produced, for monitoring and benches."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+    validation_summary: QErrorSummary | None = None
+    total_seconds: float = 0.0
+    #: True when early stopping ended the run before the epoch budget.
+    stopped_early: bool = False
+
+    @property
+    def final_val_mean_qerror(self) -> float:
+        if not self.epochs:
+            raise TrainingError("no epochs recorded")
+        return self.epochs[-1].val_qerror_mean
+
+    def loss_curve(self) -> np.ndarray:
+        return np.array([e.train_loss for e in self.epochs])
+
+    def val_curve(self) -> np.ndarray:
+        return np.array([e.val_qerror_mean for e in self.epochs])
+
+
+#: Callback signature: called after every epoch with the fresh stats.
+EpochCallback = Callable[[EpochStats], None]
+
+
+def validation_qerrors(
+    model: MSCN, featurizer: Featurizer, dataset: TrainingSet, batch_size: int = 512
+) -> np.ndarray:
+    """Q-errors of the model on a (featurized) dataset."""
+    model.eval()
+    errors: list[np.ndarray] = []
+    for batch, labels in dataset.minibatches(batch_size, shuffle=False):
+        preds = model(batch).numpy()
+        est = np.array([featurizer.denormalize_label(p) for p in preds])
+        true = np.array([featurizer.denormalize_label(t) for t in labels])
+        errors.append(np.maximum(est / true, true / est))
+    model.train()
+    return np.concatenate(errors) if errors else np.empty(0)
+
+
+class Trainer:
+    """Runs the MSCN optimization loop."""
+
+    def __init__(self, model: MSCN, featurizer: Featurizer, config: TrainingConfig | None = None):
+        self.model = model
+        self.featurizer = featurizer
+        self.config = config or TrainingConfig()
+        if self.config.loss == "qerror":
+            self.loss_fn = QErrorLoss(log_max_card=featurizer.log_label_span)
+        else:
+            self.loss_fn = MSELoss()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+
+    def fit(
+        self,
+        dataset: TrainingSet,
+        callback: EpochCallback | None = None,
+        seed: SeedLike = None,
+    ) -> TrainingResult:
+        """Train for the configured number of epochs.
+
+        The dataset is split once into train/validation; validation
+        q-error statistics are computed after every epoch (the quantity
+        the paper watches to declare "25 epochs are usually enough").
+        """
+        if len(dataset) < 10:
+            raise TrainingError(
+                f"training set of {len(dataset)} queries is too small"
+            )
+        rng = make_rng(self.config.seed if seed is None else seed)
+        train_set, val_set = dataset.split(self.config.validation_fraction, seed=rng)
+        result = TrainingResult()
+        start_all = time.perf_counter()
+        best_val = float("inf")
+        stale_epochs = 0
+        for epoch in range(1, self.config.epochs + 1):
+            start = time.perf_counter()
+            losses = []
+            for batch, labels in train_set.minibatches(
+                self.config.batch_size, shuffle=True, seed=rng
+            ):
+                self.optimizer.zero_grad()
+                preds = self.model(batch)
+                loss = self.loss_fn(preds, labels)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            val_errors = validation_qerrors(self.model, self.featurizer, val_set)
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)),
+                val_qerror_mean=float(val_errors.mean()),
+                val_qerror_median=float(np.median(val_errors)),
+                seconds=time.perf_counter() - start,
+            )
+            result.epochs.append(stats)
+            if callback is not None:
+                callback(stats)
+            if self.config.patience is not None:
+                if stats.val_qerror_mean < best_val - 1e-9:
+                    best_val = stats.val_qerror_mean
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.config.patience:
+                        result.stopped_early = True
+                        break
+        result.total_seconds = time.perf_counter() - start_all
+        result.validation_summary = summarize_qerrors(
+            validation_qerrors(self.model, self.featurizer, val_set)
+        )
+        return result

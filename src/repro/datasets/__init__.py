@@ -1,0 +1,44 @@
+"""Synthetic datasets standing in for the demo's IMDb and TPC-H data."""
+
+from .imdb import (
+    ImdbConfig,
+    JOB_LIGHT_ALIASES,
+    JOB_LIGHT_PREDICATE_COLUMNS,
+    KIND_NAMES,
+    NAMED_KEYWORDS,
+    generate_imdb,
+)
+from .registry import (
+    clear_dataset_cache,
+    dataset_names,
+    load_dataset,
+    register_dataset,
+)
+from .tpch import TPCH_ALIASES, TPCH_PREDICATE_COLUMNS, TpchConfig, generate_tpch
+from .validation import (
+    CorrelationReport,
+    analyze_imdb_correlations,
+    cramers_v,
+    decorrelated_imdb,
+)
+
+__all__ = [
+    "ImdbConfig",
+    "generate_imdb",
+    "JOB_LIGHT_ALIASES",
+    "JOB_LIGHT_PREDICATE_COLUMNS",
+    "KIND_NAMES",
+    "NAMED_KEYWORDS",
+    "TpchConfig",
+    "generate_tpch",
+    "TPCH_ALIASES",
+    "TPCH_PREDICATE_COLUMNS",
+    "load_dataset",
+    "register_dataset",
+    "dataset_names",
+    "clear_dataset_cache",
+    "CorrelationReport",
+    "analyze_imdb_correlations",
+    "cramers_v",
+    "decorrelated_imdb",
+]

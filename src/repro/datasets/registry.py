@@ -1,0 +1,56 @@
+"""Named dataset registry.
+
+The demo offers two datasets ("TPC-H and IMDb"); the registry lets the
+sketch manager and examples refer to them by name, with memoized
+construction so repeated lookups don't regenerate data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ReproError
+from ..db.database import Database
+from .imdb import ImdbConfig, generate_imdb
+from .tpch import TpchConfig, generate_tpch
+
+_BUILDERS: dict[str, Callable[..., Database]] = {}
+_CACHE: dict[tuple, Database] = {}
+
+
+def register_dataset(name: str, builder: Callable[..., Database]) -> None:
+    """Register a dataset builder under ``name`` (overwrites silently)."""
+    _BUILDERS[name] = builder
+
+
+def dataset_names() -> list[str]:
+    return sorted(_BUILDERS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> Database:
+    """Build (or fetch from cache) the named dataset."""
+    if name not in _BUILDERS:
+        known = ", ".join(dataset_names())
+        raise ReproError(f"unknown dataset {name!r}; known: {known}")
+    key = (name, float(scale), seed)
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[name](scale=scale, seed=seed)
+    return _CACHE[key]
+
+
+def clear_dataset_cache() -> None:
+    _CACHE.clear()
+
+
+def _build_imdb(scale: float = 1.0, seed: int | None = None) -> Database:
+    cfg = ImdbConfig(scale=scale, seed=7 if seed is None else seed)
+    return generate_imdb(cfg)
+
+
+def _build_tpch(scale: float = 1.0, seed: int | None = None) -> Database:
+    cfg = TpchConfig(scale=scale, seed=11 if seed is None else seed)
+    return generate_tpch(cfg)
+
+
+register_dataset("imdb", _build_imdb)
+register_dataset("tpch", _build_tpch)

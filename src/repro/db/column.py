@@ -1,0 +1,196 @@
+"""Columnar storage with NULL masks and dictionary-encoded strings."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import QueryError, SchemaError
+from .types import DType, STRING_OPERATORS
+
+
+class Column:
+    """One column of a table: a typed value array plus a validity mask.
+
+    * numeric columns store ``values`` as int64 / float64,
+    * string columns store int32 ``codes`` into ``dictionary`` (a sorted,
+      deduplicated list of the distinct strings), with ``-1`` unused —
+      NULLs are tracked uniformly by ``valid`` for every type.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DType,
+        values: np.ndarray,
+        valid: np.ndarray | None = None,
+        dictionary: list[str] | None = None,
+    ):
+        self.name = name
+        self.dtype = dtype
+        self.values = values
+        self.valid = (
+            np.ones(len(values), dtype=bool) if valid is None else np.asarray(valid, bool)
+        )
+        if len(self.valid) != len(self.values):
+            raise SchemaError(
+                f"column {name!r}: validity mask length {len(self.valid)} "
+                f"!= value length {len(self.values)}"
+            )
+        if dtype is DType.STRING:
+            if dictionary is None:
+                raise SchemaError(f"string column {name!r} requires a dictionary")
+            self.dictionary: list[str] | None = list(dictionary)
+            self._code_of = {s: i for i, s in enumerate(self.dictionary)}
+        else:
+            if dictionary is not None:
+                raise SchemaError(f"numeric column {name!r} cannot have a dictionary")
+            self.dictionary = None
+            self._code_of = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ints(
+        cls, name: str, values: Iterable, valid: np.ndarray | None = None
+    ) -> "Column":
+        return cls(name, DType.INT64, np.asarray(values, dtype=np.int64), valid)
+
+    @classmethod
+    def from_floats(
+        cls, name: str, values: Iterable, valid: np.ndarray | None = None
+    ) -> "Column":
+        return cls(name, DType.FLOAT64, np.asarray(values, dtype=np.float64), valid)
+
+    @classmethod
+    def from_strings(cls, name: str, values: Sequence[str | None]) -> "Column":
+        """Dictionary-encode a sequence of python strings (None = NULL)."""
+        valid = np.array([v is not None for v in values], dtype=bool)
+        present = sorted({v for v in values if v is not None})
+        code_of = {s: i for i, s in enumerate(present)}
+        codes = np.array(
+            [code_of[v] if v is not None else 0 for v in values], dtype=np.int64
+        )
+        return cls(name, DType.STRING, codes, valid, dictionary=present)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.dtype}, n={len(self)})"
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Row subset (used by sampling); shares the dictionary."""
+        return Column(
+            self.name,
+            self.dtype,
+            self.values[indices],
+            self.valid[indices],
+            dictionary=self.dictionary,
+        )
+
+    def decode(self, row: int):
+        """Return the python value at ``row`` (None for NULL)."""
+        if not self.valid[row]:
+            return None
+        if self.dtype is DType.STRING:
+            return self.dictionary[int(self.values[row])]
+        if self.dtype is DType.INT64:
+            return int(self.values[row])
+        return float(self.values[row])
+
+    def non_null_values(self) -> np.ndarray:
+        """Raw (encoded) values of the non-NULL rows."""
+        return self.values[self.valid]
+
+    # ------------------------------------------------------------------
+    # literal handling
+    # ------------------------------------------------------------------
+    def encode_literal(self, literal) -> float | int | None:
+        """Map a python literal to this column's encoded domain.
+
+        For string columns returns the dictionary code, or ``None`` when
+        the string does not occur in the column (an always-false equality).
+        Numeric literals pass through with a type check.
+        """
+        if self.dtype is DType.STRING:
+            if not isinstance(literal, str):
+                raise QueryError(
+                    f"column {self.name!r} is a string column; got literal {literal!r}"
+                )
+            return self._code_of.get(literal)
+        if isinstance(literal, bool) or not isinstance(literal, (int, float, np.integer, np.floating)):
+            raise QueryError(
+                f"column {self.name!r} is numeric; got literal {literal!r}"
+            )
+        return literal
+
+    # ------------------------------------------------------------------
+    # predicate evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, op: str, literal) -> np.ndarray:
+        """Vectorized predicate ``column <op> literal`` -> boolean mask.
+
+        NULL rows never qualify, for any operator (SQL three-valued logic
+        collapsed to WHERE semantics).
+        """
+        if self.dtype is DType.STRING:
+            if op not in STRING_OPERATORS:
+                raise QueryError(
+                    f"operator {op!r} is not supported on string column {self.name!r}"
+                )
+            code = self.encode_literal(literal)
+            if code is None:
+                # Literal absent from the column: '=' matches nothing,
+                # '<>' matches every non-NULL row.
+                return (
+                    np.zeros(len(self), dtype=bool)
+                    if op == "="
+                    else self.valid.copy()
+                )
+            if op == "=":
+                return self.valid & (self.values == code)
+            return self.valid & (self.values != code)
+
+        value = self.encode_literal(literal)
+        if op == "=":
+            mask = self.values == value
+        elif op == "<":
+            mask = self.values < value
+        elif op == ">":
+            mask = self.values > value
+        elif op == "<=":
+            mask = self.values <= value
+        elif op == ">=":
+            mask = self.values >= value
+        elif op == "<>":
+            mask = self.values != value
+        else:
+            raise QueryError(f"unknown operator {op!r}")
+        return mask & self.valid
+
+    # ------------------------------------------------------------------
+    # summary facts used by statistics / featurization
+    # ------------------------------------------------------------------
+    def min_max(self) -> tuple[float, float]:
+        """(min, max) over non-NULL encoded values; (0, 1) if all NULL."""
+        present = self.non_null_values()
+        if present.size == 0:
+            return (0.0, 1.0)
+        return (float(present.min()), float(present.max()))
+
+    def n_distinct(self) -> int:
+        present = self.non_null_values()
+        if present.size == 0:
+            return 0
+        return int(np.unique(present).size)
+
+    def null_fraction(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(1.0 - self.valid.mean())

@@ -1,0 +1,107 @@
+"""Alias-level join-graph analysis for the executor.
+
+A query's join graph has one node per table alias and one edge per pair
+of joined aliases (several join conditions between the same pair are
+collapsed into one composite edge).  The executor picks its algorithm by
+the graph's shape:
+
+* forest (acyclic)  -> factorized message-passing count (fast),
+* cyclic            -> materializing hash join (general fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from ..errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a db <-> workload import cycle
+    from ..workload.query import JoinEdge, Query
+
+
+@dataclass
+class PairJoin:
+    """All join conditions between one pair of aliases, as a composite key."""
+
+    alias_a: str
+    alias_b: str
+    columns_a: list[str] = field(default_factory=list)
+    columns_b: list[str] = field(default_factory=list)
+
+    def sides_for(self, alias: str) -> tuple[list[str], list[str]]:
+        """(own columns, other columns) oriented from ``alias``."""
+        if alias == self.alias_a:
+            return self.columns_a, self.columns_b
+        if alias == self.alias_b:
+            return self.columns_b, self.columns_a
+        raise QueryError(f"alias {alias!r} not part of pair join")
+
+    def other(self, alias: str) -> str:
+        if alias == self.alias_a:
+            return self.alias_b
+        if alias == self.alias_b:
+            return self.alias_a
+        raise QueryError(f"alias {alias!r} not part of pair join")
+
+
+def pair_joins(query: Query) -> dict[frozenset[str], PairJoin]:
+    """Group the query's join edges by alias pair into composite joins."""
+    pairs: dict[frozenset[str], PairJoin] = {}
+    for join in query.joins:
+        key = join.aliases
+        if key not in pairs:
+            a, b = sorted(key)
+            pairs[key] = PairJoin(alias_a=a, alias_b=b)
+        pair = pairs[key]
+        if join.left_alias == pair.alias_a:
+            pair.columns_a.append(join.left_column)
+            pair.columns_b.append(join.right_column)
+        else:
+            pair.columns_a.append(join.right_column)
+            pair.columns_b.append(join.left_column)
+    return pairs
+
+
+def build_join_graph(query: Query) -> nx.Graph:
+    """Simple alias graph with ``PairJoin`` payloads on the edges."""
+    graph = nx.Graph()
+    graph.add_nodes_from(query.aliases)
+    for key, pair in pair_joins(query).items():
+        a, b = sorted(key)
+        graph.add_edge(a, b, pair=pair)
+    return graph
+
+
+def is_acyclic(graph: nx.Graph) -> bool:
+    """True when the (simple) alias graph is a forest."""
+    return nx.number_of_edges(graph) == nx.number_of_nodes(graph) - nx.number_connected_components(graph)
+
+
+def connected_components(graph: nx.Graph) -> list[set[str]]:
+    return [set(c) for c in nx.connected_components(graph)]
+
+
+def validate_join_graph(query: Query, require_connected: bool = False) -> nx.Graph:
+    """Build and sanity-check a query's join graph.
+
+    With ``require_connected=True`` a disconnected graph (an implicit
+    cross product) raises; the workload generators always produce
+    connected queries, but the executor itself supports cross products.
+    """
+    graph = build_join_graph(query)
+    if require_connected and nx.number_connected_components(graph) > 1:
+        raise QueryError(
+            f"query joins are disconnected (cross product): {query.aliases}"
+        )
+    return graph
+
+
+def join_edge_aliases(joins: tuple[JoinEdge, ...]) -> set[str]:
+    """All aliases mentioned by any join edge."""
+    out: set[str] = set()
+    for join in joins:
+        out |= set(join.aliases)
+    return out

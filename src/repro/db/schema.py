@@ -1,0 +1,78 @@
+"""Schema objects: column/table declarations and PK/FK relationships.
+
+The demo's graphical query builder "automatically add[s] the
+corresponding join predicates ... based on the single PK/FK relationships
+that exist between tables"; the catalog here is what makes that possible
+programmatically (see :meth:`Database.join_edge_between` in database.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchemaError
+from .types import DType
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Declaration of one column."""
+
+    name: str
+    dtype: DType
+    nullable: bool = False
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key ``table.column -> ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+@dataclass
+class TableSchema:
+    """Declaration of one table: ordered columns and an optional PK."""
+
+    name: str
+    columns: list[ColumnSchema] = field(default_factory=list)
+    primary_key: str | None = None
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise SchemaError(f"invalid table name {self.name!r}")
+        seen: set[str] = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise SchemaError(
+                    f"table {self.name!r} declares column {col.name!r} twice"
+                )
+            seen.add(col.name)
+        if self.primary_key is not None and self.primary_key not in seen:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                "is not a declared column"
+            )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnSchema:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)

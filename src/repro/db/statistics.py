@@ -1,0 +1,142 @@
+"""Per-column statistics (the engine's ANALYZE).
+
+These statistics feed the PostgreSQL-style baseline estimator: most
+common values with their frequencies, an equi-depth histogram over the
+remaining values, distinct counts, null fractions, and min/max bounds —
+the same artifacts ``pg_stats`` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column
+from .table import Table
+from .types import DType
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary of one column, over its *encoded* domain.
+
+    String columns are summarized over their dictionary codes; equality
+    predicates encode their literal before probing, so MCV lookups work
+    uniformly for every type.
+    """
+
+    dtype: DType
+    n_rows: int
+    n_distinct: int
+    null_frac: float
+    min_value: float
+    max_value: float
+    #: Most common values and their relative frequencies (of all rows).
+    mcv_values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    mcv_freqs: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Equi-depth histogram bounds over the non-MCV values (ascending).
+    histogram_bounds: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Fraction of all rows not covered by NULLs or the MCV list.
+    remaining_frac: float = 0.0
+    #: Distinct values outside the MCV list.
+    remaining_distinct: int = 0
+
+    @property
+    def mcv_total_freq(self) -> float:
+        return float(self.mcv_freqs.sum()) if self.mcv_freqs.size else 0.0
+
+
+def analyze_column(
+    column: Column, mcv_size: int = 25, histogram_bins: int = 50
+) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` for one column."""
+    n_rows = len(column)
+    present = column.non_null_values().astype(np.float64, copy=False)
+    null_frac = column.null_fraction()
+    if present.size == 0:
+        return ColumnStatistics(
+            dtype=column.dtype,
+            n_rows=n_rows,
+            n_distinct=0,
+            null_frac=null_frac,
+            min_value=0.0,
+            max_value=0.0,
+        )
+
+    values, counts = np.unique(present, return_counts=True)
+    n_distinct = int(values.size)
+
+    # MCV list: the top-k most frequent values (only those occurring more
+    # than once, as PostgreSQL does for large tables).
+    k = min(mcv_size, n_distinct)
+    top = np.argsort(counts, kind="stable")[::-1][:k]
+    top = top[counts[top] > 1] if n_rows > n_distinct else top[:0]
+    mcv_values = values[top]
+    mcv_freqs = counts[top] / max(n_rows, 1)
+
+    # Histogram over the values not in the MCV list, equi-depth.
+    in_mcv = np.isin(present, mcv_values)
+    rest = np.sort(present[~in_mcv])
+    remaining_frac = rest.size / max(n_rows, 1)
+    remaining_distinct = max(n_distinct - mcv_values.size, 0)
+    if rest.size >= 2:
+        bins = min(histogram_bins, rest.size - 1)
+        quantiles = np.linspace(0.0, 1.0, bins + 1)
+        bounds = np.quantile(rest, quantiles, method="inverted_cdf")
+    else:
+        bounds = rest.copy()
+
+    return ColumnStatistics(
+        dtype=column.dtype,
+        n_rows=n_rows,
+        n_distinct=n_distinct,
+        null_frac=null_frac,
+        min_value=float(values[0]),
+        max_value=float(values[-1]),
+        mcv_values=np.asarray(mcv_values, dtype=np.float64),
+        mcv_freqs=np.asarray(mcv_freqs, dtype=np.float64),
+        histogram_bounds=np.asarray(bounds, dtype=np.float64),
+        remaining_frac=float(remaining_frac),
+        remaining_distinct=int(remaining_distinct),
+    )
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for every column of one table."""
+
+    table_name: str
+    n_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> ColumnStatistics:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no statistics for column {self.table_name}.{name}"
+            ) from None
+
+
+def analyze_table(
+    table: Table, mcv_size: int = 25, histogram_bins: int = 50
+) -> TableStatistics:
+    """ANALYZE: statistics for all columns of ``table``."""
+    return TableStatistics(
+        table_name=table.name,
+        n_rows=table.n_rows,
+        columns={
+            name: analyze_column(col, mcv_size=mcv_size, histogram_bins=histogram_bins)
+            for name, col in table.columns.items()
+        },
+    )
+
+
+def analyze_database(db, mcv_size: int = 25, histogram_bins: int = 50) -> dict[str, TableStatistics]:
+    """ANALYZE every table of a database."""
+    return {
+        name: analyze_table(table, mcv_size=mcv_size, histogram_bins=histogram_bins)
+        for name, table in db.tables.items()
+    }

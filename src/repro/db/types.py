@@ -1,0 +1,37 @@
+"""Column data types for the in-memory engine.
+
+The engine supports the three types the Deep Sketches demo workloads
+need: 64-bit integers, 64-bit floats, and dictionary-encoded strings.
+All columns are nullable; NULL semantics follow SQL (a predicate over
+NULL is not true, so NULL rows never qualify).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SchemaError
+from ..ops import OPERATORS, STRING_OPERATORS  # re-exported  # noqa: F401
+
+
+class DType(enum.Enum):
+    """Supported column types."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT64, DType.FLOAT64)
+
+    def __str__(self) -> str:  # keeps schema dumps readable
+        return self.value
+
+
+def dtype_from_name(name: str) -> DType:
+    """Parse a type name (as stored in serialized schemas) to a DType."""
+    for dtype in DType:
+        if dtype.value == name:
+            return dtype
+    raise SchemaError(f"unknown column type {name!r}")

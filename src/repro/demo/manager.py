@@ -1,0 +1,254 @@
+"""The demo backend: create, train, monitor, and query Deep Sketches.
+
+Mirrors the workflow behind the paper's web interface (Section 3):
+
+* ``SHOW SKETCHES`` — :meth:`SketchManager.list_sketches`;
+* creating a sketch with table subset / samples / queries / epochs —
+  :meth:`SketchManager.create_sketch` (synchronous) and
+  :meth:`SketchManager.start_build` / :meth:`SketchManager.step_build`
+  (incremental, so existing sketches stay queryable while a new model
+  trains — the demo's third latency mitigation);
+* pre-built high-quality models — :meth:`SketchManager.register_sketch`;
+* querying a sketch — :meth:`SketchManager.query`.
+
+The incremental build runs the builder pipeline up front except for
+training, then advances one epoch per :meth:`step_build` call; queries
+against *other* sketches can be interleaved freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SketchError
+from ..rng import make_rng, spawn
+from ..db.database import Database
+from ..sampling.bitmaps import query_bitmaps
+from ..sampling.sampler import materialize_samples
+from ..workload.generator import TrainingQueryGenerator, WorkloadSpec
+from ..workload.query import Query
+from ..db.executor import execute_count
+from ..core.batches import TrainingSet
+from ..core.builder import BuildReport, SketchBuilder, SketchConfig
+from ..core.featurization import Featurizer
+from ..core.mscn import MSCN
+from ..core.sketch import DeepSketch
+from ..core.training import Trainer, TrainingConfig
+from .monitor import Monitor
+
+
+@dataclass
+class PendingBuild:
+    """An in-progress incremental build (train stage epoch by epoch)."""
+
+    name: str
+    trainer: Trainer
+    dataset: TrainingSet
+    samples: object
+    featurizer: Featurizer
+    config: SketchConfig
+    epochs_done: int = 0
+    epoch_stats: list = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.epochs_done >= self.config.epochs
+
+
+class SketchManager:
+    """Holds named sketches over one database and builds new ones."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._sketches: dict[str, DeepSketch] = {}
+        self._monitors: dict[str, Monitor] = {}
+        self._pending: dict[str, PendingBuild] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def list_sketches(self) -> list[str]:
+        return sorted(self._sketches)
+
+    def register_sketch(self, sketch: DeepSketch) -> None:
+        """Add a pre-built sketch (the demo's instantly queryable models)."""
+        if sketch.name in self._sketches:
+            raise SketchError(f"sketch {sketch.name!r} already exists")
+        self._sketches[sketch.name] = sketch
+
+    def get_sketch(self, name: str) -> DeepSketch:
+        try:
+            return self._sketches[name]
+        except KeyError:
+            known = ", ".join(self.list_sketches()) or "(none)"
+            raise SketchError(f"no sketch named {name!r}; have: {known}") from None
+
+    def drop_sketch(self, name: str) -> None:
+        self.get_sketch(name)  # raise if missing
+        del self._sketches[name]
+        self._monitors.pop(name, None)
+
+    def monitor_for(self, name: str) -> Monitor:
+        try:
+            return self._monitors[name]
+        except KeyError:
+            raise SketchError(f"no build was monitored for {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # synchronous build (steps 1-4 in one call)
+    # ------------------------------------------------------------------
+    def create_sketch(
+        self,
+        name: str,
+        spec: WorkloadSpec,
+        config: SketchConfig | None = None,
+        seed: int | None = None,
+    ) -> tuple[DeepSketch, BuildReport]:
+        """Run the full Figure 1a pipeline and register the result."""
+        if name in self._sketches or name in self._pending:
+            raise SketchError(f"sketch {name!r} already exists")
+        monitor = Monitor()
+        builder = SketchBuilder(self.db, spec, config=config, progress=monitor.on_progress)
+        sketch, report = builder.build(name, seed=seed)
+        self._sketches[name] = sketch
+        self._monitors[name] = monitor
+        return sketch, report
+
+    # ------------------------------------------------------------------
+    # incremental build (train while querying other sketches)
+    # ------------------------------------------------------------------
+    def start_build(
+        self,
+        name: str,
+        spec: WorkloadSpec,
+        config: SketchConfig | None = None,
+        seed: int | None = None,
+    ) -> PendingBuild:
+        """Stages 1-3 plus featurization; training is left to step_build."""
+        if name in self._sketches or name in self._pending:
+            raise SketchError(f"sketch {name!r} already exists")
+        config = config or SketchConfig()
+        rng = make_rng(config.seed if seed is None else seed)
+        sample_rng, query_rng, model_rng, _ = spawn(rng, 4)
+
+        samples = materialize_samples(self.db, spec.tables, config.sample_size, seed=sample_rng)
+        generator = TrainingQueryGenerator(self.db, spec, seed=query_rng)
+        queries = generator.draw_many(config.n_training_queries)
+        kept: list[Query] = []
+        labels: list[float] = []
+        for query in queries:
+            cardinality = execute_count(self.db, query)
+            if cardinality > 0:
+                kept.append(query)
+                labels.append(float(cardinality))
+        if len(kept) < 10:
+            raise SketchError(
+                f"only {len(kept)} non-empty training queries; need at least 10"
+            )
+        featurizer = Featurizer.build(self.db, spec, config.sample_size)
+        featurizer.fit_labels(np.asarray(labels))
+        features = [
+            featurizer.featurize_query(q, query_bitmaps(samples, q), db=self.db)
+            for q in kept
+        ]
+        normalized = np.array([featurizer.normalize_label(c) for c in labels])
+        model = MSCN(
+            table_dim=featurizer.table_dim,
+            join_dim=featurizer.join_dim,
+            predicate_dim=featurizer.predicate_dim,
+            hidden_units=config.hidden_units,
+            seed=model_rng,
+        )
+        trainer = Trainer(
+            model,
+            featurizer,
+            TrainingConfig(
+                epochs=1,  # step_build advances one epoch at a time
+                batch_size=config.batch_size,
+                learning_rate=config.learning_rate,
+                loss=config.loss,
+            ),
+        )
+        pending = PendingBuild(
+            name=name,
+            trainer=trainer,
+            dataset=TrainingSet(features, normalized),
+            samples=samples,
+            featurizer=featurizer,
+            config=config,
+        )
+        self._pending[name] = pending
+        return pending
+
+    def step_build(self, name: str) -> PendingBuild:
+        """Advance a pending build by one epoch; finalize when done."""
+        try:
+            pending = self._pending[name]
+        except KeyError:
+            raise SketchError(f"no pending build named {name!r}") from None
+        result = pending.trainer.fit(pending.dataset, seed=pending.epochs_done)
+        pending.epoch_stats.extend(result.epochs)
+        pending.epochs_done += 1
+        if pending.finished:
+            self._finalize_build(pending)
+        return pending
+
+    def _finalize_build(self, pending: PendingBuild) -> None:
+        sketch = DeepSketch(
+            name=pending.name,
+            featurizer=pending.featurizer,
+            model=pending.trainer.model,
+            samples=pending.samples,
+            metadata={
+                "dataset": self.db.name,
+                "epochs": pending.epochs_done,
+                "incremental": True,
+            },
+        )
+        del self._pending[pending.name]
+        self._sketches[pending.name] = sketch
+
+    def pending_builds(self) -> list[str]:
+        return sorted(self._pending)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, name: str, query: Query | str) -> float:
+        """Estimate a query against the named sketch."""
+        return self.get_sketch(name).estimate(query)
+
+    def route(self, query: Query | str) -> tuple[str, float]:
+        """Estimate with the cheapest registered sketch that covers the
+        query's tables; returns ``(sketch name, estimate)``.
+
+        "Cheapest" means the fewest tables: a narrower sketch was trained
+        on a denser sampling of the query's sub-space.
+        """
+        if isinstance(query, str):
+            from ..db.sql import parse_sql
+
+            query = parse_sql(query)
+        needed = {t.table for t in query.tables}
+        candidates = [
+            (len(sketch.tables), name)
+            for name, sketch in self._sketches.items()
+            if needed <= set(sketch.tables)
+        ]
+        if not candidates:
+            raise SketchError(
+                f"no registered sketch covers tables {sorted(needed)}"
+            )
+        _, name = min(candidates)
+        return name, self.query(name, query)
+
+    # ------------------------------------------------------------------
+    # advising (the conclusions' open question)
+    # ------------------------------------------------------------------
+    def advise(self, workload: list[Query], max_sketches: int | None = None):
+        """Recommend sketch table-subsets for a past workload."""
+        from .advisor import recommend_sketches
+
+        return recommend_sketches(workload, max_sketches=max_sketches)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or foreign key reference is invalid."""
+
+
+class ParseError(ReproError):
+    """A SQL string could not be parsed by the supported subset grammar."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryError(ReproError):
+    """A structured query is semantically invalid (unknown table, bad join,
+    type mismatch in a predicate, disconnected join graph, ...)."""
+
+
+class FeaturizationError(ReproError):
+    """A query cannot be featurized by a given featurizer (e.g. it references
+    a table or column outside the featurizer's vocabulary)."""
+
+
+class TrainingError(ReproError):
+    """Model training was misconfigured or failed to make progress."""
+
+
+class SketchError(ReproError):
+    """A Deep Sketch operation failed (untrained sketch queried, bad
+    serialized payload, query outside the sketch's table subset, ...)."""
+
+
+class SerializationError(ReproError):
+    """A model or sketch payload could not be serialized or deserialized."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate for a query."""

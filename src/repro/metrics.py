@@ -1,0 +1,128 @@
+"""Estimation-quality metrics.
+
+The paper reports estimation errors as **q-errors** (Moerkotte et al.,
+PVLDB 2009): the factor between the true and the estimated cardinality,
+
+    q(est, true) = max(est / true, true / est)   with q >= 1.
+
+Table 1 of the paper summarizes q-error distributions with the median,
+90th, 95th, and 99th percentiles, the maximum, and the mean; this module
+computes exactly those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ReproError
+
+#: Estimates and truths are clamped to at least this value before the
+#: q-error ratio is formed, matching the reference MSCN evaluation code
+#: (a COUNT(*) estimate below one row is never useful to an optimizer).
+MIN_CARDINALITY = 1.0
+
+
+def qerror(estimate: float, truth: float) -> float:
+    """Return the q-error between one estimate and one true cardinality.
+
+    Both inputs are clamped to :data:`MIN_CARDINALITY` first, so zero
+    (or negative, for a badly behaved estimator) values do not produce
+    infinite or undefined errors.
+    """
+    est = max(float(estimate), MIN_CARDINALITY)
+    tru = max(float(truth), MIN_CARDINALITY)
+    return max(est / tru, tru / est)
+
+
+def qerrors(estimates: Iterable[float], truths: Iterable[float]) -> np.ndarray:
+    """Vectorized :func:`qerror` over two equal-length sequences."""
+    est = np.maximum(np.asarray(list(estimates), dtype=np.float64), MIN_CARDINALITY)
+    tru = np.maximum(np.asarray(list(truths), dtype=np.float64), MIN_CARDINALITY)
+    if est.shape != tru.shape:
+        raise ReproError(
+            f"estimates and truths have different lengths: {est.shape} vs {tru.shape}"
+        )
+    return np.maximum(est / tru, tru / est)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """The q-error distribution summary used by Table 1 of the paper."""
+
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+    mean: float
+    count: int
+
+    #: Column order used by the paper's Table 1.
+    COLUMNS = ("median", "90th", "95th", "99th", "max", "mean")
+
+    def row(self) -> tuple[float, float, float, float, float, float]:
+        """Return the summary as a Table 1 row (median..mean)."""
+        return (self.median, self.p90, self.p95, self.p99, self.max, self.mean)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.COLUMNS, self.row()))
+
+    def __str__(self) -> str:
+        cells = "  ".join(f"{v:>10.4g}" for v in self.row())
+        return f"{cells}  (n={self.count})"
+
+
+def summarize_qerrors(errors: Iterable[float]) -> QErrorSummary:
+    """Summarize a q-error sample into the paper's Table 1 statistics."""
+    arr = np.asarray(list(errors), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot summarize an empty q-error sample")
+    if np.any(arr < 1.0 - 1e-9):
+        raise ReproError("q-errors must be >= 1; got a smaller value")
+    return QErrorSummary(
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(np.max(arr)),
+        mean=float(np.mean(arr)),
+        count=int(arr.size),
+    )
+
+
+def summarize_estimates(
+    estimates: Iterable[float], truths: Iterable[float]
+) -> QErrorSummary:
+    """Convenience: q-errors of ``estimates`` vs ``truths``, summarized."""
+    return summarize_qerrors(qerrors(estimates, truths))
+
+
+def format_table(
+    rows: Mapping[str, QErrorSummary], title: str = "Estimation errors"
+) -> str:
+    """Render estimator-name -> summary as a Table 1-style text table."""
+    names = list(rows)
+    name_width = max([len(n) for n in names] + [len(title)])
+    header = " ".join(f"{c:>10}" for c in QErrorSummary.COLUMNS)
+    lines = [f"{title:<{name_width}} {header}"]
+    for name in names:
+        cells = " ".join(f"{v:>10.4g}" for v in rows[name].row())
+        lines.append(f"{name:<{name_width}} {cells}")
+    return "\n".join(lines)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Signed relative error (est - true) / true, truth clamped to >= 1."""
+    tru = max(float(truth), MIN_CARDINALITY)
+    return (float(estimate) - tru) / tru
+
+
+def geometric_mean_qerror(errors: Sequence[float]) -> float:
+    """Geometric mean of a q-error sample (robust tail-insensitive score)."""
+    arr = np.asarray(errors, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot average an empty q-error sample")
+    return float(np.exp(np.mean(np.log(arr))))

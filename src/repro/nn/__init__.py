@@ -1,0 +1,56 @@
+"""Minimal deep-learning framework (the repo's PyTorch substitute).
+
+Public surface:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode autodiff on numpy arrays
+* layers: :class:`Linear`, :class:`ReLU`, :class:`Sigmoid`, :class:`Tanh`,
+  :class:`Dropout`, :class:`Sequential`, :func:`mlp`
+* optimizers: :class:`SGD`, :class:`Adam`
+* losses: :class:`MSELoss`, :class:`QErrorLoss`
+* functional ops: :func:`masked_mean`, :func:`concat`, :func:`maximum`
+* serialization: :func:`save_module`, :func:`load_module`
+"""
+
+from .functional import masked_mean
+from .init import INITIALIZERS, kaiming_uniform, xavier_normal, xavier_uniform
+from .layers import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, mlp
+from .loss import Loss, MSELoss, QErrorLoss
+from .module import Module
+from .optim import SGD, Adam, Optimizer
+from .serialize import (
+    load_module,
+    save_module,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+)
+from .tensor import Tensor, concat, maximum, stack_rows
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "maximum",
+    "stack_rows",
+    "masked_mean",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Sequential",
+    "mlp",
+    "Loss",
+    "MSELoss",
+    "QErrorLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "INITIALIZERS",
+    "save_module",
+    "load_module",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+]

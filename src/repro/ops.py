@@ -1,0 +1,14 @@
+"""Comparison-operator vocabulary shared by the engine and the query model.
+
+Lives in its own leaf module so that ``repro.db`` and ``repro.workload``
+can both import it without importing each other.
+"""
+
+#: Comparison operators the engine evaluates.  The paper's featurization
+#: enumerates {=, <, >}; the engine additionally supports <=, >= and <>
+#: so that year-grouping range templates (Figure 2) can be expressed.
+OPERATORS = ("=", "<", ">", "<=", ">=", "<>")
+
+#: Operators valid on string columns (dictionary encoding gives no
+#: meaningful order, and the demo's string predicates are equality-only).
+STRING_OPERATORS = ("=", "<>")

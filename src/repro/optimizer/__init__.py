@@ -1,0 +1,26 @@
+"""Join enumeration + cost model consuming cardinality estimates.
+
+The paper's stated downstream use of Deep Sketches (Section 1): feed the
+estimates to a join enumerator with a cost model and get better plans.
+"""
+
+from .cost import CardinalityCache, cout_cost, true_cost
+from .enumerate import MAX_DP_RELATIONS, dp_optimal_plan, greedy_plan
+from .optimizer import PlanOptimizer, PlannedQuery
+from .plans import JoinNode, LeafNode, PlanNode, sub_query, validate_plan
+
+__all__ = [
+    "PlanNode",
+    "LeafNode",
+    "JoinNode",
+    "sub_query",
+    "validate_plan",
+    "CardinalityCache",
+    "cout_cost",
+    "true_cost",
+    "dp_optimal_plan",
+    "greedy_plan",
+    "MAX_DP_RELATIONS",
+    "PlanOptimizer",
+    "PlannedQuery",
+]

@@ -1,0 +1,39 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library (data generators, query
+generators, samplers, weight initializers, trainers) accepts either an
+integer seed or a ready :class:`numpy.random.Generator`.  This module
+provides the single conversion point so seeding behaviour is uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Type accepted anywhere randomness is configurable.
+SeedLike = int | np.random.Generator | None
+
+_DEFAULT_SEED = 0x5EED
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` maps to a fixed library-wide default seed so that library
+    behaviour is reproducible unless the caller explicitly asks for
+    entropy by passing their own generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng(_DEFAULT_SEED)
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used when one seeded component fans out into parallel sub-components
+    (e.g. one generator per table) that must not share a stream.
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

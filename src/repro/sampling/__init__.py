@@ -1,0 +1,24 @@
+"""Materialized samples and qualifying bitmaps (paper Section 2)."""
+
+from .bitmaps import alias_bitmap, is_zero_tuple, qualifying_fractions, query_bitmaps
+from .sampler import (
+    MaterializedSamples,
+    manifest_from_bytes,
+    materialize_samples,
+    payload_manifest_bytes,
+    samples_from_payload,
+    samples_to_payload,
+)
+
+__all__ = [
+    "MaterializedSamples",
+    "materialize_samples",
+    "samples_to_payload",
+    "samples_from_payload",
+    "payload_manifest_bytes",
+    "manifest_from_bytes",
+    "query_bitmaps",
+    "alias_bitmap",
+    "qualifying_fractions",
+    "is_zero_tuple",
+]

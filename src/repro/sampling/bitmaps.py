@@ -1,0 +1,71 @@
+"""Qualifying-sample bitmaps.
+
+"In addition to executing a training query against the full database, we
+execute each base table selection against a set of materialized samples
+... Thus, we derive bitmaps indicating qualifying samples for each base
+table.  These bitmaps are then used as an additional input to the deep
+learning model."  (paper, Section 2)
+
+A bitmap for alias ``a`` has one bit per sample row of ``a``'s table; a
+bit is set when the row satisfies *all* of the query's predicates on
+``a``.  Joins are deliberately not executed against samples — only base
+table selections are, exactly as in the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload.query import Query
+from ..db.executor import table_filter_mask
+from .sampler import MaterializedSamples
+
+
+def alias_bitmap(
+    samples: MaterializedSamples, query: Query, alias: str
+) -> np.ndarray:
+    """Bitmap (length ``sample_size``, zero-padded) for one alias."""
+    table = samples.for_table(query.alias_table(alias))
+    mask = table_filter_mask(table, query.predicates_for(alias))
+    if len(mask) < samples.sample_size:
+        padded = np.zeros(samples.sample_size, dtype=bool)
+        padded[: len(mask)] = mask
+        return padded
+    return mask
+
+
+def query_bitmaps(samples: MaterializedSamples, query: Query) -> dict[str, np.ndarray]:
+    """Bitmaps for every alias of ``query``, keyed by alias."""
+    return {alias: alias_bitmap(samples, query, alias) for alias in query.aliases}
+
+
+def qualifying_fractions(samples: MaterializedSamples, query: Query) -> dict[str, float]:
+    """Fraction of *sampled* rows qualifying per alias.
+
+    The denominator is the actual sample length (not the padded size), so
+    fractions are unbiased selectivity estimates for each base table.
+    """
+    out: dict[str, float] = {}
+    for alias in query.aliases:
+        table = samples.for_table(query.alias_table(alias))
+        mask = table_filter_mask(table, query.predicates_for(alias))
+        out[alias] = float(mask.mean()) if len(mask) else 0.0
+    return out
+
+
+def is_zero_tuple(samples: MaterializedSamples, query: Query) -> bool:
+    """True when some base-table selection matches no sampled tuple.
+
+    These are the "0-tuple situations" of the paper: pure sampling-based
+    estimators lose all signal and must fall back to an educated guess.
+    Only aliases that actually carry predicates are considered (an
+    unfiltered table always qualifies its whole sample).
+    """
+    for alias in query.aliases:
+        if not query.predicates_for(alias):
+            continue
+        table = samples.for_table(query.alias_table(alias))
+        mask = table_filter_mask(table, query.predicates_for(alias))
+        if not mask.any():
+            return True
+    return False

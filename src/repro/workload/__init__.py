@@ -1,0 +1,35 @@
+"""Query model, workload generators, and templates."""
+
+from .generator import (
+    TrainingQueryGenerator,
+    WorkloadSpec,
+    spec_for_imdb,
+    spec_for_tpch,
+)
+from .joblight import JobLightConfig, generate_job_light
+from .query import (
+    JoinEdge,
+    Predicate,
+    Query,
+    TableRef,
+    make_join,
+    single_table_query,
+)
+from .templates import QueryTemplate, TemplateInstance
+
+__all__ = [
+    "Query",
+    "TableRef",
+    "JoinEdge",
+    "Predicate",
+    "make_join",
+    "single_table_query",
+    "WorkloadSpec",
+    "TrainingQueryGenerator",
+    "spec_for_imdb",
+    "spec_for_tpch",
+    "JobLightConfig",
+    "generate_job_light",
+    "QueryTemplate",
+    "TemplateInstance",
+]

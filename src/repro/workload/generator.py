@@ -1,0 +1,234 @@
+"""Uniform training-query generation (paper Figure 1a, step 2).
+
+"We generate uniformly distributed training queries on the specified
+tables": uniformly choose the number of joins, grow a connected join
+subgraph along foreign keys, uniformly choose predicate columns and
+types (=, <, >), and draw literals from the database itself so that
+equality predicates hit existing values.
+
+The generator is purely syntactic — labels (true cardinalities) and the
+zero-cardinality filter are applied later by the sketch builder, exactly
+as the demo's backend executes generated queries in a separate step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QueryError
+from ..rng import SeedLike, make_rng
+from ..db.database import Database
+from ..db.types import DType
+from .query import JoinEdge, Predicate, Query, TableRef
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the generator may use: tables, aliases, predicate columns.
+
+    ``predicate_columns`` maps each table to the columns predicates may
+    reference; ``operators`` is the global operator vocabulary (the paper
+    trains "with a uniform distribution between =, <, and > predicates").
+    """
+
+    tables: tuple[str, ...]
+    aliases: dict[str, str] = field(default_factory=dict)
+    predicate_columns: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    operators: tuple[str, ...] = ("=", "<", ">")
+    max_joins: int = 2
+    max_predicates_per_table: int = 2
+    #: How equality literals are drawn: "rows" samples a random row value
+    #: (frequent values appear often — the reference implementation's
+    #: behaviour), "distinct" samples uniformly over the distinct values
+    #: (tail values appear as often as heads), "mixed" flips a coin per
+    #: literal.  "mixed" exposes the model to the 0-tuple regime during
+    #: training, which the paper's Section 2 highlights.
+    literal_distribution: str = "mixed"
+
+    def alias_of(self, table: str) -> str:
+        return self.aliases.get(table, table)
+
+    def columns_of(self, table: str) -> tuple[str, ...]:
+        return self.predicate_columns.get(table, ())
+
+
+class TrainingQueryGenerator:
+    """Draws uniformly distributed conjunctive COUNT(*) queries.
+
+    The join structure follows the database's FK graph restricted to the
+    spec's tables: a start table is chosen uniformly, then edges to
+    not-yet-included tables are added uniformly until the drawn join
+    count is reached (or no edge extends the subgraph).
+    """
+
+    def __init__(self, db: Database, spec: WorkloadSpec, seed: SeedLike = None):
+        self.db = db
+        self.spec = spec
+        self.rng = make_rng(seed)
+        for table in spec.tables:
+            if table not in db.tables:
+                raise QueryError(f"workload spec references unknown table {table!r}")
+        self._neighbors = self._build_neighbor_map()
+        self._literal_pools = self._build_literal_pools()
+
+    # ------------------------------------------------------------------
+    # precomputation
+    # ------------------------------------------------------------------
+    def _build_neighbor_map(self) -> dict[str, list[tuple[str, str, str]]]:
+        """table -> [(neighbor_table, own_column, neighbor_column)]."""
+        allowed = set(self.spec.tables)
+        neighbors: dict[str, list[tuple[str, str, str]]] = {t: [] for t in allowed}
+        for fk in self.db.foreign_keys:
+            if fk.table in allowed and fk.ref_table in allowed:
+                neighbors[fk.table].append((fk.ref_table, fk.column, fk.ref_column))
+                neighbors[fk.ref_table].append((fk.table, fk.ref_column, fk.column))
+        return neighbors
+
+    def _build_literal_pools(self) -> dict[tuple[str, str], tuple[np.ndarray, np.ndarray]]:
+        """Value pools per (table, column) for literal drawing.
+
+        "Draw literals from database" — each pool holds the raw row
+        values (frequency-weighted drawing) and the distinct values
+        (uniform drawing); ``spec.literal_distribution`` picks between
+        them per draw.
+        """
+        pools: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        for table_name in self.spec.tables:
+            table = self.db.table(table_name)
+            for column_name in self.spec.columns_of(table_name):
+                col = table.column(column_name)
+                pool = col.non_null_values()
+                if pool.size == 0:
+                    raise QueryError(
+                        f"column {table_name}.{column_name} has no non-null "
+                        "values to draw literals from"
+                    )
+                pools[(table_name, column_name)] = (pool, np.unique(pool))
+        return pools
+
+    # ------------------------------------------------------------------
+    # drawing
+    # ------------------------------------------------------------------
+    def _draw_join_structure(self) -> tuple[list[str], list[JoinEdge]]:
+        n_joins = int(self.rng.integers(0, self.spec.max_joins + 1))
+        start = str(self.rng.choice(list(self.spec.tables)))
+        tables = [start]
+        joins: list[JoinEdge] = []
+        while len(joins) < n_joins:
+            frontier: list[tuple[str, str, str, str]] = []
+            for table in tables:
+                for neighbor, own_col, other_col in self._neighbors[table]:
+                    if neighbor not in tables:
+                        frontier.append((table, own_col, neighbor, other_col))
+            if not frontier:
+                break  # the drawn table's component is exhausted
+            pick = frontier[int(self.rng.integers(0, len(frontier)))]
+            own_table, own_col, neighbor, other_col = pick
+            tables.append(neighbor)
+            joins.append(
+                JoinEdge(
+                    self.spec.alias_of(own_table),
+                    own_col,
+                    self.spec.alias_of(neighbor),
+                    other_col,
+                )
+            )
+        return tables, joins
+
+    def _draw_literal(self, table: str, column: str):
+        rows_pool, distinct_pool = self._literal_pools[(table, column)]
+        mode = self.spec.literal_distribution
+        if mode == "mixed":
+            mode = "distinct" if self.rng.random() < 0.5 else "rows"
+        if mode == "distinct":
+            pool = distinct_pool
+        elif mode == "rows":
+            pool = rows_pool
+        else:
+            raise QueryError(
+                f"unknown literal distribution {self.spec.literal_distribution!r}"
+            )
+        raw = pool[int(self.rng.integers(0, len(pool)))]
+        col = self.db.table(table).column(column)
+        if col.dtype is DType.STRING:
+            return col.dictionary[int(raw)]
+        if col.dtype is DType.INT64:
+            return int(raw)
+        return float(raw)
+
+    def _draw_predicates(self, tables: list[str]) -> list[Predicate]:
+        predicates: list[Predicate] = []
+        for table in tables:
+            columns = self.spec.columns_of(table)
+            if not columns:
+                continue
+            max_preds = min(self.spec.max_predicates_per_table, len(columns))
+            n_preds = int(self.rng.integers(0, max_preds + 1))
+            if n_preds == 0:
+                continue
+            chosen = self.rng.choice(len(columns), size=n_preds, replace=False)
+            for idx in chosen:
+                column = columns[int(idx)]
+                dtype = self.db.table(table).column(column).dtype
+                if dtype is DType.STRING:
+                    op = "="
+                else:
+                    op = str(self.rng.choice(list(self.spec.operators)))
+                predicates.append(
+                    Predicate(
+                        alias=self.spec.alias_of(table),
+                        column=column,
+                        op=op,
+                        literal=self._draw_literal(table, column),
+                    )
+                )
+        return predicates
+
+    def draw(self) -> Query:
+        """Draw one query (possibly with zero true cardinality)."""
+        tables, joins = self._draw_join_structure()
+        predicates = self._draw_predicates(tables)
+        refs = tuple(TableRef(t, self.spec.alias_of(t)) for t in tables)
+        return Query(tables=refs, joins=tuple(joins), predicates=tuple(predicates))
+
+    def draw_many(self, n: int) -> list[Query]:
+        """Draw ``n`` queries (duplicates possible, as in the paper)."""
+        if n < 0:
+            raise QueryError(f"cannot draw {n} queries")
+        return [self.draw() for _ in range(n)]
+
+
+def spec_for_imdb(tables: tuple[str, ...] | None = None, max_joins: int = 2) -> WorkloadSpec:
+    """JOB-light-compatible workload spec over the synthetic IMDb."""
+    from ..datasets.imdb import JOB_LIGHT_ALIASES, JOB_LIGHT_PREDICATE_COLUMNS
+
+    tables = tables or tuple(sorted(JOB_LIGHT_ALIASES))
+    return WorkloadSpec(
+        tables=tuple(tables),
+        aliases=dict(JOB_LIGHT_ALIASES),
+        predicate_columns={
+            t: JOB_LIGHT_PREDICATE_COLUMNS[t]
+            for t in tables
+            if t in JOB_LIGHT_PREDICATE_COLUMNS
+        },
+        max_joins=max_joins,
+    )
+
+
+def spec_for_tpch(tables: tuple[str, ...] | None = None, max_joins: int = 2) -> WorkloadSpec:
+    """Workload spec over the synthetic TPC-H subset."""
+    from ..datasets.tpch import TPCH_ALIASES, TPCH_PREDICATE_COLUMNS
+
+    tables = tables or tuple(sorted(TPCH_PREDICATE_COLUMNS))
+    return WorkloadSpec(
+        tables=tuple(tables),
+        aliases=dict(TPCH_ALIASES),
+        predicate_columns={
+            t: TPCH_PREDICATE_COLUMNS[t]
+            for t in tables
+            if t in TPCH_PREDICATE_COLUMNS
+        },
+        max_joins=max_joins,
+    )

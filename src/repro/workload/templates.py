@@ -1,0 +1,178 @@
+"""Query templates with placeholders (paper Sections 1 and 3).
+
+"Users can optionally specify a placeholder for a certain column to
+define a query template ... A placeholder has a similar effect as a
+group-by operation, except that it does not operate on all distinct
+values of the group-by column but instead only on the values present in
+the column sample that comes with the sketch."
+
+Three instantiation modes mirror the demo:
+
+* ``distinct`` — one equality-predicate instance per distinct sample
+  value (the default placeholder behaviour);
+* ``width``   — fixed-width ranges, e.g. width=1 groups an integer year
+  column by year, width=365 groups a day-number date column by year
+  ("EXTRACT(YEAR FROM date)"-style grouping);
+* ``buckets`` — "grouping the output into equally sized buckets based on
+  the minimum and maximum values from the sample".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+from ..db.types import DType
+from ..sampling.sampler import MaterializedSamples
+from .query import Predicate, Query
+
+
+@dataclass(frozen=True)
+class TemplateInstance:
+    """One instantiation of a template: the plot label and the query."""
+
+    label: float | str
+    query: Query
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query with a placeholder on ``alias.column``.
+
+    ``base`` must not already constrain the placeholder column; each
+    instance extends the base with predicates binding the placeholder.
+    """
+
+    base: Query
+    alias: str
+    column: str
+
+    def __post_init__(self):
+        if self.alias not in {t.alias for t in self.base.tables}:
+            raise QueryError(f"placeholder alias {self.alias!r} not in query")
+        for pred in self.base.predicates_for(self.alias):
+            if pred.column == self.column:
+                raise QueryError(
+                    f"base query already constrains placeholder column "
+                    f"{self.alias}.{self.column}"
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _sample_column(self, samples: MaterializedSamples):
+        table_name = self.base.alias_table(self.alias)
+        return samples.for_table(table_name).column(self.column)
+
+    def _with_predicates(self, predicates: tuple[Predicate, ...]) -> Query:
+        return Query(
+            tables=self.base.tables,
+            joins=self.base.joins,
+            predicates=self.base.predicates + predicates,
+        )
+
+    # ------------------------------------------------------------------
+    # instantiation modes
+    # ------------------------------------------------------------------
+    def instantiate_distinct(
+        self, samples: MaterializedSamples, limit: int | None = None
+    ) -> list[TemplateInstance]:
+        """One equality instance per distinct non-null sample value."""
+        col = self._sample_column(samples)
+        values = np.unique(col.non_null_values())
+        if limit is not None:
+            values = values[:limit]
+        instances = []
+        for raw in values:
+            if col.dtype is DType.STRING:
+                literal: float | int | str = col.dictionary[int(raw)]
+            elif col.dtype is DType.INT64:
+                literal = int(raw)
+            else:
+                literal = float(raw)
+            query = self._with_predicates(
+                (Predicate(self.alias, self.column, "=", literal),)
+            )
+            instances.append(TemplateInstance(label=literal, query=query))
+        return instances
+
+    def instantiate_width(
+        self, samples: MaterializedSamples, width: float
+    ) -> list[TemplateInstance]:
+        """Fixed-width range instances covering the sample's value span.
+
+        A width equal to one calendar unit implements the demo's
+        "group by year" function for numeric date-like columns.
+        """
+        if width <= 0:
+            raise QueryError(f"bucket width must be positive, got {width}")
+        col = self._sample_column(samples)
+        if col.dtype is DType.STRING:
+            raise QueryError("width grouping needs a numeric placeholder column")
+        present = col.non_null_values().astype(np.float64)
+        if present.size == 0:
+            return []
+        low = np.floor(present.min() / width) * width
+        high = present.max()
+        edges = np.arange(low, high + width, width)
+        return self._range_instances(edges, col.dtype, closed_last=True)
+
+    def instantiate_buckets(
+        self, samples: MaterializedSamples, n_buckets: int
+    ) -> list[TemplateInstance]:
+        """``n_buckets`` equal-width ranges between the sample min/max."""
+        if n_buckets <= 0:
+            raise QueryError(f"bucket count must be positive, got {n_buckets}")
+        col = self._sample_column(samples)
+        if col.dtype is DType.STRING:
+            raise QueryError("bucket grouping needs a numeric placeholder column")
+        present = col.non_null_values().astype(np.float64)
+        if present.size == 0:
+            return []
+        edges = np.linspace(present.min(), present.max(), n_buckets + 1)
+        return self._range_instances(edges, col.dtype, closed_last=True)
+
+    def _range_instances(
+        self, edges: np.ndarray, dtype: DType, closed_last: bool
+    ) -> list[TemplateInstance]:
+        instances = []
+        for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+            last = i == len(edges) - 2
+            if dtype is DType.INT64:
+                lo_lit: float | int = int(np.ceil(lo))
+                hi_lit: float | int = int(np.floor(hi)) if (last and closed_last) else int(np.ceil(hi))
+            else:
+                lo_lit, hi_lit = float(lo), float(hi)
+            preds: list[Predicate] = [Predicate(self.alias, self.column, ">=", lo_lit)]
+            if last and closed_last:
+                preds.append(Predicate(self.alias, self.column, "<=", hi_lit))
+            else:
+                preds.append(Predicate(self.alias, self.column, "<", hi_lit))
+            query = self._with_predicates(tuple(preds))
+            instances.append(
+                TemplateInstance(label=float((lo + hi) / 2.0), query=query)
+            )
+        return instances
+
+    def instantiate(
+        self,
+        samples: MaterializedSamples,
+        mode: str = "distinct",
+        width: float | None = None,
+        n_buckets: int | None = None,
+        limit: int | None = None,
+    ) -> list[TemplateInstance]:
+        """Dispatch over the three instantiation modes."""
+        if mode == "distinct":
+            return self.instantiate_distinct(samples, limit=limit)
+        if mode == "width":
+            if width is None:
+                raise QueryError("width mode requires a width")
+            return self.instantiate_width(samples, width)
+        if mode == "buckets":
+            if n_buckets is None:
+                raise QueryError("buckets mode requires n_buckets")
+            return self.instantiate_buckets(samples, n_buckets)
+        raise QueryError(f"unknown template mode {mode!r}")

@@ -1,0 +1,164 @@
+"""Shared fixtures: small databases, samples, and a trained sketch.
+
+Session-scoped so the expensive artifacts (dataset generation, sketch
+training) are built once per test run.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImdbConfig, TpchConfig, generate_imdb, generate_tpch
+from repro.db import Column, ColumnSchema, Database, DType, ForeignKey, Table, TableSchema
+from repro.sampling import materialize_samples
+from repro.workload import spec_for_imdb
+from repro.core import SketchConfig, build_sketch
+
+
+@pytest.fixture(scope="session")
+def imdb_small() -> Database:
+    """A ~2k-title synthetic IMDb (fast enough for exact execution)."""
+    return generate_imdb(ImdbConfig(scale=0.1, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tpch_small() -> Database:
+    return generate_tpch(TpchConfig(scale=0.2, seed=11))
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    """Handcrafted 3-table star with known exact counts.
+
+    title(id, year): 6 rows; movie_keyword(movie_id, keyword_id): 8 rows;
+    movie_info(movie_id, info_type_id): 5 rows.  Small enough for
+    brute-force verification.
+    """
+    db = Database("tiny")
+    title = Table(
+        TableSchema(
+            "title",
+            [
+                ColumnSchema("id", DType.INT64),
+                ColumnSchema("year", DType.INT64, nullable=True),
+            ],
+            primary_key="id",
+        ),
+        {
+            "id": Column.from_ints("id", [1, 2, 3, 4, 5, 6]),
+            "year": Column.from_ints(
+                "year",
+                [2000, 2005, 2005, 2010, 0, 2015],
+                valid=np.array([True, True, True, True, False, True]),
+            ),
+        },
+    )
+    mk = Table(
+        TableSchema(
+            "movie_keyword",
+            [
+                ColumnSchema("id", DType.INT64),
+                ColumnSchema("movie_id", DType.INT64),
+                ColumnSchema("keyword_id", DType.INT64),
+            ],
+            primary_key="id",
+        ),
+        {
+            "id": Column.from_ints("id", range(8)),
+            "movie_id": Column.from_ints("movie_id", [1, 1, 2, 3, 3, 4, 6, 6]),
+            "keyword_id": Column.from_ints("keyword_id", [7, 8, 7, 9, 7, 8, 9, 9]),
+        },
+    )
+    mi = Table(
+        TableSchema(
+            "movie_info",
+            [
+                ColumnSchema("id", DType.INT64),
+                ColumnSchema("movie_id", DType.INT64),
+                ColumnSchema("info_type_id", DType.INT64),
+            ],
+            primary_key="id",
+        ),
+        {
+            "id": Column.from_ints("id", range(5)),
+            "movie_id": Column.from_ints("movie_id", [2, 3, 3, 4, 5]),
+            "info_type_id": Column.from_ints("info_type_id", [1, 1, 2, 2, 1]),
+        },
+    )
+    db.add_table(title)
+    db.add_table(mk)
+    db.add_table(mi)
+    db.add_foreign_key(ForeignKey("movie_keyword", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("movie_info", "movie_id", "title", "id"))
+    return db
+
+
+@pytest.fixture(scope="session")
+def imdb_samples(imdb_small):
+    return materialize_samples(
+        imdb_small,
+        ("title", "movie_keyword", "movie_info", "movie_info_idx",
+         "movie_companies", "cast_info"),
+        sample_size=100,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_sketch(imdb_small):
+    """A small but genuinely trained sketch over the small IMDb."""
+    sketch, report = build_sketch(
+        imdb_small,
+        spec_for_imdb(),
+        name="test-sketch",
+        config=SketchConfig(
+            n_training_queries=800,
+            epochs=6,
+            sample_size=100,
+            hidden_units=32,
+            seed=5,
+        ),
+    )
+    return sketch, report
+
+
+def brute_force_count(db: Database, query) -> int:
+    """Oracle: enumerate the cross product row by row (tiny tables only)."""
+    aliases = query.aliases
+    tables = {a: db.table(query.alias_table(a)) for a in aliases}
+    total_rows = 1
+    for t in tables.values():
+        total_rows *= max(t.n_rows, 1)
+    assert total_rows <= 2_000_000, "brute force fixture used on too-large input"
+
+    count = 0
+    ranges = [range(tables[a].n_rows) for a in aliases]
+    for combo in itertools.product(*ranges):
+        rows = dict(zip(aliases, combo))
+        ok = True
+        for join in query.joins:
+            left_t = tables[join.left_alias]
+            right_t = tables[join.right_alias]
+            lcol = left_t.column(join.left_column)
+            rcol = right_t.column(join.right_column)
+            li, ri = rows[join.left_alias], rows[join.right_alias]
+            if not (lcol.valid[li] and rcol.valid[ri]):
+                ok = False
+                break
+            if lcol.values[li] != rcol.values[ri]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for pred in query.predicates:
+            table = tables[pred.alias]
+            mask = table.column(pred.column).evaluate(pred.op, pred.literal)
+            if not mask[rows[pred.alias]]:
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count

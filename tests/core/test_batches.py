@@ -1,0 +1,93 @@
+"""Batch collation and training-set tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingSet, collate
+from repro.core.featurization import QueryFeatures
+from repro.errors import TrainingError
+
+
+def fake_features(n_tables=2, n_joins=1, n_preds=1, td=5, jd=3, pd=4, fill=1.0):
+    return QueryFeatures(
+        tables=np.full((n_tables, td), fill),
+        joins=np.full((n_joins, jd), fill),
+        predicates=np.full((n_preds, pd), fill),
+    )
+
+
+class TestCollate:
+    def test_padding_to_batch_max(self):
+        batch = collate([fake_features(n_tables=1), fake_features(n_tables=3)])
+        assert batch.tables.shape == (2, 3, 5)
+        assert batch.table_mask.tolist() == [[1, 0, 0], [1, 1, 1]]
+
+    def test_padded_region_is_zero(self):
+        batch = collate([fake_features(n_preds=1, fill=9.0), fake_features(n_preds=2, fill=9.0)])
+        assert np.all(batch.predicates[0, 1] == 0.0)
+
+    def test_mask_counts_real_elements(self):
+        batch = collate([fake_features(n_joins=2), fake_features(n_joins=1)])
+        assert batch.join_mask.sum(axis=1).tolist() == [2.0, 1.0]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(TrainingError):
+            collate([])
+
+    def test_inconsistent_dims_rejected(self):
+        with pytest.raises(TrainingError):
+            collate([fake_features(td=5), fake_features(td=6)])
+
+    def test_batch_size_property(self):
+        batch = collate([fake_features()] * 4)
+        assert batch.size == 4
+
+
+class TestTrainingSet:
+    def make_set(self, n=20):
+        features = [fake_features() for _ in range(n)]
+        labels = np.linspace(0, 1, n)
+        return TrainingSet(features, labels)
+
+    def test_length(self):
+        assert len(self.make_set(13)) == 13
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingSet([fake_features()], np.array([0.1, 0.2]))
+
+    def test_split_sizes(self):
+        train, val = self.make_set(20).split(0.25, seed=0)
+        assert len(val) == 5
+        assert len(train) == 15
+
+    def test_split_disjoint_and_complete(self):
+        ds = self.make_set(10)
+        # label values identify rows (all distinct)
+        train, val = ds.split(0.3, seed=1)
+        combined = sorted(np.concatenate([train.labels, val.labels]).tolist())
+        assert combined == sorted(ds.labels.tolist())
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(TrainingError):
+            self.make_set().split(0.0)
+        with pytest.raises(TrainingError):
+            self.make_set().split(1.0)
+
+    def test_minibatches_cover_everything(self):
+        ds = self.make_set(17)
+        seen = []
+        for batch, labels in ds.minibatches(5, shuffle=False):
+            assert batch.size == len(labels)
+            seen.extend(labels.tolist())
+        assert sorted(seen) == sorted(ds.labels.tolist())
+
+    def test_minibatch_shuffle_deterministic(self):
+        ds = self.make_set(16)
+        a = [l.tolist() for _, l in ds.minibatches(4, seed=3)]
+        b = [l.tolist() for _, l in ds.minibatches(4, seed=3)]
+        assert a == b
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(TrainingError):
+            list(self.make_set().minibatches(0))

@@ -1,0 +1,196 @@
+"""Featurization tests: one-hot layout, normalization, vocabularies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Featurizer
+from repro.errors import FeaturizationError
+from repro.sampling import query_bitmaps
+from repro.workload import (
+    JoinEdge,
+    Predicate,
+    Query,
+    TableRef,
+    spec_for_imdb,
+)
+
+
+@pytest.fixture(scope="module")
+def featurizer(request):
+    imdb = request.getfixturevalue("imdb_small")
+    f = Featurizer.build(imdb, spec_for_imdb(), sample_size=100)
+    f.fit_labels(np.array([1.0, 10.0, 100.0, 100_000.0]))
+    return f
+
+
+def star_query(predicates=()):
+    return Query(
+        tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+        joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+        predicates=tuple(predicates),
+    )
+
+
+class TestVocabularies:
+    def test_tables_sorted(self, featurizer):
+        assert featurizer.tables == sorted(featurizer.tables)
+        assert "title" in featurizer.tables
+
+    def test_joins_are_fk_signatures(self, featurizer):
+        assert "movie_keyword.movie_id=title.id" in featurizer.joins
+        # dimension-table joins outside the spec's table set are excluded
+        assert not any("keyword.id" in j for j in featurizer.joins)
+
+    def test_predicate_columns(self, featurizer):
+        assert "title.production_year" in featurizer.columns
+        assert "cast_info.role_id" in featurizer.columns
+
+    def test_dims(self, featurizer):
+        assert featurizer.table_dim == len(featurizer.tables) + 100
+        assert featurizer.join_dim == len(featurizer.joins)
+        assert (
+            featurizer.predicate_dim
+            == len(featurizer.columns) + len(featurizer.operators) + 1
+        )
+
+
+class TestLabelNormalization:
+    def test_bounds_from_fit(self, featurizer):
+        assert featurizer.min_log_label == pytest.approx(0.0)
+        assert featurizer.max_log_label == pytest.approx(np.log(100_000.0))
+
+    def test_roundtrip(self, featurizer):
+        for cardinality in (1.0, 5.0, 123.0, 99_999.0):
+            norm = featurizer.normalize_label(cardinality)
+            assert 0.0 <= norm <= 1.0
+            assert featurizer.denormalize_label(norm) == pytest.approx(
+                cardinality, rel=1e-9
+            )
+
+    def test_clipping_outside_range(self, featurizer):
+        assert featurizer.normalize_label(10**9) == 1.0
+        assert featurizer.normalize_label(0.5) == 0.0
+
+    def test_empty_fit_rejected(self, featurizer):
+        with pytest.raises(FeaturizationError):
+            Featurizer(
+                tables=[], joins=[], columns=[], operators=["="],
+                sample_size=10, column_bounds={},
+            ).fit_labels(np.array([]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=1.0, max_value=1e8))
+def test_label_roundtrip_property(cardinality):
+    f = Featurizer(
+        tables=["t"], joins=[], columns=[], operators=["="],
+        sample_size=1, column_bounds={},
+    )
+    f.fit_labels(np.array([1.0, 1e8]))
+    norm = f.normalize_label(cardinality)
+    assert 0.0 <= norm <= 1.0
+    assert f.denormalize_label(norm) == pytest.approx(cardinality, rel=1e-6)
+
+
+class TestQueryFeaturization:
+    def test_shapes(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        query = star_query([Predicate("t", "production_year", ">", 2000)])
+        features = featurizer.featurize_query(
+            query, query_bitmaps(imdb_samples, query), db=imdb
+        )
+        assert features.tables.shape == (2, featurizer.table_dim)
+        assert features.joins.shape == (1, featurizer.join_dim)
+        assert features.predicates.shape == (1, featurizer.predicate_dim)
+
+    def test_table_one_hot_plus_bitmap(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        query = star_query()
+        features = featurizer.featurize_query(
+            query, query_bitmaps(imdb_samples, query), db=imdb
+        )
+        n_tables = len(featurizer.tables)
+        for row in features.tables:
+            assert row[:n_tables].sum() == 1.0  # exactly one table bit
+            assert np.all((row[n_tables:] == 0) | (row[n_tables:] == 1))
+
+    def test_empty_join_set_is_zero_row(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        query = Query(tables=(TableRef("title", "t"),))
+        features = featurizer.featurize_query(
+            query, query_bitmaps(imdb_samples, query), db=imdb
+        )
+        assert features.joins.shape == (1, featurizer.join_dim)
+        assert not features.joins.any()
+
+    def test_empty_predicate_set_is_zero_row(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        features = featurizer.featurize_query(
+            star_query(), query_bitmaps(imdb_samples, star_query()), db=imdb
+        )
+        assert not features.predicates.any()
+
+    def test_literal_normalized_to_unit_interval(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        lo, hi = featurizer.column_bounds["title.production_year"]
+        mid_year = int((lo + hi) / 2)
+        query = star_query([Predicate("t", "production_year", "=", mid_year)])
+        features = featurizer.featurize_query(
+            query, query_bitmaps(imdb_samples, query), db=imdb
+        )
+        value = features.predicates[0, -1]
+        assert 0.4 < value < 0.6
+
+    def test_unknown_table_rejected(self, featurizer, imdb_samples):
+        query = Query(tables=(TableRef("keyword", "k"),))
+        with pytest.raises(FeaturizationError):
+            featurizer.featurize_query(query, {"k": np.zeros(100)})
+
+    def test_unknown_column_rejected(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        query = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        with pytest.raises(FeaturizationError):
+            featurizer.featurize_query(query, query_bitmaps(imdb_samples, query), db=imdb)
+
+    def test_unknown_operator_rejected(self, request, featurizer, imdb_samples):
+        imdb = request.getfixturevalue("imdb_small")
+        restricted = Featurizer.from_manifest(featurizer.to_manifest())
+        restricted.operators = ["="]  # simulate a narrow legacy sketch
+        query = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "production_year", "<>", 2000),),
+        )
+        with pytest.raises(FeaturizationError):
+            restricted.featurize_query(query, query_bitmaps(imdb_samples, query), db=imdb)
+
+    def test_full_operator_vocabulary(self, featurizer):
+        """Templates need >=/< even when training used only {=, <, >}."""
+        assert set(featurizer.operators) == {"=", "<", ">", "<=", ">=", "<>"}
+
+    def test_missing_bitmap_rejected(self, featurizer):
+        with pytest.raises(FeaturizationError):
+            featurizer.featurize_query(star_query(), {"t": np.zeros(100)})
+
+    def test_wrong_bitmap_shape_rejected(self, featurizer):
+        with pytest.raises(FeaturizationError):
+            featurizer.featurize_query(
+                star_query(), {"t": np.zeros(7), "mk": np.zeros(7)}
+            )
+
+
+class TestManifestRoundtrip:
+    def test_roundtrip(self, featurizer):
+        restored = Featurizer.from_manifest(featurizer.to_manifest())
+        assert restored.tables == featurizer.tables
+        assert restored.joins == featurizer.joins
+        assert restored.columns == featurizer.columns
+        assert restored.column_bounds == featurizer.column_bounds
+        assert restored.max_log_label == featurizer.max_log_label
+
+    def test_malformed_rejected(self):
+        with pytest.raises(FeaturizationError):
+            Featurizer.from_manifest({"tables": []})

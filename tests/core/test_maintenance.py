@@ -1,0 +1,113 @@
+"""Drift detection and sketch fine-tuning tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_drift, refresh_sketch
+from repro.datasets import ImdbConfig, generate_imdb
+from repro.errors import SketchError
+from repro.workload import spec_for_imdb
+
+
+class TestDriftDetection:
+    def test_no_drift_on_same_database(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        report = detect_drift(sketch, imdb_small, seed=9)
+        assert not report.is_stale(), report
+        assert 0.0 <= report.max_drift() <= report.threshold
+
+    def test_drift_on_shifted_database(self, trained_sketch):
+        """A database regenerated with a shifted year distribution must
+        trip the detector."""
+        sketch, _ = trained_sketch
+        shifted = generate_imdb(ImdbConfig(scale=0.1, seed=99))
+        # Shift production years by three decades to force drift.
+        title = shifted.table("title")
+        title.columns["production_year"].values[:] = np.clip(
+            title.columns["production_year"].values - 30, 1880, 2019
+        )
+        report = detect_drift(sketch, shifted, seed=9)
+        assert report.is_stale(), report
+        assert report.table_drift["title"] > report.threshold
+
+    def test_report_covers_all_tables(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        report = detect_drift(sketch, imdb_small, seed=1)
+        assert set(report.table_drift) == set(sketch.tables)
+
+    def test_report_str(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        assert "max=" in str(detect_drift(sketch, imdb_small, seed=1))
+
+
+class TestRefresh:
+    def test_refresh_produces_working_sketch(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        refreshed = refresh_sketch(
+            sketch,
+            imdb_small,
+            spec_for_imdb(),
+            n_queries=200,
+            epochs=2,
+            seed=4,
+        )
+        assert refreshed is not sketch
+        assert refreshed.metadata["refreshed"] is True
+        sql = (
+            "SELECT COUNT(*) FROM title t, movie_keyword mk "
+            "WHERE mk.movie_id=t.id AND t.production_year>2005;"
+        )
+        assert refreshed.estimate(sql) >= 1.0
+
+    def test_original_sketch_unchanged(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        sql = "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;"
+        before = sketch.estimate(sql)
+        refresh_sketch(
+            sketch, imdb_small, spec_for_imdb(), n_queries=200, epochs=1, seed=4
+        )
+        assert sketch.estimate(sql) == pytest.approx(before)
+
+    def test_label_bounds_preserved(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        refreshed = refresh_sketch(
+            sketch, imdb_small, spec_for_imdb(), n_queries=200, epochs=1, seed=4
+        )
+        assert refreshed.featurizer.max_log_label == sketch.featurizer.max_log_label
+
+    def test_mismatched_spec_rejected(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        with pytest.raises(SketchError):
+            refresh_sketch(
+                sketch,
+                imdb_small,
+                spec_for_imdb(tables=("title", "movie_keyword")),
+                n_queries=100,
+            )
+
+    def test_fine_tuning_improves_on_changed_data(self, trained_sketch):
+        """After a data change, fine-tuning must reduce the validation
+        q-error relative to the frozen old model."""
+        from repro.db import execute_count
+        from repro.metrics import geometric_mean_qerror, qerrors
+        from repro.workload import TrainingQueryGenerator
+
+        sketch, _ = trained_sketch
+        changed = generate_imdb(ImdbConfig(scale=0.1, seed=77))
+        refreshed = refresh_sketch(
+            sketch, changed, spec_for_imdb(), n_queries=600, epochs=4, seed=6
+        )
+        generator = TrainingQueryGenerator(changed, spec_for_imdb(), seed=500)
+        queries, truths = [], []
+        for query in generator.draw_many(80):
+            truth = execute_count(changed, query)
+            if truth > 0:
+                queries.append(query)
+                truths.append(float(truth))
+        stale_err = geometric_mean_qerror(
+            qerrors([sketch.estimate(q) for q in queries], truths)
+        )
+        fresh_err = geometric_mean_qerror(
+            qerrors([refreshed.estimate(q) for q in queries], truths)
+        )
+        assert fresh_err <= stale_err * 1.05, (stale_err, fresh_err)

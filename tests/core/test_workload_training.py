@@ -1,0 +1,65 @@
+"""Workload-driven training: build a sketch from past user queries."""
+
+import pytest
+
+from repro.core import SketchBuilder, SketchConfig
+from repro.errors import SketchError
+from repro.workload import (
+    JobLightConfig,
+    TrainingQueryGenerator,
+    generate_job_light,
+    spec_for_imdb,
+)
+
+
+@pytest.fixture
+def builder(imdb_small):
+    return SketchBuilder(
+        imdb_small,
+        spec_for_imdb(),
+        config=SketchConfig(
+            n_training_queries=100,  # ignored when a workload is passed
+            epochs=3,
+            sample_size=60,
+            hidden_units=16,
+        ),
+    )
+
+
+class TestWorkloadDrivenBuild:
+    def test_build_from_past_queries(self, imdb_small, builder):
+        generator = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=55)
+        workload = generator.draw_many(300)
+        sketch, report = builder.build("from-workload", training_queries=workload)
+        assert report.n_queries_generated == 300
+        estimate = sketch.estimate(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;"
+        )
+        assert estimate >= 1.0
+
+    def test_build_from_joblight_workload(self, imdb_small, builder):
+        """Training directly on the evaluation workload class also works
+        (the 'past user queries' scenario)."""
+        workload = generate_job_light(imdb_small, JobLightConfig(n_queries=60, seed=2))
+        # 60 queries is small; repeat to give the trainer enough batches.
+        sketch, report = builder.build("from-joblight", training_queries=workload * 4)
+        assert report.training is not None
+        for query in workload[:5]:
+            assert sketch.estimate(query) >= 1.0
+
+    def test_foreign_table_rejected(self, tiny_db, imdb_small, builder):
+        from repro.workload import Query, TableRef
+
+        bad = [Query(tables=(TableRef("keyword", "k"),))]
+        with pytest.raises(SketchError):
+            builder.build("bad-workload", training_queries=bad)
+
+    def test_all_empty_workload_rejected(self, builder):
+        from repro.workload import Predicate, Query, TableRef
+
+        impossible = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "production_year", ">", 10**6),),
+        )
+        with pytest.raises(SketchError):
+            builder.build("empty-workload", training_queries=[impossible] * 50)

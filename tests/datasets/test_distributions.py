@@ -1,0 +1,149 @@
+"""Tests for the sampling helpers used by the generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.distributions import (
+    conditional_counts,
+    era_biased_choice,
+    mixture_years,
+    repeat_parent_rows,
+    sample_zipf,
+    truncated_normal_years,
+    zipf_weights,
+)
+from repro.errors import ReproError
+from repro.rng import make_rng
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        assert zipf_weights(100, 1.1).sum() == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        w = zipf_weights(50, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_zero_exponent_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            zipf_weights(0)
+        with pytest.raises(ReproError):
+            zipf_weights(5, -1.0)
+
+    def test_sampling_follows_skew(self):
+        rng = make_rng(0)
+        draws = sample_zipf(rng, 100, 20_000, s=1.5)
+        counts = np.bincount(draws, minlength=100)
+        assert counts[0] > counts[10] > counts[50]
+
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=0, max_value=3))
+    def test_weights_property(self, n, s):
+        w = zipf_weights(n, s)
+        assert len(w) == n
+        assert np.all(w > 0)
+        assert w.sum() == pytest.approx(1.0)
+
+
+class TestEraBias:
+    def test_bias_shifts_distribution(self):
+        rng = make_rng(1)
+        base = np.ones(2) / 2
+        peaks = np.array([1950.0, 2010.0])
+        early_rows = np.full(5000, 1950.0)
+        late_rows = np.full(5000, 2010.0)
+        early_choice = era_biased_choice(rng, base, peaks, early_rows, width=15.0)
+        late_choice = era_biased_choice(rng, base, peaks, late_rows, width=15.0)
+        assert (early_choice == 0).mean() > 0.9
+        assert (late_choice == 1).mean() > 0.9
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            era_biased_choice(make_rng(0), np.ones(2), np.ones(3), np.ones(4))
+
+    def test_invalid_width(self):
+        with pytest.raises(ReproError):
+            era_biased_choice(make_rng(0), np.ones(2), np.ones(2), np.ones(2), width=0)
+
+    def test_output_in_range(self):
+        rng = make_rng(2)
+        out = era_biased_choice(
+            rng, zipf_weights(7), np.linspace(1900, 2000, 7), rng.uniform(1880, 2019, 500)
+        )
+        assert out.min() >= 0 and out.max() < 7
+
+
+class TestCountsAndExpansion:
+    def test_conditional_counts_capped(self):
+        counts = conditional_counts(make_rng(0), np.full(1000, 10.0), max_count=3)
+        assert counts.max() <= 3
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ReproError):
+            conditional_counts(make_rng(0), np.array([-1.0]))
+
+    def test_repeat_parent_rows(self):
+        assert repeat_parent_rows(np.array([2, 0, 1])).tolist() == [0, 0, 2]
+
+    def test_repeat_negative_rejected(self):
+        with pytest.raises(ReproError):
+            repeat_parent_rows(np.array([-1]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=30))
+    def test_expansion_length_property(self, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        parents = repeat_parent_rows(counts)
+        assert len(parents) == counts.sum()
+        for parent, count in enumerate(counts):
+            assert (parents == parent).sum() == count
+
+
+class TestYears:
+    def test_truncation(self):
+        years = truncated_normal_years(make_rng(0), 1000, 2005, 50, 1880, 2019)
+        assert years.min() >= 1880 and years.max() <= 2019
+
+    def test_invalid_range(self):
+        with pytest.raises(ReproError):
+            truncated_normal_years(make_rng(0), 10, 2000, 5, 2019, 1880)
+
+    def test_mixture_modes(self):
+        years = mixture_years(
+            make_rng(0),
+            20_000,
+            components=[(0.5, 1930.0, 5.0), (0.5, 2010.0, 5.0)],
+            low=1880,
+            high=2019,
+        )
+        early = ((years > 1915) & (years < 1945)).mean()
+        late = ((years > 1995) & (years < 2019)).mean()
+        middle = ((years > 1950) & (years < 1990)).mean()
+        assert early > 0.3 and late > 0.3 and middle < 0.05
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ReproError):
+            mixture_years(make_rng(0), 10, components=[], low=1880, high=2019)
+
+
+class TestRegistry:
+    def test_load_and_cache(self):
+        from repro.datasets import clear_dataset_cache, dataset_names, load_dataset
+
+        clear_dataset_cache()
+        assert set(dataset_names()) >= {"imdb", "tpch"}
+        a = load_dataset("imdb", scale=0.02)
+        b = load_dataset("imdb", scale=0.02)
+        assert a is b  # cached
+        c = load_dataset("imdb", scale=0.03)
+        assert c is not a
+        clear_dataset_cache()
+
+    def test_unknown_dataset(self):
+        from repro.datasets import load_dataset
+
+        with pytest.raises(ReproError):
+            load_dataset("enron")

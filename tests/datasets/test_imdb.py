@@ -1,0 +1,154 @@
+"""Synthetic IMDb generator tests: schema, integrity, planted correlations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImdbConfig, NAMED_KEYWORDS, generate_imdb
+from repro.db import execute_count
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+
+class TestSchema:
+    def test_all_tables_present(self, imdb_small):
+        expected = {
+            "title", "movie_keyword", "keyword", "movie_info", "movie_info_idx",
+            "movie_companies", "company_name", "cast_info", "info_type", "kind_type",
+            "company_type", "role_type",
+        }
+        assert set(imdb_small.tables) == expected
+
+    def test_scaling(self):
+        db = generate_imdb(ImdbConfig(scale=0.05, seed=1))
+        assert db.table("title").n_rows == 1000
+
+    def test_foreign_key_integrity(self, imdb_small):
+        """Every FK value must reference an existing PK (no dangling)."""
+        for fk in imdb_small.foreign_keys:
+            child = imdb_small.table(fk.table).column(fk.column)
+            parent = imdb_small.table(fk.ref_table).column(fk.ref_column)
+            child_vals = child.non_null_values()
+            assert np.isin(child_vals, parent.values).all(), str(fk)
+
+    def test_primary_keys_unique(self, imdb_small):
+        for name, table in imdb_small.tables.items():
+            pk = table.schema.primary_key
+            assert pk is not None, name
+            assert np.unique(table.column(pk).values).size == table.n_rows
+
+    def test_named_keywords_present(self, imdb_small):
+        keywords = imdb_small.table("keyword").column("keyword")
+        present = {keywords.decode(i) for i in range(len(keywords))}
+        assert set(NAMED_KEYWORDS) <= present
+
+    def test_production_year_has_nulls(self, imdb_small):
+        col = imdb_small.table("title").column("production_year")
+        assert 0.0 < col.null_fraction() < 0.10
+
+    def test_deterministic(self):
+        a = generate_imdb(ImdbConfig(scale=0.05, seed=5))
+        b = generate_imdb(ImdbConfig(scale=0.05, seed=5))
+        assert np.array_equal(
+            a.table("movie_keyword").column("keyword_id").values,
+            b.table("movie_keyword").column("keyword_id").values,
+        )
+
+    def test_different_seed_differs(self):
+        a = generate_imdb(ImdbConfig(scale=0.05, seed=5))
+        b = generate_imdb(ImdbConfig(scale=0.05, seed=6))
+        assert not np.array_equal(
+            a.table("movie_keyword").column("keyword_id").values,
+            b.table("movie_keyword").column("keyword_id").values,
+        )
+
+
+class TestPlantedCorrelations:
+    """The correlations that make independence assumptions fail — the
+    property that gives Table 1 its shape."""
+
+    def test_kind_correlates_with_year(self, imdb_small):
+        title = imdb_small.table("title")
+        years = title.column("production_year")
+        kinds = title.column("kind_id")
+        valid = years.valid
+        early = valid & (years.values < 1950)
+        late = valid & (years.values > 2005)
+        episode_rate_early = (kinds.values[early] == 7).mean()
+        episode_rate_late = (kinds.values[late] == 7).mean()
+        assert episode_rate_late > episode_rate_early * 2
+
+    def test_keyword_popularity_drifts_with_era(self, imdb_small):
+        """P(keyword | era) must differ across eras for top keywords."""
+        title = imdb_small.table("title")
+        mk = imdb_small.table("movie_keyword")
+        years_by_id = dict(
+            zip(
+                title.column("id").values.tolist(),
+                title.column("production_year").values.tolist(),
+            )
+        )
+        mk_years = np.array(
+            [years_by_id[m] for m in mk.column("movie_id").values.tolist()]
+        )
+        mk_kw = mk.column("keyword_id").values
+        early = mk_kw[mk_years < 1960]
+        late = mk_kw[mk_years > 2000]
+        assert early.size > 30 and late.size > 30
+        # Distribution distance between the two eras must be substantial.
+        top = 30
+        all_counts = np.bincount(mk_kw, minlength=mk_kw.max() + 1)
+        top_kw = np.argsort(all_counts)[::-1][:top]
+        p_early = np.array([(early == k).mean() for k in top_kw])
+        p_late = np.array([(late == k).mean() for k in top_kw])
+        l1 = np.abs(p_early - p_late).sum()
+        assert l1 > 0.2, f"era drift too weak (L1={l1:.3f})"
+
+    def test_popularity_drives_multiple_fanouts(self, imdb_small):
+        """Cast size and company count correlate (shared latent factor)."""
+        ci = np.bincount(
+            imdb_small.table("cast_info").column("movie_id").values,
+            minlength=imdb_small.table("title").n_rows + 1,
+        )
+        mc = np.bincount(
+            imdb_small.table("movie_companies").column("movie_id").values,
+            minlength=imdb_small.table("title").n_rows + 1,
+        )
+        n = min(len(ci), len(mc))
+        corr = np.corrcoef(ci[1:n], mc[1:n])[0, 1]
+        assert corr > 0.3, f"fan-out correlation too weak ({corr:.3f})"
+
+    def test_recent_movies_have_more_keywords(self, imdb_small):
+        title = imdb_small.table("title")
+        years = title.column("production_year")
+        kw_counts = np.bincount(
+            imdb_small.table("movie_keyword").column("movie_id").values,
+            minlength=title.n_rows + 1,
+        )[1:]
+        valid = years.valid
+        early_mean = kw_counts[valid & (years.values < 1950)].mean()
+        late_mean = kw_counts[valid & (years.values > 2000)].mean()
+        assert late_mean > early_mean * 1.5
+
+
+class TestQueryability:
+    def test_example_query_from_paper_shape(self, imdb_small):
+        """The paper's movie/keyword/year query template, structurally."""
+        query = Query(
+            tables=(
+                TableRef("title", "t"),
+                TableRef("movie_keyword", "mk"),
+                TableRef("keyword", "k"),
+            ),
+            joins=(
+                JoinEdge("mk", "movie_id", "t", "id"),
+                JoinEdge("mk", "keyword_id", "k", "id"),
+            ),
+            predicates=(
+                Predicate("k", "keyword", "=", "artificial-intelligence"),
+                Predicate("t", "production_year", "=", 2015),
+            ),
+        )
+        assert execute_count(imdb_small, query) >= 0
+
+    def test_zero_config_generation(self):
+        db = generate_imdb(ImdbConfig(scale=0.02, seed=0))
+        assert db.table("title").n_rows == 400

@@ -1,0 +1,108 @@
+"""Synthetic TPC-H generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TpchConfig, generate_tpch
+from repro.datasets.tpch import DATE_HIGH, DATE_LOW
+from repro.db import execute_count
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+
+class TestSchema:
+    def test_tables(self, tpch_small):
+        assert set(tpch_small.tables) == {
+            "region", "nation", "supplier", "customer", "part", "orders", "lineitem",
+        }
+
+    def test_fixed_dimensions(self, tpch_small):
+        assert tpch_small.table("region").n_rows == 5
+        assert tpch_small.table("nation").n_rows == 25
+
+    def test_fk_integrity(self, tpch_small):
+        for fk in tpch_small.foreign_keys:
+            child = tpch_small.table(fk.table).column(fk.column).non_null_values()
+            parent = tpch_small.table(fk.ref_table).column(fk.ref_column).values
+            assert np.isin(child, parent).all(), str(fk)
+
+    def test_order_lineitem_fanout(self, tpch_small):
+        orders = tpch_small.table("orders").n_rows
+        lines = tpch_small.table("lineitem").n_rows
+        assert 2.0 < lines / orders < 7.0
+
+    def test_deterministic(self):
+        a = generate_tpch(TpchConfig(scale=0.1, seed=2))
+        b = generate_tpch(TpchConfig(scale=0.1, seed=2))
+        assert np.array_equal(
+            a.table("lineitem").column("l_quantity").values,
+            b.table("lineitem").column("l_quantity").values,
+        )
+
+
+class TestCorrelations:
+    def test_priority_correlates_with_price(self, tpch_small):
+        orders = tpch_small.table("orders")
+        price = orders.column("o_totalprice").values
+        priority = orders.column("o_orderpriority").values
+        assert price[priority == 1].mean() > price[priority == 3].mean() * 1.5
+
+    def test_shipdate_trails_orderdate(self, tpch_small):
+        lineitem = tpch_small.table("lineitem")
+        orders = tpch_small.table("orders")
+        odate_by_key = dict(
+            zip(
+                orders.column("o_orderkey").values.tolist(),
+                orders.column("o_orderdate").values.tolist(),
+            )
+        )
+        odates = np.array(
+            [odate_by_key[k] for k in lineitem.column("l_orderkey").values.tolist()]
+        )
+        lag = lineitem.column("l_shipdate").values - odates
+        assert (lag > 0).all()
+        assert lag.max() <= 121
+
+    def test_discount_correlates_with_quantity(self, tpch_small):
+        li = tpch_small.table("lineitem")
+        quantity = li.column("l_quantity").values
+        discount = li.column("l_discount").values
+        assert discount[quantity > 40].mean() > discount[quantity < 10].mean()
+
+    def test_dates_in_window(self, tpch_small):
+        odate = tpch_small.table("orders").column("o_orderdate").values
+        assert odate.min() >= DATE_LOW
+        assert odate.max() <= DATE_HIGH
+
+
+class TestQueryability:
+    def test_three_way_join(self, tpch_small):
+        query = Query(
+            tables=(
+                TableRef("customer", "c"),
+                TableRef("orders", "o"),
+                TableRef("lineitem", "l"),
+            ),
+            joins=(
+                JoinEdge("o", "o_custkey", "c", "c_custkey"),
+                JoinEdge("l", "l_orderkey", "o", "o_orderkey"),
+            ),
+            predicates=(Predicate("l", "l_quantity", ">", 45),),
+        )
+        count = execute_count(tpch_small, query)
+        assert count > 0
+
+    def test_unfiltered_join_equals_lineitem_count(self, tpch_small):
+        # orders->lineitem is a FK join; joining adds no rows.
+        query = Query(
+            tables=(TableRef("orders", "o"), TableRef("lineitem", "l")),
+            joins=(JoinEdge("l", "l_orderkey", "o", "o_orderkey"),),
+        )
+        assert execute_count(tpch_small, query) == tpch_small.table("lineitem").n_rows
+
+    def test_string_predicate(self, tpch_small):
+        query = Query(
+            tables=(TableRef("customer", "c"),),
+            predicates=(Predicate("c", "c_mktsegment", "=", "BUILDING"),),
+        )
+        count = execute_count(tpch_small, query)
+        assert 0 < count < tpch_small.table("customer").n_rows

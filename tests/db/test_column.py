@@ -1,0 +1,152 @@
+"""Column storage and predicate evaluation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Column, DType
+from repro.errors import QueryError, SchemaError
+
+
+class TestConstruction:
+    def test_from_ints(self):
+        col = Column.from_ints("x", [1, 2, 3])
+        assert col.dtype is DType.INT64
+        assert len(col) == 3
+        assert col.valid.all()
+
+    def test_from_floats(self):
+        col = Column.from_floats("x", [1.5, 2.5])
+        assert col.dtype is DType.FLOAT64
+
+    def test_from_strings_with_nulls(self):
+        col = Column.from_strings("s", ["b", None, "a", "b"])
+        assert col.dtype is DType.STRING
+        assert col.dictionary == ["a", "b"]
+        assert not col.valid[1]
+        assert col.decode(0) == "b"
+        assert col.decode(1) is None
+
+    def test_string_without_dictionary_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("s", DType.STRING, np.zeros(2, dtype=np.int64))
+
+    def test_numeric_with_dictionary_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", DType.INT64, np.zeros(2, dtype=np.int64), dictionary=["a"])
+
+    def test_mask_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Column.from_ints("x", [1, 2], valid=np.array([True]))
+
+
+class TestPredicates:
+    @pytest.fixture
+    def col(self):
+        return Column.from_ints(
+            "x", [1, 5, 10, 0], valid=np.array([True, True, True, False])
+        )
+
+    @pytest.mark.parametrize(
+        "op,literal,expected",
+        [
+            ("=", 5, [False, True, False, False]),
+            ("<", 5, [True, False, False, False]),
+            (">", 5, [False, False, True, False]),
+            ("<=", 5, [True, True, False, False]),
+            (">=", 5, [False, True, True, False]),
+            ("<>", 5, [True, False, True, False]),
+        ],
+    )
+    def test_numeric_operators(self, col, op, literal, expected):
+        assert col.evaluate(op, literal).tolist() == expected
+
+    def test_null_never_qualifies(self, col):
+        # The 4th value is 0 but NULL; even `< 100` must exclude it.
+        assert col.evaluate("<", 100).tolist() == [True, True, True, False]
+
+    def test_unknown_operator(self, col):
+        with pytest.raises(QueryError):
+            col.evaluate("~", 5)
+
+    def test_string_literal_on_numeric_rejected(self, col):
+        with pytest.raises(QueryError):
+            col.evaluate("=", "five")
+
+    def test_bool_literal_rejected(self, col):
+        with pytest.raises(QueryError):
+            col.evaluate("=", True)
+
+
+class TestStringPredicates:
+    @pytest.fixture
+    def col(self):
+        return Column.from_strings("s", ["apple", "banana", None, "apple"])
+
+    def test_equality(self, col):
+        assert col.evaluate("=", "apple").tolist() == [True, False, False, True]
+
+    def test_inequality_excludes_null(self, col):
+        assert col.evaluate("<>", "apple").tolist() == [False, True, False, False]
+
+    def test_absent_literal_equality_empty(self, col):
+        assert not col.evaluate("=", "cherry").any()
+
+    def test_absent_literal_inequality_all_non_null(self, col):
+        assert col.evaluate("<>", "cherry").tolist() == [True, True, False, True]
+
+    def test_range_on_string_rejected(self, col):
+        with pytest.raises(QueryError):
+            col.evaluate("<", "banana")
+
+    def test_numeric_literal_on_string_rejected(self, col):
+        with pytest.raises(QueryError):
+            col.evaluate("=", 5)
+
+
+class TestSummaries:
+    def test_min_max_skips_nulls(self):
+        col = Column.from_ints(
+            "x", [100, 2, 3], valid=np.array([False, True, True])
+        )
+        assert col.min_max() == (2.0, 3.0)
+
+    def test_min_max_all_null(self):
+        col = Column.from_ints("x", [1], valid=np.array([False]))
+        assert col.min_max() == (0.0, 1.0)
+
+    def test_n_distinct(self):
+        assert Column.from_ints("x", [1, 1, 2, 3]).n_distinct() == 3
+
+    def test_null_fraction(self):
+        col = Column.from_ints("x", [1, 2], valid=np.array([True, False]))
+        assert col.null_fraction() == pytest.approx(0.5)
+
+    def test_take_preserves_dictionary(self):
+        col = Column.from_strings("s", ["a", "b", "c"])
+        sub = col.take(np.array([2, 0]))
+        assert sub.decode(0) == "c"
+        assert sub.dictionary == col.dictionary
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=40),
+    st.integers(min_value=-100, max_value=100),
+    st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]),
+)
+def test_predicate_matches_python_semantics(values, literal, op):
+    """Vectorized evaluation must agree with row-at-a-time python."""
+    import operator
+
+    ops = {
+        "=": operator.eq,
+        "<": operator.lt,
+        ">": operator.gt,
+        "<=": operator.le,
+        ">=": operator.ge,
+        "<>": operator.ne,
+    }
+    col = Column.from_ints("x", values)
+    expected = [ops[op](v, literal) for v in values]
+    assert col.evaluate(op, literal).tolist() == expected

@@ -1,0 +1,89 @@
+"""Join-graph analysis tests (pair grouping, acyclicity, components)."""
+
+import pytest
+
+from repro.db.join_graph import (
+    build_join_graph,
+    connected_components,
+    is_acyclic,
+    pair_joins,
+    validate_join_graph,
+)
+from repro.errors import QueryError
+from repro.workload import JoinEdge, Query, TableRef
+
+
+def query_with(joins, aliases):
+    return Query(
+        tables=tuple(TableRef(f"table_{a}", a) for a in aliases),
+        joins=tuple(joins),
+    )
+
+
+class TestPairJoins:
+    def test_single_edge(self):
+        q = query_with([JoinEdge("a", "x", "b", "y")], ["a", "b"])
+        pairs = pair_joins(q)
+        assert len(pairs) == 1
+        pair = pairs[frozenset(("a", "b"))]
+        assert pair.sides_for("a") == (["x"], ["y"])
+        assert pair.sides_for("b") == (["y"], ["x"])
+        assert pair.other("a") == "b"
+
+    def test_composite_edge_grouped(self):
+        q = query_with(
+            [JoinEdge("a", "x", "b", "x"), JoinEdge("a", "y", "b", "y")],
+            ["a", "b"],
+        )
+        pairs = pair_joins(q)
+        assert len(pairs) == 1
+        own, other = pairs[frozenset(("a", "b"))].sides_for("a")
+        assert sorted(own) == ["x", "y"]
+        assert sorted(other) == ["x", "y"]
+
+    def test_alias_not_in_pair_rejected(self):
+        q = query_with([JoinEdge("a", "x", "b", "y")], ["a", "b"])
+        pair = pair_joins(q)[frozenset(("a", "b"))]
+        with pytest.raises(QueryError):
+            pair.sides_for("zz")
+        with pytest.raises(QueryError):
+            pair.other("zz")
+
+
+class TestGraphShape:
+    def test_star_is_acyclic(self):
+        q = query_with(
+            [JoinEdge("b", "fk", "a", "id"), JoinEdge("c", "fk", "a", "id")],
+            ["a", "b", "c"],
+        )
+        assert is_acyclic(build_join_graph(q))
+
+    def test_triangle_is_cyclic(self):
+        q = query_with(
+            [
+                JoinEdge("a", "x", "b", "x"),
+                JoinEdge("b", "y", "c", "y"),
+                JoinEdge("a", "z", "c", "z"),
+            ],
+            ["a", "b", "c"],
+        )
+        assert not is_acyclic(build_join_graph(q))
+
+    def test_composite_edges_do_not_create_cycle(self):
+        # Two join conditions between the same pair are ONE edge.
+        q = query_with(
+            [JoinEdge("a", "x", "b", "x"), JoinEdge("a", "y", "b", "y")],
+            ["a", "b"],
+        )
+        assert is_acyclic(build_join_graph(q))
+
+    def test_components(self):
+        q = query_with([JoinEdge("a", "x", "b", "x")], ["a", "b", "c"])
+        components = connected_components(build_join_graph(q))
+        assert sorted(map(sorted, components)) == [["a", "b"], ["c"]]
+
+    def test_validate_connected(self):
+        q = query_with([], ["a", "b"])
+        with pytest.raises(QueryError):
+            validate_join_graph(q, require_connected=True)
+        validate_join_graph(q, require_connected=False)  # cross product ok

@@ -1,0 +1,134 @@
+"""Schema declaration and Table integrity tests."""
+
+import numpy as np
+import pytest
+
+from repro.db import Column, ColumnSchema, DType, Table, TableSchema
+from repro.errors import SchemaError
+
+
+def make_table(ids, years=None, year_valid=None):
+    schema = TableSchema(
+        "t",
+        [
+            ColumnSchema("id", DType.INT64),
+            ColumnSchema("year", DType.INT64, nullable=True),
+        ],
+        primary_key="id",
+    )
+    years = years if years is not None else list(range(len(ids)))
+    return Table(
+        schema,
+        {
+            "id": Column.from_ints("id", ids),
+            "year": Column.from_ints("year", years, valid=year_valid),
+        },
+    )
+
+
+class TestTableSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnSchema("a", DType.INT64)] * 2)
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("has space", [])
+        with pytest.raises(SchemaError):
+            ColumnSchema("1bad", DType.INT64)
+
+    def test_pk_must_be_declared(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnSchema("a", DType.INT64)], primary_key="b")
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", [ColumnSchema("a", DType.INT64)])
+        assert schema.column("a").dtype is DType.INT64
+        assert schema.has_column("a")
+        assert not schema.has_column("z")
+        with pytest.raises(SchemaError):
+            schema.column("z")
+
+
+class TestTable:
+    def test_valid_table(self):
+        t = make_table([1, 2, 3])
+        assert t.n_rows == 3
+        assert len(t) == 3
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", [ColumnSchema("id", DType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, {})
+
+    def test_undeclared_column_rejected(self):
+        schema = TableSchema("t", [ColumnSchema("id", DType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {
+                    "id": Column.from_ints("id", [1]),
+                    "extra": Column.from_ints("extra", [1]),
+                },
+            )
+
+    def test_row_count_mismatch_rejected(self):
+        schema = TableSchema(
+            "t", [ColumnSchema("a", DType.INT64), ColumnSchema("b", DType.INT64)]
+        )
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {
+                    "a": Column.from_ints("a", [1, 2]),
+                    "b": Column.from_ints("b", [1]),
+                },
+            )
+
+    def test_dtype_mismatch_rejected(self):
+        schema = TableSchema("t", [ColumnSchema("a", DType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, {"a": Column.from_floats("a", [1.0])})
+
+    def test_null_in_non_nullable_rejected(self):
+        schema = TableSchema("t", [ColumnSchema("a", DType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {"a": Column.from_ints("a", [1], valid=np.array([False]))},
+            )
+
+    def test_duplicate_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            make_table([1, 1, 2])
+
+    def test_null_pk_rejected(self):
+        schema = TableSchema(
+            "t", [ColumnSchema("id", DType.INT64, nullable=True)], primary_key="id"
+        )
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                {"id": Column.from_ints("id", [1, 2], valid=np.array([True, False]))},
+            )
+
+    def test_sample_size_capped(self):
+        t = make_table(list(range(10)))
+        assert t.sample(100, rng=0).n_rows == 10
+        assert t.sample(4, rng=0).n_rows == 4
+
+    def test_sample_rows_come_from_table(self):
+        t = make_table(list(range(100)))
+        sample = t.sample(10, rng=1)
+        assert set(sample.column("id").values) <= set(range(100))
+        # without replacement: all distinct
+        assert len(set(sample.column("id").values)) == 10
+
+    def test_take_row_decode(self):
+        t = make_table([1, 2, 3], years=[10, 20, 30])
+        sub = t.take(np.array([2]))
+        assert sub.row(0) == {"id": 3, "year": 30}
+
+    def test_null_decode(self):
+        t = make_table([1], years=[99], year_valid=np.array([False]))
+        assert t.row(0)["year"] is None

@@ -1,0 +1,141 @@
+"""SQL printer/parser tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import parse_sql, to_sql
+from repro.errors import ParseError
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+
+class TestParsing:
+    def test_minimal(self):
+        q = parse_sql("SELECT COUNT(*) FROM title t;")
+        assert q.tables == (TableRef("title", "t"),)
+        assert q.joins == ()
+        assert q.predicates == ()
+
+    def test_alias_defaults_to_table(self):
+        q = parse_sql("SELECT COUNT(*) FROM title;")
+        assert q.tables == (TableRef("title", "title"),)
+
+    def test_join_and_predicates(self):
+        q = parse_sql(
+            "SELECT COUNT(*) FROM title t, movie_keyword mk "
+            "WHERE mk.movie_id=t.id AND t.production_year>2000 "
+            "AND mk.keyword_id=42;"
+        )
+        assert len(q.tables) == 2
+        assert len(q.joins) == 1
+        assert len(q.predicates) == 2
+        assert Predicate("t", "production_year", ">", 2000) in q.predicates
+
+    def test_case_insensitive_keywords(self):
+        q = parse_sql("select count(*) from title t where t.id=1;")
+        assert len(q.predicates) == 1
+
+    def test_string_literal_with_escape(self):
+        q = parse_sql("SELECT COUNT(*) FROM k WHERE k.name='o''brien';")
+        assert q.predicates[0].literal == "o'brien"
+
+    def test_float_literal(self):
+        q = parse_sql("SELECT COUNT(*) FROM t WHERE t.x<1.5;")
+        assert q.predicates[0].literal == 1.5
+        assert isinstance(q.predicates[0].literal, float)
+
+    def test_negative_literal(self):
+        q = parse_sql("SELECT COUNT(*) FROM t WHERE t.x>-3;")
+        assert q.predicates[0].literal == -3
+
+    def test_all_operators(self):
+        for op in ("=", "<", ">", "<=", ">=", "<>"):
+            q = parse_sql(f"SELECT COUNT(*) FROM t WHERE t.x{op}5;")
+            assert q.predicates[0].op == op
+
+    def test_semicolon_optional(self):
+        assert parse_sql("SELECT COUNT(*) FROM t") == parse_sql(
+            "SELECT COUNT(*) FROM t;"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "SELECT * FROM t;",
+            "SELECT COUNT(*) FROM;",
+            "SELECT COUNT(*) FROM t WHERE;",
+            "SELECT COUNT(*) FROM t WHERE t.x;",
+            "SELECT COUNT(*) FROM t WHERE t.x=;",
+            "SELECT COUNT(*) FROM t WHERE t.x<t.y;",  # non-equi join
+            "SELECT COUNT(*) FROM t t1, t t2 WHERE t1.x=t2.x extra",
+            "SELECT COUNT(*) FROM t WHERE t.x=5 OR t.y=2;",
+            "SELECT COUNT(*) FROM t WHERE x=5;",  # unqualified column
+        ],
+    )
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ParseError):
+            parse_sql(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_sql("SELECT COUNT(*) FROM t WHERE t.x @ 5;")
+        assert "offset" in str(err.value)
+
+
+class TestPrinting:
+    def test_string_escaping_roundtrip(self):
+        q = Query(
+            tables=(TableRef("k", "k"),),
+            predicates=(Predicate("k", "name", "=", "it's"),),
+        )
+        assert parse_sql(to_sql(q)) == q
+
+    def test_float_printed_as_float(self):
+        q = Query(
+            tables=(TableRef("t", "t"),),
+            predicates=(Predicate("t", "x", "<", 5.0),),
+        )
+        parsed = parse_sql(to_sql(q))
+        assert isinstance(parsed.predicates[0].literal, float)
+
+
+# ----------------------------------------------------------------------
+# round-trip property: parse(print(q)) == q over random queries
+# ----------------------------------------------------------------------
+
+names = st.sampled_from(["t", "mk", "mi", "ci", "mc"])
+columns = st.sampled_from(["id", "movie_id", "year", "kind_id"])
+ops = st.sampled_from(["=", "<", ">", "<=", ">=", "<>"])
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+        max_size=8,
+    ),
+    st.just("with'quote"),
+)
+
+
+@st.composite
+def random_queries(draw):
+    aliases = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    tables = tuple(TableRef(f"table_{a}", a) for a in aliases)
+    joins = []
+    for i in range(1, len(aliases)):
+        joins.append(JoinEdge(aliases[i], draw(columns), aliases[0], draw(columns)))
+    n_preds = draw(st.integers(min_value=0, max_value=3))
+    predicates = []
+    for _ in range(n_preds):
+        alias = draw(st.sampled_from(aliases))
+        literal = draw(literals)
+        op = "=" if isinstance(literal, str) else draw(ops)
+        predicates.append(Predicate(alias, draw(columns), op, literal))
+    return Query(tables=tables, joins=tuple(joins), predicates=tuple(predicates))
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_queries())
+def test_sql_roundtrip_property(query):
+    assert parse_sql(to_sql(query)) == query

@@ -1,0 +1,102 @@
+"""ANALYZE statistics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Column, analyze_column, analyze_database, analyze_table
+from repro.errors import SchemaError
+
+
+class TestAnalyzeColumn:
+    def test_basic_facts(self):
+        col = Column.from_ints("x", [1, 1, 1, 2, 2, 3])
+        stats = analyze_column(col)
+        assert stats.n_rows == 6
+        assert stats.n_distinct == 3
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+        assert stats.null_frac == 0.0
+
+    def test_mcv_ordering(self):
+        col = Column.from_ints("x", [5] * 10 + [7] * 5 + [9] * 2 + [1])
+        stats = analyze_column(col, mcv_size=2)
+        assert stats.mcv_values.tolist() == [5.0, 7.0]
+        assert stats.mcv_freqs[0] == pytest.approx(10 / 18)
+
+    def test_singletons_excluded_from_mcv(self):
+        # Values occurring once are not "most common" on non-unique data.
+        col = Column.from_ints("x", [5, 5, 1, 2, 3])
+        stats = analyze_column(col, mcv_size=3)
+        assert 5.0 in stats.mcv_values
+        assert 1.0 not in stats.mcv_values
+
+    def test_null_fraction(self):
+        col = Column.from_ints(
+            "x", [1, 2, 3, 4], valid=np.array([True, True, False, False])
+        )
+        stats = analyze_column(col)
+        assert stats.null_frac == pytest.approx(0.5)
+        assert stats.n_distinct == 2
+
+    def test_all_null(self):
+        col = Column.from_ints("x", [1, 2], valid=np.array([False, False]))
+        stats = analyze_column(col)
+        assert stats.n_distinct == 0
+        assert stats.null_frac == 1.0
+
+    def test_histogram_bounds_sorted(self):
+        rng = np.random.default_rng(0)
+        col = Column.from_ints("x", rng.integers(0, 10_000, 5000))
+        stats = analyze_column(col, histogram_bins=20)
+        bounds = stats.histogram_bounds
+        assert len(bounds) == 21
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_histogram_is_equi_depth(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1000, 8000).astype(int)
+        col = Column.from_ints("x", values)
+        stats = analyze_column(col, mcv_size=0, histogram_bins=10)
+        counts = []
+        for lo, hi in zip(stats.histogram_bounds[:-1], stats.histogram_bounds[1:]):
+            counts.append(((values >= lo) & (values < hi)).sum())
+        counts = np.array(counts[:-1])  # last bin boundary is inclusive-ish
+        assert counts.std() / counts.mean() < 0.2
+
+    def test_string_column_over_codes(self):
+        col = Column.from_strings("s", ["a", "a", "b", "c"])
+        stats = analyze_column(col)
+        assert stats.n_distinct == 3
+        assert stats.min_value == 0.0
+        assert stats.max_value == 2.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=200))
+    def test_invariants_property(self, values):
+        stats = analyze_column(Column.from_ints("x", values))
+        assert stats.n_distinct == len(set(values))
+        assert stats.min_value == min(values)
+        assert stats.max_value == max(values)
+        assert stats.mcv_total_freq <= 1.0 + 1e-9
+        # MCV + remaining + nulls account for every row.
+        assert (
+            stats.mcv_total_freq + stats.remaining_frac + stats.null_frac
+            == pytest.approx(1.0)
+        )
+
+
+class TestAnalyzeTable:
+    def test_all_columns_covered(self, tiny_db):
+        stats = analyze_table(tiny_db.table("title"))
+        assert set(stats.columns) == {"id", "year"}
+        assert stats.n_rows == 6
+
+    def test_missing_column_raises(self, tiny_db):
+        stats = analyze_table(tiny_db.table("title"))
+        with pytest.raises(SchemaError):
+            stats.column("ghost")
+
+    def test_analyze_database(self, tiny_db):
+        stats = analyze_database(tiny_db)
+        assert set(stats) == {"title", "movie_keyword", "movie_info"}

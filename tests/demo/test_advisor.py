@@ -1,0 +1,97 @@
+"""Sketch advisor tests (the conclusions' open question, implemented)."""
+
+import pytest
+
+from repro.demo import coverage_of, recommend_sketches
+from repro.errors import ReproError
+from repro.workload import JoinEdge, Query, TableRef
+
+
+def q(*tables):
+    refs = tuple(TableRef(t, t) for t in tables)
+    joins = tuple(
+        JoinEdge(tables[i], "fk", tables[0], "id") for i in range(1, len(tables))
+    )
+    return Query(tables=refs, joins=joins)
+
+
+class TestRecommendations:
+    def test_single_subset_workload(self):
+        workload = [q("title", "movie_keyword")] * 10
+        recs = recommend_sketches(workload)
+        assert len(recs) == 1
+        assert recs[0].tables == ("movie_keyword", "title")
+        assert recs[0].queries_covered == 10
+        assert recs[0].workload_fraction == 1.0
+
+    def test_superset_subsumes_subsets(self):
+        # 3-table queries dominate; their sketch also serves the 2-table
+        # and 1-table queries, so one sketch should cover everything.
+        workload = (
+            [q("title", "movie_keyword", "movie_info")] * 20
+            + [q("title", "movie_keyword")] * 5
+            + [q("title")] * 5
+        )
+        recs = recommend_sketches(workload)
+        assert len(recs) == 1
+        assert set(recs[0].tables) == {"title", "movie_keyword", "movie_info"}
+        assert coverage_of(recs, workload) == 1.0
+
+    def test_disjoint_subsets_need_multiple_sketches(self):
+        workload = [q("title", "movie_keyword")] * 10 + [q("customer", "orders")] * 10
+        recs = recommend_sketches(workload)
+        assert len(recs) == 2
+        assert coverage_of(recs, workload) == 1.0
+
+    def test_max_sketches_budget(self):
+        workload = (
+            [q("title", "movie_keyword")] * 10
+            + [q("customer", "orders")] * 5
+            + [q("part", "lineitem")] * 1
+        )
+        recs = recommend_sketches(workload, max_sketches=2)
+        assert len(recs) == 2
+        # the rare subset is the one sacrificed
+        assert coverage_of(recs, workload) == pytest.approx(15 / 16)
+
+    def test_min_coverage_stops_early(self):
+        workload = [q("a")] * 95 + [q("b")] * 5
+        recs = recommend_sketches(workload, min_coverage=0.9)
+        assert len(recs) == 1
+        assert recs[0].tables == ("a",)
+
+    def test_cost_efficiency_prefers_small_subsets(self):
+        # A wide 5-table subset serving few queries must lose to narrow
+        # subsets serving many.
+        workload = [q("a", "b")] * 50 + [q("a", "b", "c", "d", "e")] * 1
+        recs = recommend_sketches(workload, max_sketches=1)
+        assert recs[0].tables == ("a", "b")
+
+    def test_pick_order_by_value(self):
+        workload = [q("a", "b")] * 30 + [q("x", "y")] * 5
+        recs = recommend_sketches(workload)
+        assert recs[0].queries_covered >= recs[1].queries_covered
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ReproError):
+            recommend_sketches([])
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ReproError):
+            recommend_sketches([q("a")], min_coverage=0.0)
+
+    def test_coverage_of_empty_rejected(self):
+        with pytest.raises(ReproError):
+            coverage_of([], [])
+
+    def test_with_generated_workload(self, imdb_small):
+        from repro.workload import TrainingQueryGenerator, spec_for_imdb
+
+        generator = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=1)
+        workload = generator.draw_many(200)
+        recs = recommend_sketches(workload, min_coverage=0.9)
+        assert recs
+        assert coverage_of(recs, workload) >= 0.9
+        # Every recommended subset stays within the spec's tables.
+        for rec in recs:
+            assert set(rec.tables) <= set(spec_for_imdb().tables)

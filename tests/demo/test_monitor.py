@@ -1,0 +1,69 @@
+"""Monitor (training progress log) tests."""
+
+import pytest
+
+from repro.core.builder import ProgressEvent
+from repro.demo import Monitor
+from repro.errors import ReproError
+
+
+def event(stage, current, total, message=""):
+    return ProgressEvent(stage, current, total, message)
+
+
+class TestMonitor:
+    def test_records_events(self):
+        monitor = Monitor()
+        monitor.on_progress(event("define", 1, 1))
+        monitor.on_progress(event("train", 1, 5, "epoch 1"))
+        assert len(monitor.events) == 2
+        assert monitor.latest().stage == "train"
+
+    def test_stages_seen_in_order(self):
+        monitor = Monitor()
+        for stage in ("define", "generate", "execute", "train", "train"):
+            monitor.on_progress(event(stage, 1, 1))
+        assert monitor.stages_seen() == ["define", "generate", "execute", "train"]
+
+    def test_stage_fraction(self):
+        monitor = Monitor()
+        monitor.on_progress(event("execute", 50, 100))
+        monitor.on_progress(event("execute", 75, 100))
+        assert monitor.stage_fraction("execute") == pytest.approx(0.75)
+        assert monitor.stage_fraction("train") == 0.0
+
+    def test_epoch_messages(self):
+        monitor = Monitor()
+        monitor.on_progress(event("train", 1, 2, "epoch 1: val 3.2"))
+        monitor.on_progress(event("train", 2, 2, "epoch 2: val 2.9"))
+        assert monitor.epoch_messages() == ["epoch 1: val 3.2", "epoch 2: val 2.9"]
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(ReproError):
+            Monitor().latest()
+
+    def test_to_rows(self):
+        monitor = Monitor()
+        monitor.on_progress(event("define", 1, 1, "hi"))
+        rows = monitor.to_rows()
+        assert len(rows) == 1
+        assert rows[0][1:] == ("define", 1, 1, "hi")
+
+    def test_integrates_with_builder(self, imdb_small):
+        from repro.core import SketchBuilder, SketchConfig
+        from repro.workload import spec_for_imdb
+
+        monitor = Monitor()
+        builder = SketchBuilder(
+            imdb_small,
+            spec_for_imdb(),
+            config=SketchConfig(
+                n_training_queries=80, epochs=2, sample_size=40, hidden_units=8
+            ),
+            progress=monitor.on_progress,
+        )
+        _, report = builder.build("monitored")
+        assert monitor.stages_seen() == ["define", "generate", "execute", "train"]
+        assert monitor.stage_fraction("train") == 1.0
+        assert len(monitor.epoch_messages()) == 2
+        assert monitor.loss_curve_from(report.training).shape == (2,)

@@ -1,0 +1,89 @@
+"""Template service tests (the Figure 2 chart data)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HyperEstimator, PostgresEstimator, TruthEstimator
+from repro.demo import run_template
+from repro.errors import SketchError
+from repro.workload import JoinEdge, Predicate, Query, QueryTemplate, TableRef
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    imdb = request.getfixturevalue("imdb_small")
+    sketch, _ = request.getfixturevalue("trained_sketch")
+    base = Query(
+        tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+        joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+        predicates=(Predicate("mk", "keyword_id", "=", 1),),
+    )
+    template = QueryTemplate(base=base, alias="t", column="production_year")
+    estimators = [
+        TruthEstimator(imdb),
+        HyperEstimator(imdb, sample_size=100, seed=0),
+        PostgresEstimator(imdb),
+    ]
+    return sketch, template, estimators
+
+
+class TestRunTemplate:
+    def test_series_for_all_systems(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, estimators, mode="buckets", n_buckets=6)
+        assert set(result.series) == {
+            sketch.name, "True cardinality", "HyPer", "PostgreSQL",
+        }
+        assert len(result.labels) == 6
+        for series in result.series.values():
+            assert len(series) == 6
+
+    def test_truth_series_is_exact(self, setup, request):
+        imdb = request.getfixturevalue("imdb_small")
+        from repro.db import execute_count
+
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, estimators, mode="buckets", n_buckets=4)
+        truth = result.truth()
+        for value, inst in zip(truth, result.instances):
+            assert value == execute_count(imdb, inst.query)
+
+    def test_qerror_summary_per_system(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, estimators, mode="buckets", n_buckets=5)
+        summary = result.qerror_summary(sketch.name)
+        assert summary.median >= 1.0
+        with pytest.raises(SketchError):
+            result.qerror_summary("NotASystem")
+
+    def test_distinct_mode_draws_from_sample(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, [], mode="distinct", limit=8)
+        assert len(result.labels) == 8
+        sample_years = set(
+            sketch.samples.for_table("title")
+            .column("production_year")
+            .non_null_values()
+            .tolist()
+        )
+        assert set(result.labels) <= {int(v) for v in sample_years}
+
+    def test_width_mode_year_grouping(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, [], mode="width", width=20)
+        assert len(result.labels) >= 3
+        assert all(isinstance(label, float) for label in result.labels)
+
+    def test_as_table_rendering(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, estimators, mode="buckets", n_buckets=3)
+        text = result.as_table()
+        assert "PostgreSQL" in text
+        assert len(text.splitlines()) == 4  # header + 3 buckets
+
+    def test_all_values_finite_positive(self, setup):
+        sketch, template, estimators = setup
+        result = run_template(sketch, template, estimators, mode="buckets", n_buckets=5)
+        for series in result.series.values():
+            assert np.isfinite(series.values).all()
+            assert (series.values >= 0).all()

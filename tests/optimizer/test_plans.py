@@ -1,0 +1,85 @@
+"""Join-plan tree and sub-query tests."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.optimizer import JoinNode, LeafNode, sub_query, validate_plan
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+
+@pytest.fixture
+def star3():
+    return Query(
+        tables=(
+            TableRef("title", "t"),
+            TableRef("movie_keyword", "mk"),
+            TableRef("movie_info", "mi"),
+        ),
+        joins=(
+            JoinEdge("mk", "movie_id", "t", "id"),
+            JoinEdge("mi", "movie_id", "t", "id"),
+        ),
+        predicates=(
+            Predicate("t", "year", ">", 2000),
+            Predicate("mk", "keyword_id", "=", 7),
+        ),
+    )
+
+
+class TestPlanNodes:
+    def test_leaf(self):
+        leaf = LeafNode("t")
+        assert leaf.aliases == frozenset(["t"])
+        assert list(leaf.join_nodes()) == []
+        assert str(leaf) == "t"
+
+    def test_join_aliases_union(self):
+        plan = JoinNode(LeafNode("t"), LeafNode("mk"))
+        assert plan.aliases == frozenset(["t", "mk"])
+        assert plan.leaf_count() == 2
+
+    def test_join_nodes_bottom_up(self):
+        inner = JoinNode(LeafNode("t"), LeafNode("mk"))
+        outer = JoinNode(inner, LeafNode("mi"))
+        nodes = list(outer.join_nodes())
+        assert nodes == [inner, outer]
+
+    def test_overlapping_children_rejected(self):
+        with pytest.raises(QueryError):
+            JoinNode(LeafNode("t"), JoinNode(LeafNode("t"), LeafNode("mk")))
+
+    def test_rendering(self):
+        plan = JoinNode(JoinNode(LeafNode("t"), LeafNode("mk")), LeafNode("mi"))
+        assert str(plan) == "((t ⨝ mk) ⨝ mi)"
+
+
+class TestSubQuery:
+    def test_restriction(self, star3):
+        sub = sub_query(star3, frozenset(["t", "mk"]))
+        assert sorted(sub.aliases) == ["mk", "t"]
+        assert len(sub.joins) == 1
+        assert len(sub.predicates) == 2  # both predicates inside
+
+    def test_single_alias(self, star3):
+        sub = sub_query(star3, frozenset(["mi"]))
+        assert sub.aliases == ["mi"]
+        assert sub.joins == ()
+        assert sub.predicates == ()
+
+    def test_cross_join_pair_keeps_no_edges(self, star3):
+        sub = sub_query(star3, frozenset(["mk", "mi"]))
+        assert sub.joins == ()  # mk-mi only connect through t
+
+    def test_unknown_alias_rejected(self, star3):
+        with pytest.raises(QueryError):
+            sub_query(star3, frozenset(["zz"]))
+
+
+class TestValidatePlan:
+    def test_matching(self, star3):
+        plan = JoinNode(JoinNode(LeafNode("t"), LeafNode("mk")), LeafNode("mi"))
+        validate_plan(plan, star3)
+
+    def test_missing_alias_rejected(self, star3):
+        with pytest.raises(QueryError):
+            validate_plan(JoinNode(LeafNode("t"), LeafNode("mk")), star3)

@@ -1,0 +1,106 @@
+"""Qualifying-bitmap tests (the MSCN runtime-sampling input)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import table_filter_mask
+from repro.sampling import (
+    alias_bitmap,
+    is_zero_tuple,
+    materialize_samples,
+    qualifying_fractions,
+    query_bitmaps,
+)
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+
+def star_query(predicates=()):
+    return Query(
+        tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+        joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+        predicates=tuple(predicates),
+    )
+
+
+class TestBitmaps:
+    def test_unfiltered_alias_all_ones(self, imdb_samples):
+        bitmaps = query_bitmaps(imdb_samples, star_query())
+        assert bitmaps["t"].all()
+        assert bitmaps["mk"].all()
+
+    def test_bitmap_length_is_sample_size(self, imdb_samples):
+        bitmaps = query_bitmaps(imdb_samples, star_query())
+        assert bitmaps["t"].shape == (imdb_samples.sample_size,)
+
+    def test_padding_for_small_tables(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("kind_type",), 100, seed=0)
+        query = Query(tables=(TableRef("kind_type", "kt"),))
+        bitmap = alias_bitmap(samples, query, "kt")
+        assert bitmap.shape == (100,)
+        assert bitmap[:7].all()
+        assert not bitmap[7:].any()
+
+    def test_bitmap_matches_direct_evaluation(self, imdb_samples):
+        pred = Predicate("t", "production_year", ">", 2000)
+        query = star_query([pred])
+        bitmap = alias_bitmap(imdb_samples, query, "t")
+        sample = imdb_samples.for_table("title")
+        expected = table_filter_mask(sample, [pred])
+        assert np.array_equal(bitmap[: len(expected)], expected)
+
+    def test_conjunction_is_and_of_bits(self, imdb_samples):
+        p1 = Predicate("t", "production_year", ">", 1990)
+        p2 = Predicate("t", "kind_id", "=", 1)
+        both = alias_bitmap(imdb_samples, star_query([p1, p2]), "t")
+        only1 = alias_bitmap(imdb_samples, star_query([p1]), "t")
+        only2 = alias_bitmap(imdb_samples, star_query([p2]), "t")
+        assert np.array_equal(both, only1 & only2)
+
+
+class TestFractionsAndZeroTuple:
+    def test_fraction_of_unfiltered_is_one(self, imdb_samples):
+        fractions = qualifying_fractions(imdb_samples, star_query())
+        assert fractions == {"t": 1.0, "mk": 1.0}
+
+    def test_fraction_matches_bitmap_mean(self, imdb_samples):
+        pred = Predicate("t", "production_year", ">", 2005)
+        query = star_query([pred])
+        fractions = qualifying_fractions(imdb_samples, query)
+        sample = imdb_samples.for_table("title")
+        expected = table_filter_mask(sample, [pred]).mean()
+        assert fractions["t"] == pytest.approx(expected)
+
+    def test_zero_tuple_detection(self, imdb_samples):
+        impossible = Predicate("t", "production_year", ">", 99_999)
+        assert is_zero_tuple(imdb_samples, star_query([impossible]))
+        assert not is_zero_tuple(imdb_samples, star_query())
+
+    def test_unpredicated_alias_ignored_for_zero_tuple(self, imdb_samples):
+        # mk has no predicate; even if t qualifies fully the query is not
+        # 0-tuple.
+        query = star_query([Predicate("t", "production_year", ">", 1800)])
+        assert not is_zero_tuple(imdb_samples, query)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1880, max_value=2019), st.sampled_from(["<", ">", "="]))
+def test_fraction_always_in_unit_interval(year, op):
+    from repro.datasets import ImdbConfig, generate_imdb
+
+    global _BITMAP_DB, _BITMAP_SAMPLES
+    try:
+        samples = _BITMAP_SAMPLES
+    except NameError:
+        db = generate_imdb(ImdbConfig(scale=0.05, seed=3))
+        samples = materialize_samples(db, ("title",), 60, seed=0)
+        globals()["_BITMAP_DB"] = db
+        globals()["_BITMAP_SAMPLES"] = samples
+    query = Query(
+        tables=(TableRef("title", "t"),),
+        predicates=(Predicate("t", "production_year", op, year),),
+    )
+    fraction = qualifying_fractions(samples, query)["t"]
+    assert 0.0 <= fraction <= 1.0
+    bitmap = alias_bitmap(samples, query, "t")
+    assert bitmap.sum() == pytest.approx(fraction * samples.for_table("title").n_rows)

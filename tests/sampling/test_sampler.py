@@ -1,0 +1,94 @@
+"""Materialized-sample tests including serialization round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.sampling import (
+    MaterializedSamples,
+    materialize_samples,
+    samples_from_payload,
+    samples_to_payload,
+)
+
+
+class TestMaterialize:
+    def test_sample_sizes(self, imdb_small):
+        samples = materialize_samples(
+            imdb_small, ("title", "movie_keyword"), 50, seed=0
+        )
+        assert samples.for_table("title").n_rows == 50
+        assert samples.sample_size == 50
+
+    def test_small_table_taken_fully(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("kind_type",), 100, seed=0)
+        assert samples.for_table("kind_type").n_rows == 7
+
+    def test_unknown_table_raises_on_access(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("title",), 10, seed=0)
+        with pytest.raises(SketchError):
+            samples.for_table("movie_keyword")
+
+    def test_invalid_sample_size(self, imdb_small):
+        with pytest.raises(SketchError):
+            materialize_samples(imdb_small, ("title",), 0)
+
+    def test_deterministic(self, imdb_small):
+        a = materialize_samples(imdb_small, ("title",), 20, seed=5)
+        b = materialize_samples(imdb_small, ("title",), 20, seed=5)
+        assert np.array_equal(
+            a.for_table("title").column("id").values,
+            b.for_table("title").column("id").values,
+        )
+
+    def test_rows_are_from_the_table(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("title",), 30, seed=1)
+        ids = samples.for_table("title").column("id").values
+        assert len(np.unique(ids)) == 30  # without replacement
+        all_ids = set(imdb_small.table("title").column("id").values.tolist())
+        assert set(ids.tolist()) <= all_ids
+
+    def test_total_rows(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("title", "kind_type"), 10, seed=0)
+        assert samples.total_rows() == 10 + 7
+
+    def test_table_names(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("title", "keyword"), 10, seed=0)
+        assert samples.table_names == ["keyword", "title"]
+
+
+class TestPayloadRoundtrip:
+    def test_roundtrip_preserves_values(self, imdb_small):
+        samples = materialize_samples(
+            imdb_small, ("title", "keyword"), 25, seed=2
+        )
+        arrays, manifest = samples_to_payload(samples)
+        restored = samples_from_payload(arrays, manifest)
+        assert restored.sample_size == 25
+        for name in ("title", "keyword"):
+            orig = samples.for_table(name)
+            back = restored.for_table(name)
+            assert back.n_rows == orig.n_rows
+            for col_name, col in orig.columns.items():
+                assert np.array_equal(back.column(col_name).values, col.values)
+                assert np.array_equal(back.column(col_name).valid, col.valid)
+
+    def test_string_dictionary_preserved(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("keyword",), 15, seed=2)
+        arrays, manifest = samples_to_payload(samples)
+        restored = samples_from_payload(arrays, manifest)
+        orig = samples.for_table("keyword").column("keyword")
+        back = restored.for_table("keyword").column("keyword")
+        for i in range(15):
+            assert orig.decode(i) == back.decode(i)
+
+    def test_malformed_manifest_rejected(self):
+        with pytest.raises(SketchError):
+            samples_from_payload({}, {"nope": 1})
+
+    def test_missing_array_rejected(self, imdb_small):
+        samples = materialize_samples(imdb_small, ("title",), 5, seed=0)
+        arrays, manifest = samples_to_payload(samples)
+        arrays.pop(next(iter(arrays)))
+        with pytest.raises(SketchError):
+            samples_from_payload(arrays, manifest)

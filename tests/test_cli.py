@@ -1,0 +1,100 @@
+"""CLI tests: build / info / estimate / compare round-trips."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import clear_dataset_cache
+
+
+@pytest.fixture(scope="module")
+def sketch_path(tmp_path_factory):
+    """Build a tiny sketch once via the CLI itself."""
+    path = str(tmp_path_factory.mktemp("cli") / "tiny.sketch")
+    code = main(
+        [
+            "build",
+            "--dataset", "imdb",
+            "--scale", "0.05",
+            "--queries", "300",
+            "--epochs", "3",
+            "--samples", "50",
+            "--hidden", "16",
+            "--out", path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_creates_file(self, sketch_path, capsys):
+        import os
+
+        assert os.path.exists(sketch_path)
+
+    def test_build_progress_printed(self, tmp_path, capsys):
+        path = str(tmp_path / "p.sketch")
+        main(
+            [
+                "build", "--dataset", "imdb", "--scale", "0.05",
+                "--queries", "200", "--epochs", "2", "--samples", "40",
+                "--hidden", "8", "--out", path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "saved" in out
+
+
+class TestInfo:
+    def test_info_fields(self, sketch_path, capsys):
+        assert main(["info", sketch_path]) == 0
+        out = capsys.readouterr().out
+        assert "tables" in out
+        assert "title" in out
+        assert "footprint" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["info", "/nonexistent/path.sketch"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_estimate_prints_number(self, sketch_path, capsys):
+        code = main(
+            [
+                "estimate", sketch_path,
+                "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;",
+            ]
+        )
+        assert code == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value >= 1.0
+
+    def test_bad_sql_is_error(self, sketch_path, capsys):
+        assert main(["estimate", sketch_path, "SELECT nonsense"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_out_of_scope_table_is_error(self, sketch_path, capsys):
+        assert main(["estimate", sketch_path, "SELECT COUNT(*) FROM keyword k;"]) == 1
+
+
+class TestCompare:
+    def test_compare_table(self, sketch_path, capsys):
+        code = main(
+            [
+                "compare", "--dataset", "imdb", "--scale", "0.05",
+                sketch_path,
+                "SELECT COUNT(*) FROM title t, movie_keyword mk "
+                "WHERE mk.movie_id=t.id AND t.production_year>2000;",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "truth" in out
+        assert "Deep Sketch" in out
+        assert "PostgreSQL" in out
+
+
+def teardown_module():
+    clear_dataset_cache()

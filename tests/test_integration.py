@@ -1,0 +1,174 @@
+"""End-to-end integration tests spanning all subsystems.
+
+These are the scenarios the demo walks its audience through, executed
+programmatically: build a sketch, compare it against the traditional
+estimators on a JOB-light-style workload, run the paper's template
+query, and exercise 0-tuple situations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HyperEstimator,
+    PostgresEstimator,
+    SamplingEstimator,
+    TruthEstimator,
+)
+from repro.core import DeepSketch, SketchConfig, build_sketch
+from repro.db import execute_count, parse_sql
+from repro.demo import SketchManager, run_template
+from repro.metrics import qerrors, summarize_qerrors
+from repro.sampling import is_zero_tuple
+from repro.workload import (
+    JobLightConfig,
+    JoinEdge,
+    Predicate,
+    Query,
+    QueryTemplate,
+    TableRef,
+    generate_job_light,
+    spec_for_imdb,
+    spec_for_tpch,
+)
+
+
+class TestSketchVsBaselines:
+    """A miniature Table 1: the sketch should be competitive on the
+    JOB-light-style workload even at test scale."""
+
+    def test_summaries_computable_for_all_systems(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        workload = generate_job_light(
+            imdb_small, JobLightConfig(n_queries=25, seed=10)
+        )
+        truths = np.array([execute_count(imdb_small, q) for q in workload])
+        systems = {
+            "Deep Sketch": np.array([sketch.estimate(q) for q in workload]),
+            "HyPer": np.array(
+                [HyperEstimator(imdb_small, sample_size=100).estimate(q) for q in workload]
+            ),
+            "PostgreSQL": np.array(
+                [PostgresEstimator(imdb_small).estimate(q) for q in workload]
+            ),
+        }
+        for name, estimates in systems.items():
+            summary = summarize_qerrors(qerrors(estimates, truths))
+            assert summary.median >= 1.0
+            assert np.isfinite(summary.max), name
+
+
+class TestPaperExampleQuery:
+    def test_keyword_over_years_template(self, imdb_small, trained_sketch):
+        """The intro's movie-producer query: keyword popularity over
+        production_year, as a template with the year as placeholder."""
+        sketch, _ = trained_sketch
+        mk = imdb_small.table("movie_keyword")
+        popular_kw = int(np.bincount(mk.column("keyword_id").values).argmax())
+        base = Query(
+            tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+            joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+            predicates=(Predicate("mk", "keyword_id", "=", popular_kw),),
+        )
+        template = QueryTemplate(base=base, alias="t", column="production_year")
+        result = run_template(
+            sketch,
+            template,
+            [TruthEstimator(imdb_small)],
+            mode="width",
+            width=10,
+        )
+        truth = result.truth()
+        est = result.series[sketch.name].values
+        assert len(truth) == len(est) >= 3
+        # The sketch's series must at least track the trend direction of
+        # the truth across decades (popular keyword grows over time).
+        assert np.corrcoef(np.log1p(est), np.log1p(truth))[0, 1] > 0.0
+
+
+class TestZeroTupleSituations:
+    def test_sketch_graceful_on_zero_tuple(self, imdb_small, trained_sketch):
+        sketch, _ = trained_sketch
+        # A selective conjunction that misses the 100-row sample but has
+        # matching rows in the full database.
+        generator_queries = []
+        from repro.workload import TrainingQueryGenerator
+
+        generator = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=202)
+        for query in generator.draw_many(400):
+            if not query.predicates:
+                continue
+            if is_zero_tuple(sketch.samples, query):
+                truth = execute_count(imdb_small, query)
+                if truth > 0:
+                    generator_queries.append((query, truth))
+            if len(generator_queries) >= 5:
+                break
+        assert generator_queries, "no 0-tuple query found at this scale"
+        for query, truth in generator_queries:
+            estimate = sketch.estimate(query)
+            assert np.isfinite(estimate) and estimate >= 1.0
+
+
+class TestManagerEndToEnd:
+    def test_full_demo_walkthrough(self, imdb_small):
+        manager = SketchManager(imdb_small)
+        spec = spec_for_imdb(tables=("title", "movie_keyword", "movie_info"))
+        sketch, report = manager.create_sketch(
+            "walkthrough",
+            spec,
+            config=SketchConfig(
+                n_training_queries=150, epochs=3, sample_size=60, hidden_units=16
+            ),
+        )
+        assert report.training is not None
+        monitor = manager.monitor_for("walkthrough")
+        assert monitor.stage_fraction("execute") == 1.0
+        estimate = manager.query(
+            "walkthrough",
+            "SELECT COUNT(*) FROM title t, movie_info mi "
+            "WHERE mi.movie_id=t.id AND mi.info_type_id=1;",
+        )
+        assert estimate >= 1.0
+
+
+class TestSerializationAcrossProcessBoundary:
+    def test_sketch_file_usable_without_database(self, trained_sketch, tmp_path):
+        """A sketch must answer queries from its payload alone — that is
+        the deployment story (browser / cell phone) of the paper."""
+        sketch, _ = trained_sketch
+        path = str(tmp_path / "standalone.sketch")
+        sketch.save(path)
+        loaded = DeepSketch.load(path)
+        sql = (
+            "SELECT COUNT(*) FROM title t, movie_companies mc "
+            "WHERE mc.movie_id=t.id AND mc.company_type_id=2 "
+            "AND t.production_year>1995;"
+        )
+        assert loaded.estimate(sql) == pytest.approx(sketch.estimate(sql))
+
+
+class TestTpchEndToEnd:
+    def test_tpch_sketch_builds_and_estimates(self, tpch_small):
+        spec = spec_for_tpch(tables=("customer", "orders", "lineitem"))
+        sketch, report = build_sketch(
+            tpch_small,
+            spec,
+            name="tpch-test",
+            config=SketchConfig(
+                n_training_queries=200, epochs=3, sample_size=80, hidden_units=16
+            ),
+        )
+        estimate = sketch.estimate(
+            "SELECT COUNT(*) FROM orders o, lineitem l "
+            "WHERE l.l_orderkey=o.o_orderkey AND l.l_quantity>40;"
+        )
+        truth = execute_count(
+            tpch_small,
+            parse_sql(
+                "SELECT COUNT(*) FROM orders o, lineitem l "
+                "WHERE l.l_orderkey=o.o_orderkey AND l.l_quantity>40;"
+            ),
+        )
+        assert estimate >= 1.0
+        assert truth > 0

@@ -1,0 +1,141 @@
+"""Unit and property tests for q-error metrics (paper Table 1 rows)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import (
+    MIN_CARDINALITY,
+    QErrorSummary,
+    format_table,
+    geometric_mean_qerror,
+    qerror,
+    qerrors,
+    relative_error,
+    summarize_estimates,
+    summarize_qerrors,
+)
+
+positive = st.floats(min_value=1e-3, max_value=1e12, allow_nan=False)
+
+
+class TestQError:
+    def test_exact_estimate_is_one(self):
+        assert qerror(100.0, 100.0) == 1.0
+
+    def test_overestimate(self):
+        assert qerror(200.0, 100.0) == pytest.approx(2.0)
+
+    def test_underestimate(self):
+        assert qerror(50.0, 100.0) == pytest.approx(2.0)
+
+    def test_zero_truth_clamped(self):
+        # truth clamps to MIN_CARDINALITY, so q = estimate.
+        assert qerror(10.0, 0.0) == pytest.approx(10.0)
+
+    def test_zero_estimate_clamped(self):
+        assert qerror(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_negative_estimate_clamped(self):
+        assert qerror(-5.0, 10.0) == pytest.approx(10.0)
+
+    @given(positive, positive)
+    def test_symmetry(self, a, b):
+        assert qerror(a, b) == pytest.approx(qerror(b, a), rel=1e-9)
+
+    @given(positive, positive)
+    def test_at_least_one(self, a, b):
+        assert qerror(a, b) >= 1.0
+
+    @given(positive)
+    def test_identity(self, a):
+        assert qerror(a, a) == pytest.approx(1.0)
+
+    @given(positive, st.floats(min_value=1.0, max_value=1e6))
+    def test_scaling_factor(self, truth, factor):
+        truth = max(truth, MIN_CARDINALITY)
+        assert qerror(truth * factor, truth) == pytest.approx(factor, rel=1e-9)
+
+
+class TestQErrorsVector:
+    def test_matches_scalar(self):
+        est = [10.0, 20.0, 5.0]
+        tru = [10.0, 10.0, 10.0]
+        expected = [qerror(e, t) for e, t in zip(est, tru)]
+        assert np.allclose(qerrors(est, tru), expected)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            qerrors([1.0, 2.0], [1.0])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        errors = np.arange(1, 101, dtype=float)  # 1..100
+        summary = summarize_qerrors(errors)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.max == 100.0
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.count == 100
+        assert summary.p90 >= summary.median
+        assert summary.p99 >= summary.p95 >= summary.p90
+
+    def test_row_order_matches_paper(self):
+        summary = summarize_qerrors([1.0, 2.0, 3.0])
+        assert QErrorSummary.COLUMNS == ("median", "90th", "95th", "99th", "max", "mean")
+        assert summary.row()[0] == summary.median
+        assert summary.row()[-1] == summary.mean
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            summarize_qerrors([])
+
+    def test_below_one_raises(self):
+        with pytest.raises(ReproError):
+            summarize_qerrors([0.5])
+
+    def test_as_dict(self):
+        summary = summarize_qerrors([2.0, 4.0])
+        d = summary.as_dict()
+        assert d["median"] == pytest.approx(3.0)
+        assert d["max"] == 4.0
+
+    def test_summarize_estimates(self):
+        summary = summarize_estimates([10.0, 40.0], [10.0, 10.0])
+        assert summary.max == pytest.approx(4.0)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=50))
+    def test_percentile_ordering_property(self, errors):
+        summary = summarize_qerrors(errors)
+        assert 1.0 <= summary.median <= summary.p90 + 1e-9
+        assert summary.p90 <= summary.p95 <= summary.p99 <= summary.max + 1e-9
+        assert summary.mean <= summary.max + 1e-9
+
+
+class TestFormatting:
+    def test_format_table_contains_all_rows(self):
+        rows = {
+            "Deep Sketch": summarize_qerrors([1.5, 2.0]),
+            "PostgreSQL": summarize_qerrors([10.0, 20.0]),
+        }
+        text = format_table(rows)
+        assert "Deep Sketch" in text
+        assert "PostgreSQL" in text
+        assert "median" in text
+
+    def test_str_is_single_line(self):
+        assert "\n" not in str(summarize_qerrors([1.0, 2.0]))
+
+
+class TestAuxMetrics:
+    def test_relative_error_signs(self):
+        assert relative_error(150.0, 100.0) == pytest.approx(0.5)
+        assert relative_error(50.0, 100.0) == pytest.approx(-0.5)
+
+    def test_geometric_mean(self):
+        assert geometric_mean_qerror([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty_raises(self):
+        with pytest.raises(ReproError):
+            geometric_mean_qerror([])

@@ -1,0 +1,44 @@
+"""Tests for the seeded RNG plumbing."""
+
+import numpy as np
+
+from repro.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        a = make_rng(None).integers(0, 1_000_000, 10)
+        b = make_rng(None).integers(0, 1_000_000, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        assert np.array_equal(
+            make_rng(42).integers(0, 1_000_000, 10),
+            make_rng(42).integers(0, 1_000_000, 10),
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_rng(1).integers(0, 1_000_000, 10),
+            make_rng(2).integers(0, 1_000_000, 10),
+        )
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(make_rng(0), 3)
+        draws = [c.integers(0, 1_000_000, 5).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_is_deterministic(self):
+        a = spawn(make_rng(0), 2)
+        b = spawn(make_rng(0), 2)
+        assert np.array_equal(a[0].integers(0, 10**6, 5), b[0].integers(0, 10**6, 5))
+        assert np.array_equal(a[1].integers(0, 10**6, 5), b[1].integers(0, 10**6, 5))
+
+    def test_spawn_count(self):
+        assert len(spawn(make_rng(0), 7)) == 7

@@ -1,0 +1,65 @@
+"""JOB-light-style workload shape tests (the Table 1 evaluation set)."""
+
+import pytest
+
+from repro.db import execute_count
+from repro.workload import JobLightConfig, generate_job_light
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    imdb = request.getfixturevalue("imdb_small")
+    return generate_job_light(imdb, JobLightConfig(n_queries=40, seed=4))
+
+
+class TestShape:
+    def test_query_count(self, workload):
+        assert len(workload) == 40
+
+    def test_all_queries_star_on_title(self, workload):
+        for query in workload:
+            assert "t" in query.aliases
+            for join in query.joins:
+                assert "t" in join.aliases
+                assert join.side_for("t") == "id"
+                other_alias, other_column = join.other("t")
+                assert other_column == "movie_id"
+
+    def test_join_range_one_to_four(self, workload):
+        counts = {q.num_joins for q in workload}
+        assert counts <= {1, 2, 3, 4}
+        assert 2 in counts  # the dominant class must appear
+
+    def test_no_string_predicates(self, workload):
+        for query in workload:
+            for pred in query.predicates:
+                assert not isinstance(pred.literal, str)
+
+    def test_only_range_predicate_is_production_year(self, workload):
+        for query in workload:
+            for pred in query.predicates:
+                if pred.op in ("<", ">"):
+                    assert pred.column == "production_year"
+
+    def test_every_query_has_a_predicate(self, workload):
+        assert all(query.predicates for query in workload)
+
+    def test_queries_unique(self, workload):
+        assert len(set(workload)) == len(workload)
+
+    def test_nonzero_cardinalities(self, request, workload):
+        imdb = request.getfixturevalue("imdb_small")
+        for query in workload:
+            assert execute_count(imdb, query) > 0
+
+    def test_deterministic(self, request):
+        imdb = request.getfixturevalue("imdb_small")
+        a = generate_job_light(imdb, JobLightConfig(n_queries=10, seed=7))
+        b = generate_job_light(imdb, JobLightConfig(n_queries=10, seed=7))
+        assert a == b
+
+
+class TestDistributionShift:
+    def test_contains_queries_beyond_training_joins(self, workload):
+        """The Table 1 point: evaluation has 3-4 joins, training has 0-2."""
+        assert any(q.num_joins > 2 for q in workload)

@@ -1,0 +1,123 @@
+"""Query template tests (placeholder instantiation, paper Figure 2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workload import JoinEdge, Predicate, Query, QueryTemplate, TableRef
+
+
+@pytest.fixture
+def base_query():
+    return Query(
+        tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+        joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+        predicates=(Predicate("mk", "keyword_id", "=", 1),),
+    )
+
+
+@pytest.fixture
+def template(base_query):
+    return QueryTemplate(base=base_query, alias="t", column="production_year")
+
+
+class TestConstruction:
+    def test_unknown_alias_rejected(self, base_query):
+        with pytest.raises(QueryError):
+            QueryTemplate(base=base_query, alias="zz", column="production_year")
+
+    def test_already_constrained_column_rejected(self, base_query):
+        with pytest.raises(QueryError):
+            QueryTemplate(base=base_query, alias="mk", column="keyword_id")
+
+
+class TestDistinct(object):
+    def test_one_instance_per_distinct_sample_value(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="distinct")
+        sample = imdb_samples.for_table("title")
+        distinct = set(sample.column("production_year").non_null_values().tolist())
+        assert len(instances) == len(distinct)
+        labels = {inst.label for inst in instances}
+        assert labels == {int(v) for v in distinct}
+
+    def test_instances_extend_base(self, template, imdb_samples):
+        inst = template.instantiate(imdb_samples, mode="distinct")[0]
+        assert Predicate("t", "production_year", "=", inst.label) in inst.query.predicates
+        assert Predicate("mk", "keyword_id", "=", 1) in inst.query.predicates
+        assert inst.query.joins == template.base.joins
+
+    def test_limit(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="distinct", limit=5)
+        assert len(instances) == 5
+
+
+class TestWidth:
+    def test_year_grouping(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="width", width=10)
+        assert instances
+        # Each instance is a [lo, hi) range pair on production_year.
+        for inst in instances:
+            year_preds = [
+                p for p in inst.query.predicates if p.column == "production_year"
+            ]
+            assert len(year_preds) == 2
+            ops = sorted(p.op for p in year_preds)
+            assert ops in (["<", ">="], ["<=", ">="])
+
+    def test_ranges_cover_sample_span(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="width", width=5)
+        sample_years = imdb_samples.for_table("title").column("production_year")
+        lo, hi = sample_years.min_max()
+        first_lo = min(
+            p.literal
+            for inst in instances
+            for p in inst.query.predicates
+            if p.op == ">=" and p.column == "production_year"
+        )
+        assert first_lo <= lo
+
+    def test_invalid_width(self, template, imdb_samples):
+        with pytest.raises(QueryError):
+            template.instantiate(imdb_samples, mode="width", width=0)
+
+    def test_width_requires_width(self, template, imdb_samples):
+        with pytest.raises(QueryError):
+            template.instantiate(imdb_samples, mode="width")
+
+
+class TestBuckets:
+    def test_bucket_count(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="buckets", n_buckets=7)
+        assert len(instances) == 7
+
+    def test_labels_monotonic(self, template, imdb_samples):
+        instances = template.instantiate(imdb_samples, mode="buckets", n_buckets=5)
+        labels = [inst.label for inst in instances]
+        assert labels == sorted(labels)
+
+    def test_invalid_bucket_count(self, template, imdb_samples):
+        with pytest.raises(QueryError):
+            template.instantiate(imdb_samples, mode="buckets", n_buckets=0)
+
+
+class TestModeDispatch:
+    def test_unknown_mode(self, template, imdb_samples):
+        with pytest.raises(QueryError):
+            template.instantiate(imdb_samples, mode="holographic")
+
+    def test_string_column_distinct_works(self, imdb_small):
+        from repro.sampling import materialize_samples
+
+        samples = materialize_samples(imdb_small, ("keyword",), 50, seed=0)
+        base = Query(tables=(TableRef("keyword", "k"),))
+        template = QueryTemplate(base=base, alias="k", column="keyword")
+        instances = template.instantiate(samples, mode="distinct", limit=10)
+        assert all(isinstance(inst.label, str) for inst in instances)
+
+    def test_string_column_width_rejected(self, imdb_small):
+        from repro.sampling import materialize_samples
+
+        samples = materialize_samples(imdb_small, ("keyword",), 50, seed=0)
+        base = Query(tables=(TableRef("keyword", "k"),))
+        template = QueryTemplate(base=base, alias="k", column="keyword")
+        with pytest.raises(QueryError):
+            template.instantiate(samples, mode="width", width=1)
