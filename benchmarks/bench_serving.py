@@ -1,0 +1,133 @@
+"""Serving throughput: single-query loop vs the batched SketchServer.
+
+The paper claims sketches are "fast to query (within milliseconds)";
+this harness quantifies how far batching pushes that.  It builds a
+sketch over the synthetic IMDb, generates a JOB-light-style workload,
+tiles it to a 512-request stream, and measures:
+
+* the seed path — one ``estimate()`` call per request;
+* the vectorized ``estimate_many`` fast path on the distinct queries;
+* the full ``SketchServer`` (routing, micro-batching, LRU cache).
+
+Estimates from all paths must agree (max relative difference below
+1e-9; observed ~1e-15, i.e. BLAS kernel rounding), and the batched path
+must be at least 5x faster than the single-query loop — both are
+asserted in the full configuration, so this file doubles as an
+acceptance gate.  ``--tiny`` asserts identity only: sub-millisecond
+timings on shared CI runners are too noisy for a hard ratio.
+
+Run from the repository root::
+
+    python benchmarks/bench_serving.py           # full (a few minutes)
+    python benchmarks/bench_serving.py --tiny    # CI smoke run (seconds)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import SketchConfig  # noqa: E402
+from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
+from repro.demo import SketchManager  # noqa: E402
+from repro.serve import run_serving_benchmark  # noqa: E402
+from repro.serve.bench import apply_tiny_args  # noqa: E402
+from repro.workload import (  # noqa: E402
+    JobLightConfig,
+    generate_job_light,
+    spec_for_imdb,
+)
+
+#: Acceptance threshold: batched serving must beat the per-query loop
+#: by at least this factor on the tiled workload.
+MIN_SPEEDUP = 5.0
+
+
+def run(args) -> int:
+    db = generate_imdb(ImdbConfig(scale=args.scale, seed=7))
+    manager = SketchManager(db)
+    print(
+        f"building sketch (scale={args.scale}, {args.queries} training "
+        f"queries, {args.epochs} epochs, {args.samples} samples)...",
+        file=sys.stderr,
+    )
+    manager.create_sketch(
+        "bench",
+        spec_for_imdb(),
+        config=SketchConfig(
+            sample_size=args.samples,
+            n_training_queries=args.queries,
+            epochs=args.epochs,
+            hidden_units=args.hidden,
+            seed=args.seed,
+        ),
+    )
+    queries = generate_job_light(
+        db, JobLightConfig(n_queries=args.distinct, seed=args.seed + 1)
+    )
+    result = run_serving_benchmark(
+        manager, "bench", queries,
+        batch_size=args.batch, max_batch_size=args.max_batch,
+    )
+    text = result.report()
+    print(text)
+
+    results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "bench_serving.txt"), "w") as f:
+        f.write(text.rstrip() + "\n")
+
+    ok = True
+    if not result.identical:
+        print("FAIL: batched estimates diverge from the single-query path",
+              file=sys.stderr)
+        ok = False
+    # Wall-clock gating only in the full configuration: the tiny smoke
+    # run exists to check correctness on CI, where sub-millisecond
+    # timings on shared runners are too noisy for a hard ratio.
+    if not args.tiny and result.served_speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: served speedup {result.served_speedup:.1f}x is below "
+            f"the {MIN_SPEEDUP:.0f}x acceptance threshold",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"PASS: {result.served_speedup:.1f}x served / "
+            f"{result.vector_speedup:.1f}x vectorized, estimates identical",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--queries", type=int, default=2000,
+                        help="training queries for the benchmark sketch")
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument("--hidden", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--distinct", type=int, default=70,
+                        help="distinct JOB-light-style queries")
+    parser.add_argument("--batch", type=int, default=512,
+                        help="total serving requests (distinct tiled)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batch size per forward pass")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    if args.tiny:
+        apply_tiny_args(args)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from . import (
     nn,
     optimizer,
     sampling,
+    serve,
     workload,
 )
 from .core import DeepSketch, SketchConfig, build_sketch
@@ -50,6 +51,7 @@ __all__ = [
     "nn",
     "optimizer",
     "sampling",
+    "serve",
     "workload",
     "DeepSketch",
     "SketchConfig",

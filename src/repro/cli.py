@@ -62,6 +62,41 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=0.5)
     compare.add_argument("sketch", help="path to a saved sketch")
     compare.add_argument("sql", help="SELECT COUNT(*) query text")
+
+    serve = commands.add_parser(
+        "serve",
+        help="answer a stream of SQL queries with batched estimation",
+    )
+    serve.add_argument("sketches", nargs="+",
+                       help="saved sketch file(s); queries are routed to "
+                       "the narrowest covering sketch")
+    serve.add_argument("--sql", default="-",
+                       help="file with one SQL query per line ('-' = stdin)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="micro-batch size per model forward pass")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the per-sketch estimate cache")
+
+    bench = commands.add_parser(
+        "bench-serve",
+        help="measure single-query vs batched serving throughput",
+    )
+    bench.add_argument("--scale", type=float, default=0.3,
+                       help="synthetic IMDb scale factor")
+    bench.add_argument("--queries", type=int, default=2000,
+                       help="training queries for the benchmark sketch")
+    bench.add_argument("--epochs", type=int, default=4)
+    bench.add_argument("--samples", type=int, default=500)
+    bench.add_argument("--hidden", type=int, default=64)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--distinct", type=int, default=70,
+                       help="distinct JOB-light-style queries")
+    bench.add_argument("--batch", type=int, default=512,
+                       help="total requests (distinct queries tiled)")
+    bench.add_argument("--max-batch", type=int, default=256,
+                       help="micro-batch size per model forward pass")
+    bench.add_argument("--tiny", action="store_true",
+                       help="smoke-test configuration (seconds, not minutes)")
     return parser
 
 
@@ -134,11 +169,99 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _read_sql_lines(path: str) -> list[str]:
+    """SQL queries, one per line; blank lines and #-comments skipped."""
+    if path == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(path) as f:
+            lines = f.readlines()
+    return [s for s in (line.strip() for line in lines) if s and not s.startswith("#")]
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from .demo import SketchManager
+    from .serve import ServeConfig, SketchServer
+
+    manager = SketchManager(db=None)
+    for path in args.sketches:
+        manager.register_sketch(DeepSketch.load(path))
+    server = SketchServer(
+        manager,
+        ServeConfig(max_batch_size=args.max_batch, use_cache=not args.no_cache),
+    )
+    requests = _read_sql_lines(args.sql)
+    start = time.perf_counter()
+    responses = server.serve(requests)
+    elapsed = time.perf_counter() - start
+    for response in responses:
+        if response.ok:
+            flags = " (cached)" if response.cached else ""
+            print(f"{response.estimate:.0f}\t{response.sketch}{flags}")
+        else:
+            print(f"error\t{response.error}")
+    stats = server.stats
+    print(
+        f"served {stats.n_answered}/{stats.n_requests} requests in "
+        f"{elapsed:.3f}s ({stats.n_answered / max(elapsed, 1e-9):.0f} q/s; "
+        f"{stats.n_forward_batches} forward batches, "
+        f"{stats.n_cache_hits} cache hits, {stats.n_errors} errors)",
+        file=sys.stderr,
+    )
+    return 0 if stats.n_errors == 0 else 1
+
+
+def _cmd_bench_serve(args) -> int:
+    from .demo import SketchManager
+    from .serve import run_serving_benchmark
+    from .serve.bench import apply_tiny_args
+    from .workload import JobLightConfig, generate_job_light
+
+    if args.tiny:
+        apply_tiny_args(args)
+    db = load_dataset("imdb", scale=args.scale)
+    spec = _SPECS["imdb"]()
+    manager = SketchManager(db)
+    print(
+        f"building benchmark sketch (scale={args.scale}, "
+        f"{args.queries} training queries, {args.epochs} epochs)...",
+        file=sys.stderr,
+    )
+    manager.create_sketch(
+        "bench",
+        spec,
+        config=SketchConfig(
+            sample_size=args.samples,
+            n_training_queries=args.queries,
+            epochs=args.epochs,
+            hidden_units=args.hidden,
+            seed=args.seed,
+        ),
+    )
+    queries = generate_job_light(
+        db, JobLightConfig(n_queries=args.distinct, seed=args.seed + 1)
+    )
+    result = run_serving_benchmark(
+        manager, "bench", queries,
+        batch_size=args.batch, max_batch_size=args.max_batch,
+    )
+    print(result.report())
+    if not result.identical:
+        print("error: batched estimates diverge from the single-query path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
     "estimate": _cmd_estimate,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -29,6 +29,7 @@ demo relies on for columns like ``keyword.keyword``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -58,6 +59,22 @@ def _canonical_join(side_a: str, side_b: str) -> str:
     """Order-independent join signature ``min=max`` over the two sides."""
     first, second = sorted([side_a, side_b])
     return f"{first}={second}"
+
+
+class _BatchRowMemo:
+    """Feature rows shared across one featurization batch.
+
+    Rows are reused read-only (``np.stack``/``np.concatenate`` copy), so
+    sharing is safe and keeps batched featurization numerically
+    identical to the per-query path.
+    """
+
+    __slots__ = ("table_onehots", "join_rows", "predicate_rows")
+
+    def __init__(self):
+        self.table_onehots: dict[str, np.ndarray] = {}
+        self.join_rows: dict[str, np.ndarray] = {}
+        self.predicate_rows: dict[tuple, np.ndarray] = {}
 
 
 @dataclass
@@ -196,6 +213,24 @@ class Featurizer:
             f"{right_table}.{join.right_column}",
         )
 
+    def _index_maps(self) -> tuple[dict, dict, dict, dict]:
+        """(table, join, column, operator) -> position lookups.
+
+        Built once per featurizer: the vocabularies are fixed at
+        construction, and rebuilding four dicts per featurized query is
+        pure overhead on the estimation hot path.
+        """
+        maps = self.__dict__.get("_cached_index_maps")
+        if maps is None:
+            maps = (
+                {t: i for i, t in enumerate(self.tables)},
+                {j: i for i, j in enumerate(self.joins)},
+                {c: i for i, c in enumerate(self.columns)},
+                {o: i for i, o in enumerate(self.operators)},
+            )
+            self.__dict__["_cached_index_maps"] = maps
+        return maps
+
     def featurize_query(
         self,
         query: Query,
@@ -209,10 +244,42 @@ class Featurizer:
         :class:`~repro.errors.FeaturizationError` for anything outside
         the vocabularies (unknown table, join, column, or operator).
         """
-        table_index = {t: i for i, t in enumerate(self.tables)}
-        join_index = {j: i for i, j in enumerate(self.joins)}
-        column_index = {c: i for i, c in enumerate(self.columns)}
-        op_index = {o: i for i, o in enumerate(self.operators)}
+        return self._featurize_one(query, bitmaps, db, _BatchRowMemo())
+
+    def featurize_batch(
+        self,
+        queries: Sequence[Query],
+        bitmaps: Sequence[dict[str, np.ndarray]],
+        db: Database | None = None,
+    ) -> list[QueryFeatures]:
+        """Featurize a whole batch, sharing row construction work.
+
+        ``bitmaps`` is aligned with ``queries`` (one per-alias dict per
+        query, e.g. the output of
+        :func:`repro.sampling.bitmaps.batch_bitmaps`).  Join and
+        predicate feature rows are memoized across the batch — serving
+        workloads repeat join signatures and literals heavily — and the
+        resulting features are numerically identical to per-query
+        :meth:`featurize_query` calls.
+        """
+        if len(queries) != len(bitmaps):
+            raise FeaturizationError(
+                f"{len(queries)} queries but {len(bitmaps)} bitmap sets"
+            )
+        memo = _BatchRowMemo()
+        return [
+            self._featurize_one(query, query_bitmaps, db, memo)
+            for query, query_bitmaps in zip(queries, bitmaps)
+        ]
+
+    def _featurize_one(
+        self,
+        query: Query,
+        bitmaps: dict[str, np.ndarray],
+        db: Database | None,
+        memo: "_BatchRowMemo",
+    ) -> QueryFeatures:
+        table_index, join_index, column_index, op_index = self._index_maps()
 
         table_rows = []
         for ref in sorted(query.tables):
@@ -232,20 +299,26 @@ class Featurizer:
                 )
             if not self.use_bitmaps:
                 bitmap = np.zeros_like(bitmap)
-            table_rows.append(
-                np.concatenate([_one_hot(table_index[ref.table], len(self.tables)), bitmap])
-            )
+            onehot = memo.table_onehots.get(ref.table)
+            if onehot is None:
+                onehot = _one_hot(table_index[ref.table], len(self.tables))
+                memo.table_onehots[ref.table] = onehot
+            table_rows.append(np.concatenate([onehot, bitmap]))
         tables = np.stack(table_rows, axis=0)
 
         if query.joins:
             join_rows = []
             for join in query.joins:
                 signature = self._join_signature(query, join)
-                if signature not in join_index:
-                    raise FeaturizationError(
-                        f"join {signature!r} is outside this sketch's vocabulary"
-                    )
-                join_rows.append(_one_hot(join_index[signature], self.join_dim))
+                row = memo.join_rows.get(signature)
+                if row is None:
+                    if signature not in join_index:
+                        raise FeaturizationError(
+                            f"join {signature!r} is outside this sketch's vocabulary"
+                        )
+                    row = _one_hot(join_index[signature], self.join_dim)
+                    memo.join_rows[signature] = row
+                join_rows.append(row)
             joins = np.stack(join_rows, axis=0)
         else:
             joins = np.zeros((1, self.join_dim))
@@ -255,28 +328,34 @@ class Featurizer:
             for pred in query.predicates:
                 table_name = query.alias_table(pred.alias)
                 key = f"{table_name}.{pred.column}"
-                if key not in column_index:
-                    raise FeaturizationError(
-                        f"predicate column {key!r} is outside this sketch's vocabulary"
+                memo_key = (key, pred.op, pred.literal)
+                row = memo.predicate_rows.get(memo_key)
+                if row is None:
+                    if key not in column_index:
+                        raise FeaturizationError(
+                            f"predicate column {key!r} is outside this sketch's "
+                            "vocabulary"
+                        )
+                    if pred.op not in op_index:
+                        raise FeaturizationError(
+                            f"operator {pred.op!r} is outside this sketch's "
+                            f"vocabulary {self.operators}"
+                        )
+                    db_column = (
+                        db.table(table_name).column(pred.column)
+                        if db is not None
+                        else None
                     )
-                if pred.op not in op_index:
-                    raise FeaturizationError(
-                        f"operator {pred.op!r} is outside this sketch's vocabulary "
-                        f"{self.operators}"
-                    )
-                db_column = (
-                    db.table(table_name).column(pred.column) if db is not None else None
-                )
-                value = self.normalize_literal(db_column, key, pred.literal)
-                pred_rows.append(
-                    np.concatenate(
+                    value = self.normalize_literal(db_column, key, pred.literal)
+                    row = np.concatenate(
                         [
                             _one_hot(column_index[key], len(self.columns)),
                             _one_hot(op_index[pred.op], len(self.operators)),
                             np.array([value]),
                         ]
                     )
-                )
+                    memo.predicate_rows[memo_key] = row
+                pred_rows.append(row)
             predicates = np.stack(pred_rows, axis=0)
         else:
             predicates = np.zeros((1, self.predicate_dim))

@@ -18,10 +18,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..cache import LRUCache
 from ..errors import SketchError
 from ..metrics import MIN_CARDINALITY
 from ..nn.serialize import state_dict_from_bytes, state_dict_to_bytes
-from ..sampling.bitmaps import query_bitmaps
+from ..sampling.bitmaps import PredicateMaskMemo, batch_bitmaps, query_bitmaps
 from ..sampling.sampler import (
     MaterializedSamples,
     samples_from_payload,
@@ -33,6 +34,11 @@ from .batches import collate
 from .mscn import MSCN
 
 _SAMPLE_PREFIX = "sample."
+
+#: Default capacity of the per-sketch estimate cache.  Entries are a
+#: (Query, float) pair, so even the maximum footprint is tiny next to
+#: the materialized samples.
+DEFAULT_ESTIMATE_CACHE_SIZE = 8192
 
 
 class _SampleCatalog:
@@ -60,26 +66,55 @@ class DeepSketch:
     def __post_init__(self):
         self.model.eval()
         self._catalog = _SampleCatalog(self.samples)
+        self._cache = LRUCache(maxsize=DEFAULT_ESTIMATE_CACHE_SIZE)
+        self._mask_memo = PredicateMaskMemo(self.samples)
 
     # ------------------------------------------------------------------
     # estimation (Figure 1b)
     # ------------------------------------------------------------------
-    def estimate(self, query: Query | str) -> float:
-        """Cardinality estimate for ``query`` (SQL text or structured).
+    @property
+    def cache(self) -> LRUCache:
+        """The per-sketch estimate result cache (keyed by canonical query)."""
+        return self._cache
 
-        Raises :class:`~repro.errors.SketchError` when the query uses a
-        table outside the subset this sketch was defined on.
+    def clear_cache(self) -> None:
+        """Invalidate cached estimates (and memoized predicate masks).
+
+        Called by the demo manager when a sketch is dropped or replaced,
+        and by anything that mutates the model or samples in place.
         """
+        self._cache.clear()
+        self._mask_memo = PredicateMaskMemo(self.samples)
+
+    def _coerce(self, query: Query | str) -> Query:
         if isinstance(query, str):
             from ..db.sql import parse_sql
 
             query = parse_sql(query)
+        return query
+
+    def estimate(self, query: Query | str, use_cache: bool = True) -> float:
+        """Cardinality estimate for ``query`` (SQL text or structured).
+
+        Results are memoized per canonical query (``use_cache=False``
+        forces a fresh forward pass).  Raises
+        :class:`~repro.errors.SketchError` when the query uses a table
+        outside the subset this sketch was defined on.
+        """
+        query = self._coerce(query)
         self._check_tables(query)
+        if use_cache:
+            hit = self._cache.get(query)
+            if hit is not None:
+                return hit
         bitmaps = query_bitmaps(self.samples, query)
         features = self.featurizer.featurize_query(query, bitmaps, db=self._catalog)
         batch = collate([features])
         prediction = float(self.model(batch).numpy()[0])
-        return max(self.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
+        value = max(self.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
+        if use_cache:
+            self._cache.put(query, value)
+        return value
 
     def _check_tables(self, query: Query) -> None:
         outside = {t.table for t in query.tables} - set(self.featurizer.tables)
@@ -89,22 +124,59 @@ class DeepSketch:
                 f"sketch's subset {self.tables}"
             )
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Batched estimation (one network pass for many queries)."""
+    def estimate_many(
+        self, queries: list[Query | str], use_cache: bool = True
+    ) -> np.ndarray:
+        """Batched estimation: one network pass for all uncached queries.
+
+        The fast path shares work across the batch — each distinct
+        predicate mask is evaluated against the samples once
+        (:func:`~repro.sampling.bitmaps.batch_bitmaps`), featurization
+        reuses rows, duplicate queries collapse onto one model slot, and
+        cached queries skip the model entirely.  Estimates are
+        numerically identical to per-query :meth:`estimate` calls.
+        """
         if not queries:
             return np.empty(0)
-        features = []
-        for query in queries:
+        parsed = [self._coerce(q) for q in queries]
+        for query in parsed:
             self._check_tables(query)
-            bitmaps = query_bitmaps(self.samples, query)
-            features.append(
-                self.featurizer.featurize_query(query, bitmaps, db=self._catalog)
+
+        results = np.empty(len(parsed), dtype=np.float64)
+        # Collapse to distinct uncached queries: `slots` maps each input
+        # position to its position in the model batch (-1 = cache hit).
+        slots = np.full(len(parsed), -1, dtype=np.int64)
+        distinct: list[Query] = []
+        slot_of: dict[Query, int] = {}
+        for i, query in enumerate(parsed):
+            if use_cache:
+                hit = self._cache.get(query)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            slot = slot_of.get(query)
+            if slot is None:
+                slot = len(distinct)
+                distinct.append(query)
+                slot_of[query] = slot
+            slots[i] = slot
+
+        if distinct:
+            bitmaps = batch_bitmaps(self.samples, distinct, memo=self._mask_memo)
+            features = self.featurizer.featurize_batch(
+                distinct, bitmaps, db=self._catalog
             )
-        predictions = self.model(collate(features)).numpy()
-        return np.maximum(
-            np.array([self.featurizer.denormalize_label(p) for p in predictions]),
-            MIN_CARDINALITY,
-        )
+            predictions = self.model(collate(features)).numpy()
+            values = [
+                max(self.featurizer.denormalize_label(float(p)), MIN_CARDINALITY)
+                for p in predictions
+            ]
+            for i in np.flatnonzero(slots >= 0):
+                value = values[slots[i]]
+                results[i] = value
+                if use_cache:
+                    self._cache.put(parsed[i], value)
+        return results
 
     @property
     def tables(self) -> list[str]:

@@ -60,7 +60,9 @@ class PendingBuild:
 class SketchManager:
     """Holds named sketches over one database and builds new ones."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database | None = None):
+        # ``db`` may be None for a serving-only manager (pre-built
+        # sketches registered via register_sketch); builds require it.
         self.db = db
         self._sketches: dict[str, DeepSketch] = {}
         self._monitors: dict[str, Monitor] = {}
@@ -86,7 +88,10 @@ class SketchManager:
             raise SketchError(f"no sketch named {name!r}; have: {known}") from None
 
     def drop_sketch(self, name: str) -> None:
-        self.get_sketch(name)  # raise if missing
+        # Invalidate cached estimates: anything still holding a reference
+        # to the dropped sketch must not keep serving stale results, and
+        # a rebuild under the same name starts from a cold cache.
+        self.get_sketch(name).clear_cache()
         del self._sketches[name]
         self._monitors.pop(name, None)
 
@@ -220,9 +225,13 @@ class SketchManager:
         """Estimate a query against the named sketch."""
         return self.get_sketch(name).estimate(query)
 
-    def route(self, query: Query | str) -> tuple[str, float]:
-        """Estimate with the cheapest registered sketch that covers the
-        query's tables; returns ``(sketch name, estimate)``.
+    def query_many(self, name: str, queries: list[Query | str]) -> np.ndarray:
+        """Batched estimation against the named sketch (one forward pass
+        for all uncached queries; see :meth:`DeepSketch.estimate_many`)."""
+        return self.get_sketch(name).estimate_many(queries)
+
+    def route_name(self, query: Query | str) -> str:
+        """Name of the cheapest registered sketch covering the query.
 
         "Cheapest" means the fewest tables: a narrower sketch was trained
         on a denser sampling of the query's sub-space.
@@ -242,7 +251,36 @@ class SketchManager:
                 f"no registered sketch covers tables {sorted(needed)}"
             )
         _, name = min(candidates)
+        return name
+
+    def route(self, query: Query | str) -> tuple[str, float]:
+        """Estimate with the cheapest covering sketch: ``(name, estimate)``."""
+        name = self.route_name(query)
         return name, self.query(name, query)
+
+    def route_many(self, queries: list[Query | str]) -> list[tuple[str, float]]:
+        """Route and estimate a whole batch.
+
+        Queries are grouped by their routed sketch and each group is
+        answered with one batched :meth:`DeepSketch.estimate_many` call;
+        results come back in input order as ``(sketch name, estimate)``.
+        """
+        parsed: list[Query] = []
+        for query in queries:
+            if isinstance(query, str):
+                from ..db.sql import parse_sql
+
+                query = parse_sql(query)
+            parsed.append(query)
+        names = [self.route_name(q) for q in parsed]
+        groups: dict[str, list[int]] = {}
+        for i, name in enumerate(names):
+            groups.setdefault(name, []).append(i)
+        estimates = np.empty(len(parsed), dtype=np.float64)
+        for name, indices in groups.items():
+            values = self.get_sketch(name).estimate_many([parsed[i] for i in indices])
+            estimates[indices] = values
+        return [(name, float(estimates[i])) for i, name in enumerate(names)]
 
     # ------------------------------------------------------------------
     # advising (the conclusions' open question)

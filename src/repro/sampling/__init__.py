@@ -1,6 +1,13 @@
 """Materialized samples and qualifying bitmaps (paper Section 2)."""
 
-from .bitmaps import alias_bitmap, is_zero_tuple, qualifying_fractions, query_bitmaps
+from .bitmaps import (
+    PredicateMaskMemo,
+    alias_bitmap,
+    batch_bitmaps,
+    is_zero_tuple,
+    qualifying_fractions,
+    query_bitmaps,
+)
 from .sampler import (
     MaterializedSamples,
     manifest_from_bytes,
@@ -18,6 +25,8 @@ __all__ = [
     "payload_manifest_bytes",
     "manifest_from_bytes",
     "query_bitmaps",
+    "batch_bitmaps",
+    "PredicateMaskMemo",
     "alias_bitmap",
     "qualifying_fractions",
     "is_zero_tuple",

@@ -10,13 +10,24 @@ A bitmap for alias ``a`` has one bit per sample row of ``a``'s table; a
 bit is set when the row satisfies *all* of the query's predicates on
 ``a``.  Joins are deliberately not executed against samples — only base
 table selections are, exactly as in the reference implementation.
+
+For batched estimation (:func:`batch_bitmaps`) the predicate masks are
+memoized per distinct ``(table, column, op, literal)``: a serving batch
+routinely repeats literals (and whole selections) across queries, so
+each distinct predicate is evaluated against the sample exactly once
+and the combined per-alias bitmaps are shared across the batch.  The
+produced bitmaps are bit-identical to :func:`query_bitmaps`' — batching
+is a throughput optimization, never a semantic change.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from ..workload.query import Query
+from ..cache import LRUCache
+from ..workload.query import Predicate, Query
 from ..db.executor import table_filter_mask
 from .sampler import MaterializedSamples
 
@@ -37,6 +48,87 @@ def alias_bitmap(
 def query_bitmaps(samples: MaterializedSamples, query: Query) -> dict[str, np.ndarray]:
     """Bitmaps for every alias of ``query``, keyed by alias."""
     return {alias: alias_bitmap(samples, query, alias) for alias in query.aliases}
+
+
+class PredicateMaskMemo:
+    """Memo of predicate and combined-selection masks over one sample set.
+
+    Two levels are memoized:
+
+    * per-predicate masks, keyed by ``(table, column, op, literal)`` —
+      one :meth:`Column.evaluate` per distinct predicate per batch;
+    * combined per-selection bitmaps (already zero-padded to the nominal
+      sample size), keyed by ``(table, predicates)`` — queries repeating
+      a whole base-table selection share one array.
+
+    The memo may outlive a single batch (the serving engine keeps one
+    per sketch), because sample tables are immutable once materialized.
+    Both levels are LRU-bounded so a long-running server fed a templated
+    workload with ever-changing literals cannot grow memory without
+    limit (each entry is a sample-sized bool array).
+    """
+
+    def __init__(self, samples: MaterializedSamples, maxsize: int = 8192):
+        self._samples = samples
+        self._predicate_masks = LRUCache(maxsize=maxsize)
+        self._selection_bitmaps = LRUCache(maxsize=maxsize)
+        self.evaluations = 0  # distinct predicate evaluations performed
+
+    def predicate_mask(self, table_name: str, pred: Predicate) -> np.ndarray:
+        key = (table_name, pred.column, pred.op, pred.literal)
+        mask = self._predicate_masks.get(key)
+        if mask is None:
+            table = self._samples.for_table(table_name)
+            mask = table.column(pred.column).evaluate(pred.op, pred.literal)
+            self._predicate_masks.put(key, mask)
+            self.evaluations += 1
+        return mask
+
+    def selection_bitmap(
+        self, table_name: str, predicates: Sequence[Predicate]
+    ) -> np.ndarray:
+        key = (table_name, tuple(predicates))
+        bitmap = self._selection_bitmaps.get(key)
+        if bitmap is None:
+            table = self._samples.for_table(table_name)
+            mask = np.ones(table.n_rows, dtype=bool)
+            for pred in predicates:
+                mask = mask & self.predicate_mask(table_name, pred)
+            if len(mask) < self._samples.sample_size:
+                padded = np.zeros(self._samples.sample_size, dtype=bool)
+                padded[: len(mask)] = mask
+                mask = padded
+            bitmap = mask
+            self._selection_bitmaps.put(key, bitmap)
+        return bitmap
+
+
+def batch_bitmaps(
+    samples: MaterializedSamples,
+    queries: Sequence[Query],
+    memo: PredicateMaskMemo | None = None,
+) -> list[dict[str, np.ndarray]]:
+    """Per-query alias bitmaps for a whole batch, sharing predicate work.
+
+    Returns one ``{alias: bitmap}`` dict per query, in order, with
+    arrays identical to what :func:`query_bitmaps` would produce.
+    Bitmaps are shared (not copied) between queries with equal
+    selections; callers must treat them as read-only, which every
+    consumer in this repository does (the featurizer copies on concat).
+    Pass a :class:`PredicateMaskMemo` to reuse mask work across batches.
+    """
+    memo = memo if memo is not None else PredicateMaskMemo(samples)
+    out: list[dict[str, np.ndarray]] = []
+    for query in queries:
+        out.append(
+            {
+                alias: memo.selection_bitmap(
+                    query.alias_table(alias), query.predicates_for(alias)
+                )
+                for alias in query.aliases
+            }
+        )
+    return out
 
 
 def qualifying_fractions(samples: MaterializedSamples, query: Query) -> dict[str, float]:

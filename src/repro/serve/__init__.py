@@ -1,0 +1,26 @@
+"""Batched sketch-serving engine.
+
+The paper's pitch is that a Deep Sketch is "fast to query (within
+milliseconds)"; this package turns the one-query-at-a-time estimation
+path into a throughput-oriented serving subsystem.  A
+:class:`SketchServer` accepts a stream of SQL strings or structured
+queries, parses and routes them per sketch, coalesces them into
+micro-batches, and answers each micro-batch with a single MSCN forward
+pass over the vectorized pre-model pipeline
+(:func:`repro.sampling.bitmaps.batch_bitmaps` +
+:meth:`repro.core.featurization.Featurizer.featurize_batch`), backed by
+a per-sketch LRU result cache.
+"""
+
+from .bench import ServingBenchResult, run_serving_benchmark, tile_workload
+from .server import EstimateResponse, ServeConfig, ServerStats, SketchServer
+
+__all__ = [
+    "SketchServer",
+    "ServeConfig",
+    "ServerStats",
+    "EstimateResponse",
+    "ServingBenchResult",
+    "run_serving_benchmark",
+    "tile_workload",
+]

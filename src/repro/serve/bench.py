@@ -1,0 +1,191 @@
+"""Serving throughput measurement (shared by CLI and benchmark harness).
+
+Compares three ways of answering the same workload with one sketch:
+
+* the **single-query loop** — ``sketch.estimate(q, use_cache=False)``
+  per query, the seed repository's only path;
+* the **vectorized batch** — ``sketch.estimate_many(..., use_cache=False)``
+  on the distinct queries (isolates the pure batching win: shared
+  predicate masks, shared featurization rows, one forward pass);
+* the **serving engine** — a :class:`~repro.serve.server.SketchServer`
+  flush over the full stream with micro-batching and the LRU cache
+  (what production traffic would see; repeated queries hit the cache).
+
+Estimates from every path are compared for numerical identity.  Batched
+BLAS kernels may round differently from single-row kernels by a few
+ULPs (batch-size-invariant bitwise output is not a guarantee any tensor
+runtime makes), so "identical" here means a maximum relative difference
+below ``IDENTITY_RTOL`` — observed values are ~1e-15, i.e. the noise of
+one double-precision rounding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..workload.query import Query
+from .server import ServeConfig, SketchServer
+
+#: Maximum relative difference tolerated between the single-query and
+#: batched paths before the benchmark declares them non-identical.
+IDENTITY_RTOL = 1e-9
+
+#: The ``--tiny`` smoke configuration shared by ``repro bench-serve``
+#: and ``benchmarks/bench_serving.py``: small enough for CI seconds,
+#: large enough to exercise batching, routing, and the cache.
+TINY_BENCH_ARGS = {
+    "scale": 0.05,
+    "queries": 300,
+    "epochs": 2,
+    "samples": 50,
+    "hidden": 16,
+    "distinct": 12,
+    "batch": 64,
+}
+
+
+def apply_tiny_args(args) -> None:
+    """Overwrite an argparse namespace with the tiny smoke configuration."""
+    for key, value in TINY_BENCH_ARGS.items():
+        setattr(args, key, value)
+
+
+@dataclass
+class ServingBenchResult:
+    """Headline numbers of one serving benchmark run."""
+
+    n_queries: int
+    n_distinct: int
+    single_seconds: float
+    vector_seconds: float
+    served_seconds: float
+    max_rel_diff_vector: float
+    max_rel_diff_served: float
+    n_forward_batches: int
+    n_cache_hits: int
+
+    @property
+    def single_qps(self) -> float:
+        return self.n_queries / self.single_seconds
+
+    @property
+    def vector_qps(self) -> float:
+        return self.n_distinct / self.vector_seconds
+
+    @property
+    def served_qps(self) -> float:
+        return self.n_queries / self.served_seconds
+
+    @property
+    def vector_speedup(self) -> float:
+        """Per-query speedup of the vectorized path on distinct queries."""
+        per_single = self.single_seconds / self.n_queries
+        per_vector = self.vector_seconds / self.n_distinct
+        return per_single / per_vector
+
+    @property
+    def served_speedup(self) -> float:
+        return self.single_seconds / self.served_seconds
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.max_rel_diff_vector <= IDENTITY_RTOL
+            and self.max_rel_diff_served <= IDENTITY_RTOL
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"workload          : {self.n_queries} queries "
+            f"({self.n_distinct} distinct)",
+            f"single-query loop : {self.single_seconds:8.3f}s "
+            f"({self.single_qps:10.0f} q/s)",
+            f"vectorized batch  : {self.vector_seconds:8.3f}s "
+            f"({self.vector_qps:10.0f} q/s on distinct, "
+            f"{self.vector_speedup:5.1f}x per query)",
+            f"sketch server     : {self.served_seconds:8.3f}s "
+            f"({self.served_qps:10.0f} q/s, {self.served_speedup:5.1f}x)",
+            f"forward batches   : {self.n_forward_batches} "
+            f"(cache hits: {self.n_cache_hits})",
+            f"max rel. diff     : vectorized {self.max_rel_diff_vector:.2e}, "
+            f"served {self.max_rel_diff_served:.2e} "
+            f"({'identical' if self.identical else 'NOT identical'} at "
+            f"rtol={IDENTITY_RTOL:.0e})",
+        ]
+        return "\n".join(lines)
+
+
+def tile_workload(queries: Sequence[Query], size: int) -> list[Query]:
+    """Repeat a distinct workload round-robin up to ``size`` requests.
+
+    Serving traffic repeats queries (dashboards, retried transactions,
+    popular templates); tiling a JOB-light-style workload to the target
+    batch size models that while keeping every distinct query in play.
+    """
+    if not queries:
+        return []
+    return [queries[i % len(queries)] for i in range(size)]
+
+
+def run_serving_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    batch_size: int = 512,
+    max_batch_size: int = 256,
+) -> ServingBenchResult:
+    """Measure single-query vs batched serving on ``queries``.
+
+    ``queries`` are the distinct workload; they are tiled round-robin to
+    ``batch_size`` requests.  The sketch's cache is cleared before each
+    timed pass so no path benefits from earlier passes.
+    """
+    sketch = manager.get_sketch(sketch_name)
+    workload = tile_workload(list(queries), batch_size)
+    distinct = list(dict.fromkeys(workload))
+
+    # Pass 1: the seed path — one estimate() per request, no caching.
+    sketch.clear_cache()
+    t0 = time.perf_counter()
+    single = np.array([sketch.estimate(q, use_cache=False) for q in workload])
+    single_seconds = time.perf_counter() - t0
+
+    # Pass 2: vectorized batch over the distinct queries, cache off.
+    sketch.clear_cache()
+    t0 = time.perf_counter()
+    vector = sketch.estimate_many(distinct, use_cache=False)
+    vector_seconds = time.perf_counter() - t0
+
+    # Pass 3: the serving engine over the full stream, cold cache.
+    sketch.clear_cache()
+    server = SketchServer(
+        manager, ServeConfig(max_batch_size=max_batch_size, use_cache=True)
+    )
+    t0 = time.perf_counter()
+    responses = server.serve(workload, sketch=sketch_name)
+    served_seconds = time.perf_counter() - t0
+    served = np.array([r.estimate for r in responses])
+    if not all(r.ok for r in responses):
+        raise RuntimeError(
+            "serving benchmark hit errors: "
+            + "; ".join(r.error for r in responses if not r.ok)
+        )
+
+    single_by_query = {q: e for q, e in zip(workload, single)}
+    vector_expected = np.array([single_by_query[q] for q in distinct])
+    max_rel = lambda a, b: float(np.max(np.abs(a - b) / np.maximum(np.abs(b), 1e-300))) if len(a) else 0.0
+    return ServingBenchResult(
+        n_queries=len(workload),
+        n_distinct=len(distinct),
+        single_seconds=single_seconds,
+        vector_seconds=vector_seconds,
+        served_seconds=served_seconds,
+        max_rel_diff_vector=max_rel(vector, vector_expected),
+        max_rel_diff_served=max_rel(served, single),
+        n_forward_batches=server.stats.n_forward_batches,
+        n_cache_hits=server.stats.n_cache_hits,
+    )

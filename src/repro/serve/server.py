@@ -1,0 +1,200 @@
+"""The batched estimation server.
+
+Request lifecycle::
+
+    submit(sql | Query [, sketch])   # enqueue, cheap
+        -> flush()                   # parse, route, micro-batch, answer
+            -> list[EstimateResponse]  # in submission order
+
+``flush`` is where the throughput comes from: requests are grouped by
+the sketch that will answer them, each group is split into micro-batches
+of at most ``ServeConfig.max_batch_size`` queries, and every micro-batch
+costs one MSCN forward pass (cache hits and duplicate queries never
+reach the model at all).  Failures are isolated per request — a
+malformed SQL string or an uncovered table subset yields an error
+response instead of poisoning its batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ReproError, SketchError
+from ..workload.query import Query
+from ..demo.manager import SketchManager
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving knobs.
+
+    ``max_batch_size`` bounds the per-forward micro-batch (memory for
+    the padded feature tensors scales with batch size x the largest set
+    in the batch); ``use_cache`` toggles the per-sketch LRU result
+    cache.
+    """
+
+    max_batch_size: int = 256
+    use_cache: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size <= 0:
+            raise SketchError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+
+
+@dataclass
+class EstimateResponse:
+    """Outcome of one served request (exactly one of estimate/error set)."""
+
+    request: Query | str
+    query: Query | None
+    sketch: str | None
+    estimate: float | None
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ServerStats:
+    """Cumulative counters over a server's lifetime."""
+
+    n_requests: int = 0
+    n_answered: int = 0
+    n_errors: int = 0
+    n_forward_batches: int = 0
+    n_cache_hits: int = 0
+    sketch_requests: dict = field(default_factory=dict)  # name -> count
+
+
+class SketchServer:
+    """Serves cardinality estimates from a :class:`SketchManager`.
+
+    The server holds no model state of its own; it is a batching and
+    routing layer over the manager's registered sketches, so sketches
+    can be registered, dropped, or rebuilt between flushes without
+    restarting the server.
+    """
+
+    def __init__(self, manager: SketchManager, config: ServeConfig | None = None):
+        self.manager = manager
+        self.config = config or ServeConfig()
+        self.stats = ServerStats()
+        self._queue: list[tuple[Query | str, str | None]] = []
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: Query | str, sketch: str | None = None) -> int:
+        """Enqueue one request; returns its position in the next flush.
+
+        ``sketch`` pins the request to a named sketch; otherwise the
+        request is routed to the narrowest registered sketch covering
+        its tables at flush time.
+        """
+        self._queue.append((request, sketch))
+        self.stats.n_requests += 1
+        return len(self._queue) - 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def serve(
+        self, requests: Iterable[Query | str], sketch: str | None = None
+    ) -> list[EstimateResponse]:
+        """Submit a whole stream and flush it: the one-call batch API."""
+        for request in requests:
+            self.submit(request, sketch=sketch)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # the batched answer path
+    # ------------------------------------------------------------------
+    def flush(self) -> list[EstimateResponse]:
+        """Answer every pending request; responses in submission order."""
+        queue, self._queue = self._queue, []
+        responses: list[EstimateResponse] = []
+        groups: dict[str, list[int]] = {}  # sketch name -> response indices
+
+        for request, pinned in queue:
+            response = self._prepare(request, pinned)
+            responses.append(response)
+            if response.ok:
+                groups.setdefault(response.sketch, []).append(len(responses) - 1)
+
+        for name, indices in groups.items():
+            sketch = self.manager.get_sketch(name)
+            self.stats.sketch_requests[name] = (
+                self.stats.sketch_requests.get(name, 0) + len(indices)
+            )
+            for start in range(0, len(indices), self.config.max_batch_size):
+                chunk = indices[start : start + self.config.max_batch_size]
+                self._answer_chunk(sketch, [responses[i] for i in chunk])
+
+        for response in responses:
+            if response.ok:
+                self.stats.n_answered += 1
+            else:
+                self.stats.n_errors += 1
+        return responses
+
+    def _prepare(
+        self, request: Query | str, pinned: str | None
+    ) -> EstimateResponse:
+        """Parse and route one request (no model work yet)."""
+        response = EstimateResponse(
+            request=request, query=None, sketch=pinned, estimate=None
+        )
+        try:
+            if isinstance(request, str):
+                from ..db.sql import parse_sql
+
+                response.query = parse_sql(request)
+            else:
+                response.query = request
+            if pinned is None:
+                response.sketch = self.manager.route_name(response.query)
+            else:
+                self.manager.get_sketch(pinned)  # raise early if unknown
+        except ReproError as exc:
+            response.error = str(exc)
+        return response
+
+    def _answer_chunk(self, sketch, chunk: list[EstimateResponse]) -> None:
+        """One micro-batch: a single estimate_many call, plus accounting."""
+        queries = [r.query for r in chunk]
+        if self.config.use_cache:
+            for r in chunk:
+                r.cached = r.query in sketch.cache
+        try:
+            estimates = sketch.estimate_many(queries, use_cache=self.config.use_cache)
+        except ReproError:
+            # A query can pass routing yet fail featurization (unknown
+            # column/operator for this sketch's vocabulary).  Retry one
+            # by one so only the offending requests fail.
+            for r in chunk:
+                # Re-check at retry time: an earlier retry in this loop
+                # may have cached this query (duplicates in the chunk).
+                r.cached = self.config.use_cache and r.query in sketch.cache
+                try:
+                    r.estimate = sketch.estimate(r.query, use_cache=self.config.use_cache)
+                    if r.cached:
+                        self.stats.n_cache_hits += 1
+                    else:
+                        self.stats.n_forward_batches += 1
+                except ReproError as exc:
+                    r.cached = False
+                    r.error = str(exc)
+            return
+        if any(not r.cached for r in chunk):
+            self.stats.n_forward_batches += 1
+        self.stats.n_cache_hits += sum(r.cached for r in chunk)
+        for r, estimate in zip(chunk, estimates):
+            r.estimate = float(estimate)

@@ -6,8 +6,6 @@ training) are built once per test run.
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 import pytest
 
@@ -123,42 +121,3 @@ def trained_sketch(imdb_small):
         ),
     )
     return sketch, report
-
-
-def brute_force_count(db: Database, query) -> int:
-    """Oracle: enumerate the cross product row by row (tiny tables only)."""
-    aliases = query.aliases
-    tables = {a: db.table(query.alias_table(a)) for a in aliases}
-    total_rows = 1
-    for t in tables.values():
-        total_rows *= max(t.n_rows, 1)
-    assert total_rows <= 2_000_000, "brute force fixture used on too-large input"
-
-    count = 0
-    ranges = [range(tables[a].n_rows) for a in aliases]
-    for combo in itertools.product(*ranges):
-        rows = dict(zip(aliases, combo))
-        ok = True
-        for join in query.joins:
-            left_t = tables[join.left_alias]
-            right_t = tables[join.right_alias]
-            lcol = left_t.column(join.left_column)
-            rcol = right_t.column(join.right_column)
-            li, ri = rows[join.left_alias], rows[join.right_alias]
-            if not (lcol.valid[li] and rcol.valid[ri]):
-                ok = False
-                break
-            if lcol.values[li] != rcol.values[ri]:
-                ok = False
-                break
-        if not ok:
-            continue
-        for pred in query.predicates:
-            table = tables[pred.alias]
-            mask = table.column(pred.column).evaluate(pred.op, pred.literal)
-            if not mask[rows[pred.alias]]:
-                ok = False
-                break
-        if ok:
-            count += 1
-    return count

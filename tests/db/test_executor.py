@@ -19,7 +19,7 @@ from repro.db import (
 from repro.errors import QueryError
 from repro.workload import JoinEdge, Predicate, Query, TableRef
 
-from ..conftest import brute_force_count
+from tests.helpers import brute_force_count
 
 
 def q(tables, joins=(), predicates=()):

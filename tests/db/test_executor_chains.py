@@ -24,7 +24,7 @@ from repro.db import (
 )
 from repro.workload import JoinEdge, Predicate, Query, TableRef
 
-from ..conftest import brute_force_count
+from tests.helpers import brute_force_count
 
 
 @st.composite

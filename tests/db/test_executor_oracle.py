@@ -1,0 +1,228 @@
+"""Executor oracle cross-checks on randomized join graphs.
+
+The exact executor is the reproduction's ground-truth labeler (its
+counts train every sketch), so before any speedup work it gets pinned
+down three ways on randomized small instances:
+
+* ``count_factorized`` (acyclic only) vs the row-by-row brute force;
+* ``count_hash_join`` (general) vs the brute force, on both acyclic
+  *star/chain* graphs and *cyclic* (triangle) graphs;
+* ``execute_count``'s auto dispatch vs both.
+
+Instances are tiny (a few rows per table) so the brute-force cross
+product stays cheap while still exercising NULL join keys, empty
+filters, dangling foreign keys, and duplicate join values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import (
+    Column,
+    ColumnSchema,
+    Database,
+    DType,
+    Table,
+    TableSchema,
+    count_factorized,
+    count_hash_join,
+    execute_count,
+)
+from repro.errors import QueryError
+from repro.workload import JoinEdge, Predicate, Query, TableRef
+
+from tests.helpers import brute_force_count
+
+# ----------------------------------------------------------------------
+# randomized instance builders
+# ----------------------------------------------------------------------
+
+#: Join-key values are drawn from a small domain (plus NULLs) so joins
+#: produce real matches, dangles, and duplicates in every run.
+_key_values = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+_attr_values = st.integers(min_value=0, max_value=2)
+
+
+def _int_column(name, values):
+    valid = np.array([v is not None for v in values], dtype=bool)
+    data = np.array([v if v is not None else 0 for v in values], dtype=np.int64)
+    return Column(name, DType.INT64, data, valid)
+
+
+def _table(name, columns: dict[str, list]) -> Table:
+    schema = TableSchema(
+        name,
+        [ColumnSchema(col, DType.INT64, nullable=True) for col in columns],
+    )
+    return Table(schema, {col: _int_column(col, vals) for col, vals in columns.items()})
+
+
+@st.composite
+def star_instances(draw):
+    """Fact table joining 1-3 dimension tables on separate key columns."""
+    n_dims = draw(st.integers(min_value=1, max_value=3))
+    n_fact = draw(st.integers(min_value=0, max_value=6))
+    db = Database("star")
+
+    fact_cols = {"a": draw(st.lists(_attr_values, min_size=n_fact, max_size=n_fact))}
+    joins, tables = [], [TableRef("fact", "f")]
+    for d in range(n_dims):
+        key_col = f"k{d}"
+        fact_cols[key_col] = draw(
+            st.lists(_key_values, min_size=n_fact, max_size=n_fact)
+        )
+        n_dim = draw(st.integers(min_value=0, max_value=5))
+        db.add_table(
+            _table(
+                f"dim{d}",
+                {
+                    "id": draw(st.lists(_key_values, min_size=n_dim, max_size=n_dim)),
+                    "a": draw(st.lists(_attr_values, min_size=n_dim, max_size=n_dim)),
+                },
+            )
+        )
+        alias = f"d{d}"
+        tables.append(TableRef(f"dim{d}", alias))
+        joins.append(JoinEdge("f", key_col, alias, "id"))
+    db.add_table(_table("fact", fact_cols))
+
+    predicates = []
+    if draw(st.booleans()):
+        predicates.append(Predicate("f", "a", draw(st.sampled_from(["=", ">"])), 1))
+    if draw(st.booleans()):
+        predicates.append(Predicate("d0", "a", "=", draw(_attr_values)))
+    query = Query(tables=tuple(tables), joins=tuple(joins), predicates=tuple(predicates))
+    return db, query
+
+
+@st.composite
+def chain_instances(draw):
+    """a -> b -> c chain: count messages must pass through b."""
+    sizes = [draw(st.integers(min_value=0, max_value=5)) for _ in range(3)]
+    db = Database("chain")
+    db.add_table(
+        _table("ta", {"id": draw(st.lists(_key_values, min_size=sizes[0], max_size=sizes[0]))})
+    )
+    db.add_table(
+        _table(
+            "tb",
+            {
+                "a_id": draw(st.lists(_key_values, min_size=sizes[1], max_size=sizes[1])),
+                "id": draw(st.lists(_key_values, min_size=sizes[1], max_size=sizes[1])),
+            },
+        )
+    )
+    db.add_table(
+        _table(
+            "tc",
+            {
+                "b_id": draw(st.lists(_key_values, min_size=sizes[2], max_size=sizes[2])),
+                "a": draw(st.lists(_attr_values, min_size=sizes[2], max_size=sizes[2])),
+            },
+        )
+    )
+    predicates = []
+    if draw(st.booleans()):
+        predicates.append(Predicate("c", "a", "<", 2))
+    query = Query(
+        tables=(TableRef("ta", "a"), TableRef("tb", "b"), TableRef("tc", "c")),
+        joins=(JoinEdge("a", "id", "b", "a_id"), JoinEdge("b", "id", "c", "b_id")),
+        predicates=tuple(predicates),
+    )
+    return db, query
+
+
+@st.composite
+def triangle_instances(draw):
+    """A cyclic 3-clique: out of count_factorized's reach by design."""
+    db = Database("tri")
+    tables = []
+    for name in ("x", "y", "z"):
+        n = draw(st.integers(min_value=0, max_value=5))
+        db.add_table(
+            _table(
+                f"t{name}",
+                {
+                    "u": draw(st.lists(_key_values, min_size=n, max_size=n)),
+                    "v": draw(st.lists(_key_values, min_size=n, max_size=n)),
+                },
+            )
+        )
+        tables.append(TableRef(f"t{name}", name))
+    query = Query(
+        tables=tuple(tables),
+        joins=(
+            JoinEdge("x", "u", "y", "u"),
+            JoinEdge("y", "v", "z", "u"),
+            JoinEdge("x", "v", "z", "v"),
+        ),
+    )
+    return db, query
+
+
+# ----------------------------------------------------------------------
+# cross-checks
+# ----------------------------------------------------------------------
+
+
+class TestAcyclicOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(instance=star_instances())
+    def test_star_three_way_agreement(self, instance):
+        db, query = instance
+        truth = brute_force_count(db, query)
+        assert count_factorized(db, query) == truth
+        assert count_hash_join(db, query) == truth
+        assert execute_count(db, query) == truth
+
+    @settings(max_examples=40, deadline=None)
+    @given(instance=chain_instances())
+    def test_chain_three_way_agreement(self, instance):
+        db, query = instance
+        truth = brute_force_count(db, query)
+        assert count_factorized(db, query) == truth
+        assert count_hash_join(db, query) == truth
+        assert execute_count(db, query) == truth
+
+
+class TestCyclicOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(instance=triangle_instances())
+    def test_triangle_hash_join_matches_brute_force(self, instance):
+        db, query = instance
+        truth = brute_force_count(db, query)
+        assert count_hash_join(db, query) == truth
+        assert execute_count(db, query) == truth  # auto falls back to hash
+
+    @settings(max_examples=10, deadline=None)
+    @given(instance=triangle_instances())
+    def test_factorized_refuses_cycles(self, instance):
+        db, query = instance
+        with pytest.raises(QueryError):
+            count_factorized(db, query)
+
+
+class TestDisconnectedOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        na=st.integers(min_value=0, max_value=4),
+        nb=st.integers(min_value=0, max_value=4),
+        data=st.data(),
+    )
+    def test_cross_product_multiplies(self, na, nb, data):
+        db = Database("cross")
+        db.add_table(
+            _table("ta", {"a": data.draw(st.lists(_attr_values, min_size=na, max_size=na))})
+        )
+        db.add_table(
+            _table("tb", {"a": data.draw(st.lists(_attr_values, min_size=nb, max_size=nb))})
+        )
+        query = Query(
+            tables=(TableRef("ta", "a"), TableRef("tb", "b")),
+            predicates=(Predicate("a", "a", ">", 0),),
+        )
+        truth = brute_force_count(db, query)
+        assert count_factorized(db, query) == truth
+        assert count_hash_join(db, query) == truth
+        assert execute_count(db, query) == truth

@@ -1,0 +1,57 @@
+"""Importable test helpers (oracles and small builders).
+
+Kept outside ``conftest.py`` so test modules can import them directly:
+``conftest`` is pytest plugin machinery, not an importable module, and
+``from ..conftest import ...`` breaks when the test tree is collected
+without package ``__init__`` files.  Import as::
+
+    from tests.helpers import brute_force_count
+
+which resolves through the repository root on ``sys.path`` (configured
+via ``pythonpath`` in ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.db import Database
+
+
+def brute_force_count(db: Database, query) -> int:
+    """Oracle: enumerate the cross product row by row (tiny tables only)."""
+    aliases = query.aliases
+    tables = {a: db.table(query.alias_table(a)) for a in aliases}
+    total_rows = 1
+    for t in tables.values():
+        total_rows *= max(t.n_rows, 1)
+    assert total_rows <= 2_000_000, "brute force helper used on too-large input"
+
+    count = 0
+    ranges = [range(tables[a].n_rows) for a in aliases]
+    for combo in itertools.product(*ranges):
+        rows = dict(zip(aliases, combo))
+        ok = True
+        for join in query.joins:
+            left_t = tables[join.left_alias]
+            right_t = tables[join.right_alias]
+            lcol = left_t.column(join.left_column)
+            rcol = right_t.column(join.right_column)
+            li, ri = rows[join.left_alias], rows[join.right_alias]
+            if not (lcol.valid[li] and rcol.valid[ri]):
+                ok = False
+                break
+            if lcol.values[li] != rcol.values[ri]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for pred in query.predicates:
+            table = tables[pred.alias]
+            mask = table.column(pred.column).evaluate(pred.op, pred.literal)
+            if not mask[rows[pred.alias]]:
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count

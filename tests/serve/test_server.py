@@ -1,0 +1,176 @@
+"""SketchServer: routing, micro-batching, caching, and error isolation."""
+
+import numpy as np
+import pytest
+
+from repro.demo import SketchManager
+from repro.errors import SketchError
+from repro.serve import EstimateResponse, ServeConfig, SketchServer
+from repro.workload import Predicate, Query, TableRef, spec_for_imdb
+from repro.workload.generator import TrainingQueryGenerator
+
+RTOL = 1e-12
+
+
+@pytest.fixture()
+def manager(imdb_small, trained_sketch):
+    sketch, _ = trained_sketch
+    sketch.clear_cache()
+    manager = SketchManager(imdb_small)
+    manager.register_sketch(sketch)
+    yield manager
+    sketch.clear_cache()
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small):
+    gen = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=321)
+    return gen.draw_many(40)
+
+
+class TestServe:
+    def test_batch_matches_single_estimates(self, manager, trained_sketch, workload):
+        sketch, _ = trained_sketch
+        server = SketchServer(manager)
+        responses = server.serve(workload)
+        assert all(r.ok for r in responses)
+        assert [r.sketch for r in responses] == [sketch.name] * len(workload)
+        sketch.clear_cache()
+        single = [sketch.estimate(q, use_cache=False) for q in workload]
+        np.testing.assert_allclose(
+            [r.estimate for r in responses], single, rtol=RTOL, atol=0.0
+        )
+
+    def test_accepts_sql_strings(self, manager, workload):
+        sqls = [q.to_sql() for q in workload[:5]]
+        responses = SketchServer(manager).serve(sqls)
+        assert all(r.ok for r in responses)
+        assert all(isinstance(r.query, Query) for r in responses)
+
+    def test_responses_in_submission_order(self, manager, workload):
+        server = SketchServer(manager)
+        for q in workload[:7]:
+            server.submit(q)
+        assert server.pending == 7
+        responses = server.flush()
+        assert server.pending == 0
+        assert [r.request for r in responses] == list(workload[:7])
+
+    def test_micro_batching_counts_forwards(self, manager, workload):
+        server = SketchServer(manager, ServeConfig(max_batch_size=8, use_cache=False))
+        server.serve(workload[:20])
+        assert server.stats.n_forward_batches == 3  # ceil(20 / 8)
+        assert server.stats.n_answered == 20
+
+    def test_duplicate_heavy_stream_hits_cache(self, manager, workload):
+        distinct = list(workload[:6])
+        stream = [distinct[i % len(distinct)] for i in range(48)]
+        server = SketchServer(manager, ServeConfig(max_batch_size=16))
+        responses = server.serve(stream)
+        assert all(r.ok for r in responses)
+        # Later micro-batches find every query already cached.
+        assert server.stats.n_cache_hits > 0
+        assert server.stats.n_forward_batches < 3
+        # Repeats of one query all answer identically.
+        values = {}
+        for r in responses:
+            values.setdefault(r.query, set()).add(r.estimate)
+        assert all(len(v) == 1 for v in values.values())
+
+    def test_flush_on_empty_queue(self, manager):
+        assert SketchServer(manager).flush() == []
+
+
+class TestErrors:
+    def test_malformed_sql_is_isolated(self, manager, workload):
+        server = SketchServer(manager)
+        responses = server.serve(["SELECT nonsense;", workload[0].to_sql()])
+        assert not responses[0].ok and responses[0].estimate is None
+        assert responses[1].ok and responses[1].estimate is not None
+        assert server.stats.n_errors == 1
+        assert server.stats.n_answered == 1
+
+    def test_uncovered_tables_are_isolated(self, manager, workload):
+        outside = Query(tables=(TableRef("no_such_table", "x"),))
+        responses = SketchServer(manager).serve([outside, workload[0]])
+        assert not responses[0].ok
+        assert "no registered sketch covers" in responses[0].error
+        assert responses[1].ok
+
+    def test_unknown_pinned_sketch(self, manager, workload):
+        responses = SketchServer(manager).serve([workload[0]], sketch="ghost")
+        assert not responses[0].ok
+        assert "ghost" in responses[0].error
+
+    def test_unknown_predicate_column_is_isolated(self, manager, workload):
+        # Covered tables but a column outside the sketch's vocabulary:
+        # passes routing, fails featurization, must not poison the batch.
+        bad = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        responses = SketchServer(manager).serve([workload[0], bad, workload[1]])
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+
+    def test_fallback_retry_accounts_duplicates_as_cache_hits(self, manager, workload):
+        # A poisoned micro-batch falls back to per-query retries; the
+        # second occurrence of a duplicate must be answered (and
+        # counted) from the cache the first retry populated.
+        bad = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        good = workload[0]
+        server = SketchServer(manager)
+        responses = server.serve([good, bad, good])
+        assert responses[0].ok and responses[2].ok and not responses[1].ok
+        assert responses[2].cached
+        assert responses[0].estimate == responses[2].estimate
+        assert server.stats.n_forward_batches == 1
+        assert server.stats.n_cache_hits == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SketchError):
+            ServeConfig(max_batch_size=0)
+
+
+class TestRouting:
+    def test_routes_to_narrowest_covering_sketch(self, manager, imdb_small, workload):
+        from repro.core import SketchConfig, build_sketch
+
+        narrow, _ = build_sketch(
+            imdb_small,
+            spec_for_imdb(tables=("title", "movie_keyword")),
+            name="narrow",
+            config=SketchConfig(
+                n_training_queries=300, epochs=2, sample_size=50,
+                hidden_units=16, seed=11,
+            ),
+        )
+        manager.register_sketch(narrow)
+        narrow_query = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "production_year", ">", 2000),),
+        )
+        wide_query = workload[0]
+        responses = SketchServer(manager).serve([narrow_query, wide_query])
+        assert responses[0].sketch == "narrow"
+        assert all(r.ok for r in responses)
+
+    def test_route_many_matches_route(self, manager, workload):
+        batch = manager.route_many(list(workload[:10]))
+        for query, (name, estimate) in zip(workload[:10], batch):
+            single_name, single_estimate = manager.route(query)
+            assert name == single_name
+            assert estimate == pytest.approx(single_estimate, rel=RTOL)
+
+
+class TestResponses:
+    def test_response_shape(self, manager, workload):
+        (response,) = SketchServer(manager).serve([workload[0]])
+        assert isinstance(response, EstimateResponse)
+        assert response.request is workload[0]
+        assert response.query == workload[0]
+        assert response.estimate >= 1.0
+        assert response.error is None

@@ -1,0 +1,95 @@
+"""LRUCache unit tests: eviction order, stats, degenerate sizes."""
+
+import pytest
+
+from repro.cache import LRUCache
+from repro.errors import ReproError
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1.0)
+        assert cache.get("a") == 1.0
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_overwrite_updates_value(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1.0)
+        cache.put("a", 2.0)
+        assert cache.get("a") == 2.0
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")      # refresh a; b becomes stalest
+        cache.put("c", 3)   # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")     # no recency refresh: a stays stalest
+        cache.put("c", 3)   # evicts a
+        assert "a" not in cache and "b" in cache
+
+    def test_eviction_counted(self):
+        cache = LRUCache(maxsize=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+
+
+class TestStatsAndEdges:
+    def test_stats_and_hit_rate(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert LRUCache().stats().hit_rate == 0.0
+
+    def test_peek_touches_no_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.peek("a")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_zero_maxsize_disables_storage(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert "a" not in cache
+        assert cache.get("a") is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ReproError):
+            LRUCache(maxsize=-1)
+
+    def test_iteration_yields_keys(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert list(cache) == ["a", "b"]

@@ -96,5 +96,61 @@ class TestCompare:
         assert "PostgreSQL" in out
 
 
+class TestServe:
+    def test_serve_sql_file(self, sketch_path, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(
+            "# serving smoke workload\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+            "\n"
+            "SELECT COUNT(*) FROM title t, movie_keyword mk "
+            "WHERE mk.movie_id=t.id AND t.production_year>2000;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+        )
+        # --max-batch 2 puts the repeated query into a second micro-batch,
+        # where it is answered from the cache populated by the first.
+        code = main(["serve", sketch_path, "--sql", str(sql_file), "--max-batch", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3  # one per query, comments/blanks skipped
+        assert "(cached)" in lines[2]  # third query repeats the first
+        assert "served 3/3" in captured.err
+
+    def test_serve_isolates_bad_sql(self, sketch_path, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(
+            "SELECT nonsense;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+        )
+        code = main(["serve", sketch_path, "--sql", str(sql_file)])
+        captured = capsys.readouterr()
+        assert code == 1  # errors occurred, but the stream was served
+        lines = captured.out.strip().splitlines()
+        assert lines[0].startswith("error")
+        assert not lines[1].startswith("error")
+
+    def test_serve_matches_estimate(self, sketch_path, tmp_path, capsys):
+        sql = "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;"
+        assert main(["estimate", sketch_path, sql]) == 0
+        single = float(capsys.readouterr().out.strip())
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text(sql + "\n")
+        assert main(["serve", sketch_path, "--sql", str(sql_file)]) == 0
+        served = float(capsys.readouterr().out.split("\t")[0])
+        # Both commands print rounded estimates, so exact match expected.
+        assert served == single
+
+
+class TestBenchServe:
+    def test_tiny_benchmark_runs_and_passes(self, capsys):
+        code = main(["bench-serve", "--tiny"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sketch server" in captured.out
+        assert "identical" in captured.out
+        assert "NOT identical" not in captured.out
+
+
 def teardown_module():
     clear_dataset_cache()
