@@ -1,4 +1,4 @@
-"""Serving throughput: single-query loop vs the batched SketchServer.
+"""Serving throughput: single-query loop vs batched vs async serving.
 
 The paper claims sketches are "fast to query (within milliseconds)";
 this harness quantifies how far batching pushes that.  It builds a
@@ -9,17 +9,26 @@ tiles it to a 512-request stream, and measures:
 * the vectorized ``estimate_many`` fast path on the distinct queries;
 * the full ``SketchServer`` (routing, micro-batching, LRU cache).
 
+With ``--concurrent`` it additionally runs the asynchronous engine
+(``AsyncSketchServer``) under concurrent client threads: throughput and
+client-observed p50/p99 latency versus the synchronous server on the
+same stream, plus a low-load phase demonstrating that p99 queueing wait
+stays within 2x ``--max-wait-ms``.
+
 Estimates from all paths must agree (max relative difference below
 1e-9; observed ~1e-15, i.e. BLAS kernel rounding), and the batched path
 must be at least 5x faster than the single-query loop — both are
 asserted in the full configuration, so this file doubles as an
-acceptance gate.  ``--tiny`` asserts identity only: sub-millisecond
-timings on shared CI runners are too noisy for a hard ratio.
+acceptance gate.  The concurrent gates (async throughput >= sync,
+bounded p99 wait) are likewise asserted only in the full configuration.
+``--tiny`` asserts identity only: sub-millisecond timings on shared CI
+runners are too noisy for a hard ratio.
 
 Run from the repository root::
 
-    python benchmarks/bench_serving.py           # full (a few minutes)
-    python benchmarks/bench_serving.py --tiny    # CI smoke run (seconds)
+    python benchmarks/bench_serving.py                # full (a few minutes)
+    python benchmarks/bench_serving.py --concurrent   # adds the async scenario
+    python benchmarks/bench_serving.py --tiny         # CI smoke run (seconds)
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ from repro.core import SketchConfig  # noqa: E402
 from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
 from repro.demo import SketchManager  # noqa: E402
 from repro.serve import run_serving_benchmark  # noqa: E402
-from repro.serve.bench import apply_tiny_args  # noqa: E402
+from repro.serve.bench import apply_tiny_args, run_concurrent_benchmark  # noqa: E402
 from repro.workload import (  # noqa: E402
     JobLightConfig,
     generate_job_light,
@@ -46,6 +55,15 @@ from repro.workload import (  # noqa: E402
 #: Acceptance threshold: batched serving must beat the per-query loop
 #: by at least this factor on the tiled workload.
 MIN_SPEEDUP = 5.0
+
+#: Acceptance threshold for --concurrent: the async engine must sustain
+#: at least the throughput the synchronous batched server delivers to
+#: the same concurrent clients serving live traffic (mutex-serialized,
+#: one request per flush — without the async engine, clients that hold
+#: one request at a time have nothing to batch).  The chunk-owning
+#: concurrent pattern and the single-caller whole-stream ideal are
+#: reported alongside for scale.
+MIN_CONCURRENT_RATIO = 1.0
 
 
 def run(args) -> int:
@@ -75,6 +93,23 @@ def run(args) -> int:
         batch_size=args.batch, max_batch_size=args.max_batch,
     )
     text = result.report()
+
+    concurrent = None
+    if args.concurrent:
+        print(
+            f"running concurrent scenario ({args.clients} clients, "
+            f"max_wait={args.max_wait_ms:g}ms)...",
+            file=sys.stderr,
+        )
+        concurrent = run_concurrent_benchmark(
+            manager, "bench", queries,
+            batch_size=args.batch,
+            n_clients=args.clients,
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+        text += "\n\n--- concurrent clients (async engine) ---\n"
+        text += concurrent.report()
     print(text)
 
     results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -83,6 +118,12 @@ def run(args) -> int:
         f.write(text.rstrip() + "\n")
 
     ok = True
+    if result.n_errors:
+        print(f"note: {result.n_errors}/{result.n_queries} served requests "
+              "errored (isolated per request)", file=sys.stderr)
+    if result.all_failed:
+        print("FAIL: every served request errored", file=sys.stderr)
+        ok = False
     if not result.identical:
         print("FAIL: batched estimates diverge from the single-query path",
               file=sys.stderr)
@@ -97,12 +138,42 @@ def run(args) -> int:
             file=sys.stderr,
         )
         ok = False
+    if concurrent is not None:
+        if concurrent.all_failed:
+            print("FAIL: every concurrent request errored", file=sys.stderr)
+            ok = False
+        if not concurrent.identical:
+            print("FAIL: async estimates diverge from the single-query path",
+                  file=sys.stderr)
+            ok = False
+        if not args.tiny:
+            if concurrent.throughput_ratio < MIN_CONCURRENT_RATIO:
+                print(
+                    f"FAIL: async throughput is {concurrent.throughput_ratio:.2f}x "
+                    f"the sync server on live concurrent traffic "
+                    f"(need >= {MIN_CONCURRENT_RATIO:.2f}x)",
+                    file=sys.stderr,
+                )
+                ok = False
+            if not concurrent.p99_wait_bounded:
+                print(
+                    f"FAIL: low-load p99 wait "
+                    f"{concurrent.low_load_p99_wait * 1000:.2f}ms exceeds "
+                    f"2 x max_wait ({2 * args.max_wait_ms:.0f}ms)",
+                    file=sys.stderr,
+                )
+                ok = False
     if ok:
-        print(
+        summary = (
             f"PASS: {result.served_speedup:.1f}x served / "
-            f"{result.vector_speedup:.1f}x vectorized, estimates identical",
-            file=sys.stderr,
+            f"{result.vector_speedup:.1f}x vectorized, estimates identical"
         )
+        if concurrent is not None:
+            summary += (
+                f"; async {concurrent.throughput_ratio:.2f}x sync with "
+                f"p99 wait {concurrent.low_load_p99_wait * 1000:.1f}ms"
+            )
+        print(summary, file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -121,6 +192,13 @@ def main(argv=None) -> int:
                         help="total serving requests (distinct tiled)")
     parser.add_argument("--max-batch", type=int, default=256,
                         help="micro-batch size per forward pass")
+    parser.add_argument("--concurrent", action="store_true",
+                        help="also run the async engine under concurrent "
+                        "client threads (throughput + p50/p99 latency)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads for --concurrent")
+    parser.add_argument("--max-wait-ms", type=float, default=10.0,
+                        help="async flush deadline for --concurrent")
     parser.add_argument("--tiny", action="store_true",
                         help="smoke-test configuration for CI (seconds)")
     args = parser.parse_args(argv)

@@ -1,0 +1,56 @@
+"""Docs link check: every relative link in the repo's markdown resolves.
+
+Scans README.md and docs/**/*.md for markdown links/images and fails
+(exit 1) when a relative target does not exist in the checkout.
+External links (http/https/mailto) and pure in-page anchors are
+skipped — this is a rot check for file references, not a crawler.
+
+Run from anywhere:  python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO / "README.md"]
+    docs.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def check(path: Path) -> list[str]:
+    problems = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            candidate = target.split("#", 1)[0]
+            if not candidate:
+                continue
+            resolved = (path.parent / candidate).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{number}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = [p for f in files for p in check(f)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

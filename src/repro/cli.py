@@ -76,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size per model forward pass")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the per-sketch estimate cache")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asynchronous latency-bounded "
+                       "engine (background flush loop, request dedup, "
+                       "shared feature cache)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="async only: max queueing delay before a "
+                       "partial micro-batch is flushed")
 
     bench = commands.add_parser(
         "bench-serve",
@@ -183,19 +190,38 @@ def _cmd_serve(args) -> int:
     import time
 
     from .demo import SketchManager
-    from .serve import ServeConfig, SketchServer
+    from .serve import (
+        AsyncServeConfig,
+        AsyncSketchServer,
+        ServeConfig,
+        SketchServer,
+    )
 
     manager = SketchManager(db=None)
     for path in args.sketches:
         manager.register_sketch(DeepSketch.load(path))
-    server = SketchServer(
-        manager,
-        ServeConfig(max_batch_size=args.max_batch, use_cache=not args.no_cache),
-    )
     requests = _read_sql_lines(args.sql)
-    start = time.perf_counter()
-    responses = server.serve(requests)
-    elapsed = time.perf_counter() - start
+    if args.use_async:
+        server = AsyncSketchServer(
+            manager,
+            AsyncServeConfig(
+                max_batch_size=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                use_cache=not args.no_cache,
+            ),
+        )
+        start = time.perf_counter()
+        with server:
+            responses = server.serve(requests)
+        elapsed = time.perf_counter() - start
+    else:
+        server = SketchServer(
+            manager,
+            ServeConfig(max_batch_size=args.max_batch, use_cache=not args.no_cache),
+        )
+        start = time.perf_counter()
+        responses = server.serve(requests)
+        elapsed = time.perf_counter() - start
     for response in responses:
         if response.ok:
             flags = " (cached)" if response.cached else ""
@@ -210,6 +236,18 @@ def _cmd_serve(args) -> int:
         f"{stats.n_cache_hits} cache hits, {stats.n_errors} errors)",
         file=sys.stderr,
     )
+    if args.use_async:
+        waits = server.wait_summary()
+        print(
+            f"async waits: p50 {waits['p50'] * 1000:.2f}ms, "
+            f"p99 {waits['p99'] * 1000:.2f}ms "
+            f"({stats.n_flushes} flushes: {stats.n_flushes_full} full, "
+            f"{stats.n_flushes_timed} timed, {stats.n_flushes_idle} idle, "
+            f"{stats.n_flushes_drain} drain; "
+            f"{stats.n_deduped} deduped, "
+            f"{stats.n_fast_cache_hits} fast cache hits)",
+            file=sys.stderr,
+        )
     return 0 if stats.n_errors == 0 else 1
 
 
@@ -248,6 +286,15 @@ def _cmd_bench_serve(args) -> int:
         batch_size=args.batch, max_batch_size=args.max_batch,
     )
     print(result.report())
+    if result.n_errors:
+        print(
+            f"note: {result.n_errors}/{result.n_queries} served requests "
+            "errored (isolated per request)",
+            file=sys.stderr,
+        )
+    if result.all_failed:
+        print("error: every served request failed", file=sys.stderr)
+        return 1
     if not result.identical:
         print("error: batched estimates diverge from the single-query path",
               file=sys.stderr)

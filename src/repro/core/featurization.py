@@ -66,15 +66,68 @@ class _BatchRowMemo:
 
     Rows are reused read-only (``np.stack``/``np.concatenate`` copy), so
     sharing is safe and keeps batched featurization numerically
-    identical to the per-query path.
+    identical to the per-query path.  ``predicate_prefixes`` memoizes
+    the literal-independent part of a predicate row (column one-hot ⊕
+    operator one-hot) keyed by ``(column key, op)``; ``predicate_rows``
+    memoizes full rows including the normalized literal.
     """
 
-    __slots__ = ("table_onehots", "join_rows", "predicate_rows")
+    __slots__ = ("table_onehots", "join_rows", "predicate_rows", "predicate_prefixes")
 
     def __init__(self):
         self.table_onehots: dict[str, np.ndarray] = {}
         self.join_rows: dict[str, np.ndarray] = {}
         self.predicate_rows: dict[tuple, np.ndarray] = {}
+        self.predicate_prefixes: dict[tuple, np.ndarray] = {}
+
+
+def template_key(query: Query) -> tuple:
+    """Canonical *shape* of a query: everything except predicate literals.
+
+    Two queries share a template when they touch the same tables (with
+    the same aliases), the same join edges, and the same
+    ``(alias, column, op)`` predicate slots — the classic parameterized
+    workload ("same query, different constants").  All structure-derived
+    feature rows are a pure function of the template (plus the
+    featurizer's vocabularies); only the normalized-literal slot of each
+    predicate row depends on the constants.  The serving layer's shared
+    feature cache (:mod:`repro.serve.feature_cache`) is keyed by this.
+    """
+    return (
+        query.tables,
+        query.joins,
+        tuple((p.alias, p.column, p.op) for p in query.predicates),
+    )
+
+
+@dataclass(frozen=True)
+class TemplateFeatures:
+    """Literal-independent feature structure of one query template.
+
+    Everything here is a pure function of ``template_key(query)`` and
+    the owning featurizer's vocabularies, so it can be cached across
+    queries (and across time) and shared read-only:
+
+    * ``table_onehots`` — one-hot table ids aligned with the query's
+      canonically sorted table refs (bitmaps are appended per query);
+    * ``joins`` — the complete stacked join feature array (no
+      per-query component at all);
+    * ``predicate_prefixes`` — column one-hot ⊕ operator one-hot per
+      predicate slot, aligned with the query's canonical predicate
+      order (the normalized literal is appended per query);
+    * ``predicate_keys`` — the ``"table.column"`` key per slot, so the
+      assembly step can normalize literals without re-deriving them.
+
+    ``featurizer`` pins the vocabulary the rows were built against; a
+    cache hit is only valid when it is *the same object* (a rebuilt
+    sketch gets a fresh featurizer, invalidating entries by identity).
+    """
+
+    featurizer: "Featurizer"
+    table_onehots: tuple[np.ndarray, ...]
+    joins: np.ndarray
+    predicate_prefixes: tuple[np.ndarray, ...]
+    predicate_keys: tuple[str, ...]
 
 
 @dataclass
@@ -236,21 +289,26 @@ class Featurizer:
         query: Query,
         bitmaps: dict[str, np.ndarray],
         db: Database | None = None,
+        template_cache=None,
     ) -> QueryFeatures:
         """Featurize one query given its per-alias sample bitmaps.
 
         ``db`` is needed only to encode string literals; purely numeric
-        queries featurize without it.  Raises
+        queries featurize without it.  ``template_cache`` (any object
+        with the :class:`repro.serve.feature_cache.FeatureCache`
+        ``lookup``/``store`` protocol) short-circuits structure-row
+        construction for known templates.  Raises
         :class:`~repro.errors.FeaturizationError` for anything outside
         the vocabularies (unknown table, join, column, or operator).
         """
-        return self._featurize_one(query, bitmaps, db, _BatchRowMemo())
+        return self._featurize_one(query, bitmaps, db, _BatchRowMemo(), template_cache)
 
     def featurize_batch(
         self,
         queries: Sequence[Query],
         bitmaps: Sequence[dict[str, np.ndarray]],
         db: Database | None = None,
+        template_cache=None,
     ) -> list[QueryFeatures]:
         """Featurize a whole batch, sharing row construction work.
 
@@ -260,7 +318,9 @@ class Featurizer:
         predicate feature rows are memoized across the batch — serving
         workloads repeat join signatures and literals heavily — and the
         resulting features are numerically identical to per-query
-        :meth:`featurize_query` calls.
+        :meth:`featurize_query` calls.  With a ``template_cache``, the
+        memoization additionally persists *across* batches, keyed by
+        :func:`template_key`.
         """
         if len(queries) != len(bitmaps):
             raise FeaturizationError(
@@ -268,7 +328,7 @@ class Featurizer:
             )
         memo = _BatchRowMemo()
         return [
-            self._featurize_one(query, query_bitmaps, db, memo)
+            self._featurize_one(query, query_bitmaps, db, memo, template_cache)
             for query, query_bitmaps in zip(queries, bitmaps)
         ]
 
@@ -278,33 +338,38 @@ class Featurizer:
         bitmaps: dict[str, np.ndarray],
         db: Database | None,
         memo: "_BatchRowMemo",
+        template_cache=None,
     ) -> QueryFeatures:
+        template = None
+        if template_cache is not None:
+            key = template_key(query)
+            template = template_cache.lookup(self, key)
+        if template is None:
+            template = self._build_template(query, memo)
+            if template_cache is not None:
+                template_cache.store(self, key, template)
+        return self._assemble(template, query, bitmaps, db, memo)
+
+    def _build_template(self, query: Query, memo: "_BatchRowMemo") -> TemplateFeatures:
+        """Build the literal-independent structure rows for ``query``.
+
+        This is the vocabulary-validation point: unknown tables, joins,
+        columns, and operators raise here, before any per-query work.
+        """
         table_index, join_index, column_index, op_index = self._index_maps()
 
-        table_rows = []
+        table_onehots = []
         for ref in sorted(query.tables):
             if ref.table not in table_index:
                 raise FeaturizationError(
                     f"table {ref.table!r} is outside this sketch's vocabulary "
                     f"{self.tables}"
                 )
-            bitmap = bitmaps.get(ref.alias)
-            if bitmap is None:
-                raise FeaturizationError(f"missing bitmap for alias {ref.alias!r}")
-            bitmap = np.asarray(bitmap, dtype=np.float64)
-            if bitmap.shape != (self.sample_size,):
-                raise FeaturizationError(
-                    f"bitmap for {ref.alias!r} has shape {bitmap.shape}, "
-                    f"expected ({self.sample_size},)"
-                )
-            if not self.use_bitmaps:
-                bitmap = np.zeros_like(bitmap)
             onehot = memo.table_onehots.get(ref.table)
             if onehot is None:
                 onehot = _one_hot(table_index[ref.table], len(self.tables))
                 memo.table_onehots[ref.table] = onehot
-            table_rows.append(np.concatenate([onehot, bitmap]))
-        tables = np.stack(table_rows, axis=0)
+            table_onehots.append(onehot)
 
         if query.joins:
             join_rows = []
@@ -323,44 +388,99 @@ class Featurizer:
         else:
             joins = np.zeros((1, self.join_dim))
 
+        prefixes = []
+        keys = []
+        for pred in query.predicates:
+            table_name = query.alias_table(pred.alias)
+            key = f"{table_name}.{pred.column}"
+            prefix = memo.predicate_prefixes.get((key, pred.op))
+            if prefix is None:
+                if key not in column_index:
+                    raise FeaturizationError(
+                        f"predicate column {key!r} is outside this sketch's "
+                        "vocabulary"
+                    )
+                if pred.op not in op_index:
+                    raise FeaturizationError(
+                        f"operator {pred.op!r} is outside this sketch's "
+                        f"vocabulary {self.operators}"
+                    )
+                prefix = np.concatenate(
+                    [
+                        _one_hot(column_index[key], len(self.columns)),
+                        _one_hot(op_index[pred.op], len(self.operators)),
+                    ]
+                )
+                memo.predicate_prefixes[(key, pred.op)] = prefix
+            prefixes.append(prefix)
+            keys.append(key)
+
+        return TemplateFeatures(
+            featurizer=self,
+            table_onehots=tuple(table_onehots),
+            joins=joins,
+            predicate_prefixes=tuple(prefixes),
+            predicate_keys=tuple(keys),
+        )
+
+    def _assemble(
+        self,
+        template: TemplateFeatures,
+        query: Query,
+        bitmaps: dict[str, np.ndarray],
+        db: Database | None,
+        memo: "_BatchRowMemo",
+    ) -> QueryFeatures:
+        """Combine cached structure rows with per-query bitmaps/literals.
+
+        Only the per-query inputs are touched here — sample bitmaps for
+        the table set, normalized literals for the predicate set — so a
+        template-cache hit costs exactly the work that *cannot* be
+        shared between two instances of the same template.  The arrays
+        produced are bit-identical to an uncached featurization: rows
+        are assembled by the same ``np.concatenate`` calls on the same
+        operands.
+        """
+        table_rows = []
+        for onehot, ref in zip(template.table_onehots, sorted(query.tables)):
+            bitmap = bitmaps.get(ref.alias)
+            if bitmap is None:
+                raise FeaturizationError(f"missing bitmap for alias {ref.alias!r}")
+            bitmap = np.asarray(bitmap, dtype=np.float64)
+            if bitmap.shape != (self.sample_size,):
+                raise FeaturizationError(
+                    f"bitmap for {ref.alias!r} has shape {bitmap.shape}, "
+                    f"expected ({self.sample_size},)"
+                )
+            if not self.use_bitmaps:
+                bitmap = np.zeros_like(bitmap)
+            table_rows.append(np.concatenate([onehot, bitmap]))
+        tables = np.stack(table_rows, axis=0)
+
         if query.predicates:
             pred_rows = []
-            for pred in query.predicates:
-                table_name = query.alias_table(pred.alias)
-                key = f"{table_name}.{pred.column}"
+            for prefix, key, pred in zip(
+                template.predicate_prefixes, template.predicate_keys, query.predicates
+            ):
                 memo_key = (key, pred.op, pred.literal)
                 row = memo.predicate_rows.get(memo_key)
                 if row is None:
-                    if key not in column_index:
-                        raise FeaturizationError(
-                            f"predicate column {key!r} is outside this sketch's "
-                            "vocabulary"
-                        )
-                    if pred.op not in op_index:
-                        raise FeaturizationError(
-                            f"operator {pred.op!r} is outside this sketch's "
-                            f"vocabulary {self.operators}"
-                        )
                     db_column = (
-                        db.table(table_name).column(pred.column)
+                        db.table(query.alias_table(pred.alias)).column(pred.column)
                         if db is not None
                         else None
                     )
                     value = self.normalize_literal(db_column, key, pred.literal)
-                    row = np.concatenate(
-                        [
-                            _one_hot(column_index[key], len(self.columns)),
-                            _one_hot(op_index[pred.op], len(self.operators)),
-                            np.array([value]),
-                        ]
-                    )
+                    row = np.concatenate([prefix, np.array([value])])
                     memo.predicate_rows[memo_key] = row
                 pred_rows.append(row)
             predicates = np.stack(pred_rows, axis=0)
         else:
             predicates = np.zeros((1, self.predicate_dim))
 
-        return QueryFeatures(tables=tables, joins=joins, predicates=predicates)
+        return QueryFeatures(
+            tables=tables, joins=template.joins, predicates=predicates
+        )
 
     # ------------------------------------------------------------------
     # serialization (the featurizer travels inside the sketch payload)

@@ -125,7 +125,10 @@ class DeepSketch:
             )
 
     def estimate_many(
-        self, queries: list[Query | str], use_cache: bool = True
+        self,
+        queries: list[Query | str],
+        use_cache: bool = True,
+        feature_cache=None,
     ) -> np.ndarray:
         """Batched estimation: one network pass for all uncached queries.
 
@@ -133,8 +136,11 @@ class DeepSketch:
         predicate mask is evaluated against the samples once
         (:func:`~repro.sampling.bitmaps.batch_bitmaps`), featurization
         reuses rows, duplicate queries collapse onto one model slot, and
-        cached queries skip the model entirely.  Estimates are
-        numerically identical to per-query :meth:`estimate` calls.
+        cached queries skip the model entirely.  ``feature_cache`` (a
+        :class:`repro.serve.feature_cache.FeatureCache`) lets the
+        structure-row reuse persist across calls and across sketches for
+        templated workloads.  Estimates are numerically identical to
+        per-query :meth:`estimate` calls.
         """
         if not queries:
             return np.empty(0)
@@ -164,7 +170,7 @@ class DeepSketch:
         if distinct:
             bitmaps = batch_bitmaps(self.samples, distinct, memo=self._mask_memo)
             features = self.featurizer.featurize_batch(
-                distinct, bitmaps, db=self._catalog
+                distinct, bitmaps, db=self._catalog, template_cache=feature_cache
             )
             predictions = self.model(collate(features)).numpy()
             values = [

@@ -1,26 +1,54 @@
-"""Batched sketch-serving engine.
+"""Sketch-serving engine: batched synchronous and latency-bounded async.
 
 The paper's pitch is that a Deep Sketch is "fast to query (within
 milliseconds)"; this package turns the one-query-at-a-time estimation
-path into a throughput-oriented serving subsystem.  A
-:class:`SketchServer` accepts a stream of SQL strings or structured
-queries, parses and routes them per sketch, coalesces them into
-micro-batches, and answers each micro-batch with a single MSCN forward
-pass over the vectorized pre-model pipeline
-(:func:`repro.sampling.bitmaps.batch_bitmaps` +
-:meth:`repro.core.featurization.Featurizer.featurize_batch`), backed by
-a per-sketch LRU result cache.
+path into a throughput-oriented serving subsystem with two front doors:
+
+* :class:`SketchServer` — the synchronous engine.  A caller hands it a
+  stream (``serve``) or an explicit queue (``submit``/``flush``); it
+  parses and routes per sketch, coalesces micro-batches, and answers
+  each micro-batch with a single MSCN forward pass over the vectorized
+  pre-model pipeline (:func:`repro.sampling.bitmaps.batch_bitmaps` +
+  :meth:`repro.core.featurization.Featurizer.featurize_batch`), backed
+  by a per-sketch LRU result cache.
+* :class:`AsyncSketchServer` — the concurrent engine.  Thread-safe
+  ``submit()`` returns a future (``submit_async()`` for ``asyncio``);
+  a background loop flushes per-sketch micro-batches when they fill
+  *or* when the oldest request has waited ``max_wait_ms``, bounding
+  tail latency while sharing one flush across all waiting clients.
+  Identical in-flight queries are deduplicated across sketches, and a
+  shared template-keyed :class:`FeatureCache` reuses structure feature
+  rows between queries that differ only in literals.
+
+Both engines produce estimates numerically identical to the
+single-query path (see :mod:`repro.serve.bench` for the parity caveat
+and the measurement harness).
 """
 
+from .async_server import AsyncServeConfig, AsyncServerStats, AsyncSketchServer
 from .bench import ServingBenchResult, run_serving_benchmark, tile_workload
-from .server import EstimateResponse, ServeConfig, ServerStats, SketchServer
+from .feature_cache import FeatureCache
+from .server import (
+    EstimateResponse,
+    ServeConfig,
+    ServerStats,
+    SketchServer,
+    answer_chunk,
+    prepare_request,
+)
 
 __all__ = [
     "SketchServer",
     "ServeConfig",
     "ServerStats",
+    "AsyncSketchServer",
+    "AsyncServeConfig",
+    "AsyncServerStats",
+    "FeatureCache",
     "EstimateResponse",
     "ServingBenchResult",
+    "answer_chunk",
+    "prepare_request",
     "run_serving_benchmark",
     "tile_workload",
 ]

@@ -1,6 +1,7 @@
-"""Serving throughput measurement (shared by CLI and benchmark harness).
+"""Serving measurement harness (shared by CLI and benchmark scripts).
 
-Compares three ways of answering the same workload with one sketch:
+Two scenarios live here.  :func:`run_serving_benchmark` compares three
+ways of answering the same workload with one sketch:
 
 * the **single-query loop** — ``sketch.estimate(q, use_cache=False)``
   per query, the seed repository's only path;
@@ -10,6 +11,13 @@ Compares three ways of answering the same workload with one sketch:
 * the **serving engine** — a :class:`~repro.serve.server.SketchServer`
   flush over the full stream with micro-batching and the LRU cache
   (what production traffic would see; repeated queries hit the cache).
+
+:func:`run_concurrent_benchmark` measures the asynchronous engine
+(:class:`~repro.serve.async_server.AsyncSketchServer`) under concurrent
+clients: a high-load phase (N client threads firing the stream through
+``submit``) for throughput and client-observed latency percentiles, and
+a low-load phase (one closed-loop client) showing the ``max_wait_ms``
+bound on queueing delay.
 
 Estimates from every path are compared for numerical identity.  Batched
 BLAS kernels may round differently from single-row kernels by a few
@@ -27,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..errors import ReproError
 from ..workload.query import Query
 from .server import ServeConfig, SketchServer
 
@@ -67,6 +76,12 @@ class ServingBenchResult:
     max_rel_diff_served: float
     n_forward_batches: int
     n_cache_hits: int
+    n_errors: int = 0
+
+    @property
+    def all_failed(self) -> bool:
+        """Every served request errored — the result is meaningless."""
+        return self.n_queries > 0 and self.n_errors >= self.n_queries
 
     @property
     def single_qps(self) -> float:
@@ -110,7 +125,7 @@ class ServingBenchResult:
             f"sketch server     : {self.served_seconds:8.3f}s "
             f"({self.served_qps:10.0f} q/s, {self.served_speedup:5.1f}x)",
             f"forward batches   : {self.n_forward_batches} "
-            f"(cache hits: {self.n_cache_hits})",
+            f"(cache hits: {self.n_cache_hits}, errors: {self.n_errors})",
             f"max rel. diff     : vectorized {self.max_rel_diff_vector:.2e}, "
             f"served {self.max_rel_diff_served:.2e} "
             f"({'identical' if self.identical else 'NOT identical'} at "
@@ -131,6 +146,33 @@ def tile_workload(queries: Sequence[Query], size: int) -> list[Query]:
     return [queries[i % len(queries)] for i in range(size)]
 
 
+def _estimate_or_nan(sketch, query: Query) -> float:
+    """Uncached single estimate; NaN when the sketch rejects the query."""
+    try:
+        return sketch.estimate(query, use_cache=False)
+    except ReproError:
+        return float("nan")
+
+
+def _max_rel_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Max relative difference of ``a`` against the reference ``b``.
+
+    Positions where the *reference* is NaN are excused (the query fails
+    the single-query path too, so there is nothing to compare).  A NaN
+    in ``a`` where the reference is finite is a divergence, not an
+    excuse — it returns ``inf`` so the identity gate fails loudly
+    instead of silently masking a broken batched path.
+    """
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    mask = np.isfinite(b)
+    if not mask.any():
+        return 0.0
+    a, b = a[mask], b[mask]
+    if not np.isfinite(a).all():
+        return float("inf")
+    return float(np.max(np.abs(a - b) / np.maximum(np.abs(b), 1e-300)))
+
+
 def run_serving_benchmark(
     manager,
     sketch_name: str,
@@ -149,15 +191,21 @@ def run_serving_benchmark(
     distinct = list(dict.fromkeys(workload))
 
     # Pass 1: the seed path — one estimate() per request, no caching.
+    # A failing query yields NaN (excluded from the identity check)
+    # instead of aborting the run: the serving passes isolate the same
+    # failures per request, and the caller reports the error count.
     sketch.clear_cache()
     t0 = time.perf_counter()
-    single = np.array([sketch.estimate(q, use_cache=False) for q in workload])
+    single = np.array([_estimate_or_nan(sketch, q) for q in workload])
     single_seconds = time.perf_counter() - t0
 
     # Pass 2: vectorized batch over the distinct queries, cache off.
     sketch.clear_cache()
     t0 = time.perf_counter()
-    vector = sketch.estimate_many(distinct, use_cache=False)
+    try:
+        vector = sketch.estimate_many(distinct, use_cache=False)
+    except ReproError:
+        vector = np.array([_estimate_or_nan(sketch, q) for q in distinct])
     vector_seconds = time.perf_counter() - t0
 
     # Pass 3: the serving engine over the full stream, cold cache.
@@ -168,24 +216,342 @@ def run_serving_benchmark(
     t0 = time.perf_counter()
     responses = server.serve(workload, sketch=sketch_name)
     served_seconds = time.perf_counter() - t0
-    served = np.array([r.estimate for r in responses])
-    if not all(r.ok for r in responses):
-        raise RuntimeError(
-            "serving benchmark hit errors: "
-            + "; ".join(r.error for r in responses if not r.ok)
-        )
+    # Errors are isolated per request by the server; they are *counted*
+    # here (and surfaced in the report / exit code by the callers)
+    # rather than aborting the run, and identity is checked over the
+    # requests that were actually answered.
+    ok = np.array([r.ok for r in responses], dtype=bool)
+    served = np.array([r.estimate if r.ok else np.nan for r in responses])
 
     single_by_query = {q: e for q, e in zip(workload, single)}
     vector_expected = np.array([single_by_query[q] for q in distinct])
-    max_rel = lambda a, b: float(np.max(np.abs(a - b) / np.maximum(np.abs(b), 1e-300))) if len(a) else 0.0
     return ServingBenchResult(
         n_queries=len(workload),
         n_distinct=len(distinct),
         single_seconds=single_seconds,
         vector_seconds=vector_seconds,
         served_seconds=served_seconds,
-        max_rel_diff_vector=max_rel(vector, vector_expected),
-        max_rel_diff_served=max_rel(served, single),
+        max_rel_diff_vector=_max_rel_diff(vector, vector_expected),
+        max_rel_diff_served=_max_rel_diff(served, single),
         n_forward_batches=server.stats.n_forward_batches,
         n_cache_hits=server.stats.n_cache_hits,
+        n_errors=int((~ok).sum()),
+    )
+
+
+# ----------------------------------------------------------------------
+# concurrent-client scenario (the asynchronous engine)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ConcurrentBenchResult:
+    """Headline numbers of one concurrent serving benchmark run.
+
+    Three synchronous baselines are measured (the sync server is not
+    thread-safe, so concurrent clients must serialize around a mutex):
+
+    * ``sync_request_seconds`` — live-traffic reality: each client
+      holds one request at a time and flushes it alone
+      (``serve([q])`` under the mutex).  This is what the PR-1 engine
+      gives concurrent traffic, and the comparison the throughput gate
+      uses: no cross-client batching without the async machinery.
+    * ``sync_chunked_seconds`` — each client flushes its whole
+      round-robin share in one call: only possible when clients own
+      request batches up front (log replay, not live traffic).
+    * ``sync_single_seconds`` — one caller flushing the entire stream,
+      the offline ideal no concurrent deployment can reach.  On a
+      single-core host the async engine approaches but cannot beat it
+      (same model work plus future/lock overhead); on multi-core hosts
+      submission and the flush loop overlap.
+
+    ``async_seconds`` is the :class:`~repro.serve.async_server.
+    AsyncSketchServer` fed the same stream by ``n_clients`` threads.
+    Latency percentiles are client-observed (submit to future
+    resolution).  The low-load wait percentiles come from a separate
+    one-client closed-loop phase and demonstrate the ``max_wait_ms``
+    bound on queueing delay.
+    """
+
+    n_requests: int
+    n_distinct: int
+    n_clients: int
+    max_wait_ms: float
+    sync_single_seconds: float
+    sync_chunked_seconds: float
+    sync_request_seconds: float
+    async_seconds: float
+    p50_latency: float        # high-load, client-observed (seconds)
+    p99_latency: float
+    low_load_p50_wait: float  # one-client phase, server queue wait (seconds)
+    low_load_p99_wait: float
+    max_rel_diff: float       # async estimates vs the single-query path
+    n_deduped: int
+    n_forward_batches: int
+    n_fast_cache_hits: int
+    n_errors: int
+
+    @property
+    def sync_single_qps(self) -> float:
+        return self.n_requests / self.sync_single_seconds
+
+    @property
+    def sync_chunked_qps(self) -> float:
+        return self.n_requests / self.sync_chunked_seconds
+
+    @property
+    def sync_request_qps(self) -> float:
+        return self.n_requests / self.sync_request_seconds
+
+    @property
+    def async_qps(self) -> float:
+        return self.n_requests / self.async_seconds
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Async vs the sync engine serving live concurrent requests."""
+        return self.async_qps / self.sync_request_qps
+
+    @property
+    def chunked_ratio(self) -> float:
+        """Async vs concurrent clients flushing pre-owned chunks."""
+        return self.async_qps / self.sync_chunked_qps
+
+    @property
+    def single_caller_ratio(self) -> float:
+        """Async throughput vs the single-caller whole-stream ideal."""
+        return self.async_qps / self.sync_single_qps
+
+    @property
+    def identical(self) -> bool:
+        return self.max_rel_diff <= IDENTITY_RTOL
+
+    @property
+    def p99_wait_bounded(self) -> bool:
+        """Low-load p99 queue wait within 2x the configured max wait."""
+        return self.low_load_p99_wait <= 2.0 * self.max_wait_ms / 1000.0
+
+    @property
+    def all_failed(self) -> bool:
+        return self.n_requests > 0 and self.n_errors >= self.n_requests
+
+    def report(self) -> str:
+        lines = [
+            f"workload          : {self.n_requests} requests "
+            f"({self.n_distinct} distinct), {self.n_clients} clients",
+            f"sync (per request): {self.sync_request_seconds:8.3f}s "
+            f"({self.sync_request_qps:10.0f} q/s; live traffic: mutex, "
+            f"one request per flush)",
+            f"sync (per chunk)  : {self.sync_chunked_seconds:8.3f}s "
+            f"({self.sync_chunked_qps:10.0f} q/s; clients own request "
+            f"batches up front)",
+            f"sync (1 caller)   : {self.sync_single_seconds:8.3f}s "
+            f"({self.sync_single_qps:10.0f} q/s; whole-stream ideal)",
+            f"async server      : {self.async_seconds:8.3f}s "
+            f"({self.async_qps:10.0f} q/s: {self.throughput_ratio:5.2f}x "
+            f"live sync, {self.chunked_ratio:5.2f}x chunked, "
+            f"{self.single_caller_ratio:5.2f}x the ideal)",
+            f"client latency    : p50 {self.p50_latency * 1000:7.2f}ms, "
+            f"p99 {self.p99_latency * 1000:7.2f}ms (high load)",
+            f"queue wait        : p50 {self.low_load_p50_wait * 1000:7.2f}ms, "
+            f"p99 {self.low_load_p99_wait * 1000:7.2f}ms at low load "
+            f"(bound: 2 x max_wait = {2 * self.max_wait_ms:.0f}ms, "
+            f"{'OK' if self.p99_wait_bounded else 'EXCEEDED'})",
+            f"dedup / cache     : {self.n_deduped} deduped, "
+            f"{self.n_fast_cache_hits} fast cache hits, "
+            f"{self.n_forward_batches} forward batches, "
+            f"{self.n_errors} errors",
+            f"max rel. diff     : {self.max_rel_diff:.2e} vs single-query "
+            f"path ({'identical' if self.identical else 'NOT identical'} at "
+            f"rtol={IDENTITY_RTOL:.0e})",
+        ]
+        return "\n".join(lines)
+
+
+def _run_client_threads(n_clients: int, body) -> float:
+    """Run ``body(client_id)`` on ``n_clients`` threads; time only the work.
+
+    Threads are created and started before the clock; a barrier releases
+    them together so thread spawn cost is not charged to the engine
+    under test.
+    """
+    import threading as _threading
+
+    barrier = _threading.Barrier(n_clients + 1)
+
+    def runner(client_id: int) -> None:
+        barrier.wait()
+        body(client_id)
+
+    threads = [
+        _threading.Thread(target=runner, args=(c,)) for c in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - t0
+
+
+def run_concurrent_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    batch_size: int = 512,
+    n_clients: int = 8,
+    max_batch_size: int = 256,
+    max_wait_ms: float = 10.0,
+    min_idle_ms: float = 0.5,
+    low_load_requests: int = 32,
+    repeats: int = 3,
+) -> ConcurrentBenchResult:
+    """Measure the async engine under ``n_clients`` concurrent threads.
+
+    Phases, each from a cold result cache:
+
+    1. **Reference** — uncached single-query estimates for the whole
+       stream (the parity baseline).
+    2. **Sync, single caller** — one :class:`SketchServer` flush over
+       the stream: the offline ideal.
+    3. **Sync, concurrent** — the same server driven by ``n_clients``
+       threads around a mutex, in both live-traffic form (one request
+       per flush — the gate baseline) and chunk-owning form (each
+       client flushes its whole share).
+    4. **Async high load** — ``n_clients`` threads hand their share to
+       ``submit_many`` and gather futures; throughput and
+       client-observed latency percentiles are recorded.
+    5. **Low load** — one closed-loop client sends distinct queries so
+       every request meets the flush deadline alone, demonstrating the
+       ``max_wait_ms`` queueing bound.
+
+    Each timed phase runs ``repeats`` times (cold cache every time) and
+    the best run is reported — the phases take milliseconds, so
+    scheduler noise on a shared host would otherwise dominate the
+    engine comparison.
+    """
+    import threading as _threading
+
+    from .async_server import AsyncServeConfig, AsyncSketchServer, percentile
+
+    sketch = manager.get_sketch(sketch_name)
+    workload = tile_workload(list(queries), batch_size)
+    distinct = list(dict.fromkeys(workload))
+    shares = [
+        [workload[i] for i in range(c, len(workload), n_clients)]
+        for c in range(n_clients)
+    ]
+
+    # Phase 1: uncached single-query reference.
+    sketch.clear_cache()
+    reference = np.array([_estimate_or_nan(sketch, q) for q in workload])
+
+    # Phase 2: the synchronous batched server, one caller, cold cache.
+    def run_sync_single() -> tuple[float, None]:
+        sketch.clear_cache()
+        sync_server = SketchServer(
+            manager, ServeConfig(max_batch_size=max_batch_size, use_cache=True)
+        )
+        t0 = time.perf_counter()
+        sync_server.serve(workload, sketch=sketch_name)
+        return time.perf_counter() - t0, None
+
+    sync_single_seconds, _ = min(
+        (run_sync_single() for _ in range(repeats)), key=lambda r: r[0]
+    )
+
+    # Phase 3: the synchronous server under concurrent clients.
+    def run_sync_concurrent(per_request: bool) -> tuple[float, None]:
+        sketch.clear_cache()
+        sync_server = SketchServer(
+            manager, ServeConfig(max_batch_size=max_batch_size, use_cache=True)
+        )
+        mutex = _threading.Lock()
+
+        def sync_client(client_id: int) -> None:
+            if per_request:
+                # Live traffic: a client holds one request at a time,
+                # so without the async engine there is nothing to batch.
+                for query in shares[client_id]:
+                    with mutex:
+                        sync_server.serve([query], sketch=sketch_name)
+            else:
+                with mutex:
+                    sync_server.serve(shares[client_id], sketch=sketch_name)
+
+        return _run_client_threads(n_clients, sync_client), None
+
+    sync_request_seconds, _ = min(
+        (run_sync_concurrent(True) for _ in range(repeats)), key=lambda r: r[0]
+    )
+    sync_chunked_seconds, _ = min(
+        (run_sync_concurrent(False) for _ in range(repeats)), key=lambda r: r[0]
+    )
+
+    # Phase 4: the async engine fed by concurrent client threads.
+    config = AsyncServeConfig(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        min_idle_ms=min_idle_ms,
+    )
+
+    def run_async() -> tuple[float, dict]:
+        sketch.clear_cache()
+        estimates = np.full(len(workload), np.nan)
+        latencies = [0.0] * len(workload)
+        errors = [0] * n_clients
+        server = AsyncSketchServer(manager, config)
+
+        def async_client(client_id: int) -> None:
+            indices = list(range(client_id, len(workload), n_clients))
+            t_submit = time.perf_counter()
+            futures = server.submit_many(shares[client_id], sketch=sketch_name)
+            for i, future in zip(indices, futures):
+                response = future.result()
+                latencies[i] = time.perf_counter() - t_submit
+                if response.ok:
+                    estimates[i] = response.estimate
+                else:
+                    errors[client_id] += 1
+
+        with server:
+            seconds = _run_client_threads(n_clients, async_client)
+        return seconds, {
+            "estimates": estimates,
+            "latencies": latencies,
+            "errors": sum(errors),
+            "stats": server.stats,
+        }
+
+    async_seconds, async_run = min(
+        (run_async() for _ in range(repeats)), key=lambda r: r[0]
+    )
+
+    # Phase 5: low load — one closed-loop client, distinct queries, so
+    # every request sits alone in its buffer until a flush deadline.
+    sketch.clear_cache()
+    low_server = AsyncSketchServer(manager, config)
+    with low_server:
+        for query in tile_workload(distinct, low_load_requests):
+            low_server.submit(query, sketch=sketch_name).result()
+    waits = low_server.wait_summary()
+
+    return ConcurrentBenchResult(
+        n_requests=len(workload),
+        n_distinct=len(distinct),
+        n_clients=n_clients,
+        max_wait_ms=max_wait_ms,
+        sync_single_seconds=sync_single_seconds,
+        sync_chunked_seconds=sync_chunked_seconds,
+        sync_request_seconds=sync_request_seconds,
+        async_seconds=async_seconds,
+        p50_latency=percentile(async_run["latencies"], 0.50),
+        p99_latency=percentile(async_run["latencies"], 0.99),
+        low_load_p50_wait=waits["p50"],
+        low_load_p99_wait=waits["p99"],
+        max_rel_diff=_max_rel_diff(async_run["estimates"], reference),
+        n_deduped=async_run["stats"].n_deduped,
+        n_forward_batches=async_run["stats"].n_forward_batches,
+        n_fast_cache_hits=async_run["stats"].n_fast_cache_hits,
+        n_errors=async_run["errors"],
     )

@@ -1,4 +1,4 @@
-"""The batched estimation server.
+"""The synchronous batched estimation server.
 
 Request lifecycle::
 
@@ -13,6 +13,15 @@ costs one MSCN forward pass (cache hits and duplicate queries never
 reach the model at all).  Failures are isolated per request — a
 malformed SQL string or an uncovered table subset yields an error
 response instead of poisoning its batch.
+
+This server only flushes when a caller asks it to (``flush``/``serve``),
+which is the right shape for offline streams — a file of queries, a
+benchmark, a bulk re-estimation job.  For live concurrent traffic,
+where no single caller sees the whole stream and tail latency must be
+bounded, use :class:`repro.serve.async_server.AsyncSketchServer`, which
+runs the same prepare/answer pipeline (the module-level
+:func:`prepare_request` / :func:`answer_chunk` helpers below) from a
+background flush loop.
 """
 
 from __future__ import annotations
@@ -73,19 +82,101 @@ class ServerStats:
     sketch_requests: dict = field(default_factory=dict)  # name -> count
 
 
+def prepare_request(
+    manager: SketchManager, request: Query | str, pinned: str | None
+) -> EstimateResponse:
+    """Parse and route one request (no model work yet).
+
+    Returns a response with ``query`` and ``sketch`` resolved, or with
+    ``error`` set when the SQL is malformed, no registered sketch covers
+    the tables, or the pinned sketch name is unknown.
+    """
+    response = EstimateResponse(
+        request=request, query=None, sketch=pinned, estimate=None
+    )
+    try:
+        if isinstance(request, str):
+            from ..db.sql import parse_sql
+
+            response.query = parse_sql(request)
+        else:
+            response.query = request
+        if pinned is None:
+            response.sketch = manager.route_name(response.query)
+        else:
+            manager.get_sketch(pinned)  # raise early if unknown
+    except ReproError as exc:
+        response.error = str(exc)
+    return response
+
+
+def answer_chunk(
+    sketch,
+    chunk: list[EstimateResponse],
+    use_cache: bool,
+    stats: ServerStats,
+    feature_cache=None,
+) -> None:
+    """Answer one micro-batch in place: a single ``estimate_many`` call.
+
+    On a batch-level failure (a query can pass routing yet fail
+    featurization — unknown column/operator for this sketch's
+    vocabulary) the chunk is retried one request at a time so only the
+    offending requests fail.  Shared by the synchronous and async
+    servers; ``stats`` counters are updated for the whole chunk.
+    """
+    queries = [r.query for r in chunk]
+    if use_cache:
+        for r in chunk:
+            r.cached = r.query in sketch.cache
+    try:
+        estimates = sketch.estimate_many(
+            queries, use_cache=use_cache, feature_cache=feature_cache
+        )
+    except ReproError:
+        for r in chunk:
+            # Re-check at retry time: an earlier retry in this loop
+            # may have cached this query (duplicates in the chunk).
+            r.cached = use_cache and r.query in sketch.cache
+            try:
+                r.estimate = sketch.estimate(r.query, use_cache=use_cache)
+                if r.cached:
+                    stats.n_cache_hits += 1
+                else:
+                    stats.n_forward_batches += 1
+            except ReproError as exc:
+                r.cached = False
+                r.error = str(exc)
+        return
+    if any(not r.cached for r in chunk):
+        stats.n_forward_batches += 1
+    stats.n_cache_hits += sum(r.cached for r in chunk)
+    for r, estimate in zip(chunk, estimates):
+        r.estimate = float(estimate)
+
+
 class SketchServer:
     """Serves cardinality estimates from a :class:`SketchManager`.
 
     The server holds no model state of its own; it is a batching and
     routing layer over the manager's registered sketches, so sketches
     can be registered, dropped, or rebuilt between flushes without
-    restarting the server.
+    restarting the server.  ``feature_cache`` (a
+    :class:`repro.serve.feature_cache.FeatureCache`) is optional and may
+    be shared with other servers; it persists template structure rows
+    across flushes.
     """
 
-    def __init__(self, manager: SketchManager, config: ServeConfig | None = None):
+    def __init__(
+        self,
+        manager: SketchManager,
+        config: ServeConfig | None = None,
+        feature_cache=None,
+    ):
         self.manager = manager
         self.config = config or ServeConfig()
         self.stats = ServerStats()
+        self.feature_cache = feature_cache
         self._queue: list[tuple[Query | str, str | None]] = []
 
     # ------------------------------------------------------------------
@@ -148,53 +239,13 @@ class SketchServer:
     def _prepare(
         self, request: Query | str, pinned: str | None
     ) -> EstimateResponse:
-        """Parse and route one request (no model work yet)."""
-        response = EstimateResponse(
-            request=request, query=None, sketch=pinned, estimate=None
-        )
-        try:
-            if isinstance(request, str):
-                from ..db.sql import parse_sql
-
-                response.query = parse_sql(request)
-            else:
-                response.query = request
-            if pinned is None:
-                response.sketch = self.manager.route_name(response.query)
-            else:
-                self.manager.get_sketch(pinned)  # raise early if unknown
-        except ReproError as exc:
-            response.error = str(exc)
-        return response
+        return prepare_request(self.manager, request, pinned)
 
     def _answer_chunk(self, sketch, chunk: list[EstimateResponse]) -> None:
-        """One micro-batch: a single estimate_many call, plus accounting."""
-        queries = [r.query for r in chunk]
-        if self.config.use_cache:
-            for r in chunk:
-                r.cached = r.query in sketch.cache
-        try:
-            estimates = sketch.estimate_many(queries, use_cache=self.config.use_cache)
-        except ReproError:
-            # A query can pass routing yet fail featurization (unknown
-            # column/operator for this sketch's vocabulary).  Retry one
-            # by one so only the offending requests fail.
-            for r in chunk:
-                # Re-check at retry time: an earlier retry in this loop
-                # may have cached this query (duplicates in the chunk).
-                r.cached = self.config.use_cache and r.query in sketch.cache
-                try:
-                    r.estimate = sketch.estimate(r.query, use_cache=self.config.use_cache)
-                    if r.cached:
-                        self.stats.n_cache_hits += 1
-                    else:
-                        self.stats.n_forward_batches += 1
-                except ReproError as exc:
-                    r.cached = False
-                    r.error = str(exc)
-            return
-        if any(not r.cached for r in chunk):
-            self.stats.n_forward_batches += 1
-        self.stats.n_cache_hits += sum(r.cached for r in chunk)
-        for r, estimate in zip(chunk, estimates):
-            r.estimate = float(estimate)
+        answer_chunk(
+            sketch,
+            chunk,
+            use_cache=self.config.use_cache,
+            stats=self.stats,
+            feature_cache=self.feature_cache,
+        )

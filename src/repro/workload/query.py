@@ -150,6 +150,17 @@ class Query:
                 raise QueryError(
                     f"predicate {pred} references unknown alias {pred.alias!r}"
                 )
+        # The serving fast paths (result cache, dedup map, batch slot
+        # collapsing) hash each query several times per request, and the
+        # generated dataclass hash walks three tuples of nested frozen
+        # dataclasses every call.  The fields are immutable after
+        # canonicalization, so hash once here.
+        object.__setattr__(
+            self, "_hash", hash((self.tables, self.joins, self.predicates))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # convenience accessors

@@ -93,3 +93,79 @@ class TestStatsAndEdges:
         cache.put("a", 1)
         cache.put("b", 2)
         assert list(cache) == ["a", "b"]
+
+
+class TestTTLCache:
+    """TTLCache: LRU semantics plus deterministic-clock expiry."""
+
+    def _clocked(self, ttl=10.0, maxsize=4):
+        from repro.cache import TTLCache
+
+        now = [0.0]
+        cache = TTLCache(maxsize=maxsize, ttl_seconds=ttl, clock=lambda: now[0])
+        return cache, now
+
+    def test_roundtrip_before_expiry(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put("a", 1.0)
+        now[0] = 9.9
+        assert cache.get("a") == 1.0
+        assert "a" in cache
+
+    def test_entry_expires(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put("a", 1.0)
+        now[0] = 10.0
+        assert cache.get("a") is None
+        assert "a" not in cache
+        assert cache.expirations == 1
+        assert len(cache) == 0  # reaped on access
+
+    def test_put_refreshes_deadline(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put("a", 1.0)
+        now[0] = 8.0
+        cache.put("a", 2.0)  # new deadline: 18.0
+        now[0] = 12.0
+        assert cache.get("a") == 2.0
+
+    def test_peek_ignores_expired(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put("a", 1.0)
+        now[0] = 11.0
+        assert cache.peek("a") is None
+
+    def test_no_ttl_means_pure_lru(self):
+        from repro.cache import TTLCache
+
+        cache = TTLCache(maxsize=2, ttl_seconds=None, clock=lambda: 1e12)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts b (LRU), not by time
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_purge_expired(self):
+        cache, now = self._clocked(ttl=5.0, maxsize=8)
+        for i in range(3):
+            cache.put(i, i)
+        now[0] = 3.0
+        cache.put("young", 1)
+        now[0] = 6.0  # the first three are expired, "young" is not
+        assert cache.purge_expired() == 3
+        assert len(cache) == 1 and "young" in cache
+
+    def test_size_bound_still_applies(self):
+        cache, now = self._clocked(ttl=100.0, maxsize=2)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 2
+        assert cache.stats().evictions == 3
+
+    def test_invalid_params_rejected(self):
+        from repro.cache import TTLCache
+
+        with pytest.raises(ReproError):
+            TTLCache(maxsize=-1)
+        with pytest.raises(ReproError):
+            TTLCache(ttl_seconds=0.0)

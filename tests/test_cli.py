@@ -130,6 +130,41 @@ class TestServe:
         assert lines[0].startswith("error")
         assert not lines[1].startswith("error")
 
+    def test_serve_async_matches_sync(self, sketch_path, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>1990;\n"
+        )
+        assert main(["serve", sketch_path, "--sql", str(sql_file)]) == 0
+        sync_out = capsys.readouterr().out
+        code = main(
+            ["serve", sketch_path, "--sql", str(sql_file),
+             "--async", "--max-wait-ms", "20"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # Same rounded estimates down both paths, plus async wait stats.
+        sync_estimates = [line.split("\t")[0] for line in sync_out.splitlines()]
+        async_estimates = [
+            line.split("\t")[0] for line in captured.out.splitlines()
+        ]
+        assert async_estimates == sync_estimates
+        assert "async waits" in captured.err
+
+    def test_serve_async_isolates_bad_sql(self, sketch_path, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(
+            "SELECT nonsense;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+        )
+        code = main(["serve", sketch_path, "--sql", str(sql_file), "--async"])
+        captured = capsys.readouterr()
+        assert code == 1
+        lines = captured.out.strip().splitlines()
+        assert lines[0].startswith("error")
+        assert not lines[1].startswith("error")
+
     def test_serve_matches_estimate(self, sketch_path, tmp_path, capsys):
         sql = "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;"
         assert main(["estimate", sketch_path, sql]) == 0
