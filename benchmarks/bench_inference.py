@@ -1,0 +1,330 @@
+"""Model-forward latency/throughput: autograd graph vs compiled session.
+
+PR 1/2 vectorized everything around the model — bitmaps, featurization,
+batching, caching — leaving the MSCN forward itself as the dominant
+serving cost: every op in the autograd ``Tensor`` graph allocates a
+node, a backward closure, and a float64 intermediate that eval mode
+throws away.  This harness quantifies what the compiled
+``InferenceSession`` (flat in-place numpy calls against pooled buffers;
+``src/repro/nn/inference.py``) buys back:
+
+* **single-query latency** — one forward on a batch of 1, the paper's
+  "within milliseconds" interactive path;
+* **batched throughput** — queries/second through a 256-query forward,
+  the serving engines' micro-batch path;
+
+each for the autograd forward, the float64 session, and the float32
+session, plus parity checks (compiled vs autograd <= 1e-12 relative in
+float64, <= 1e-6 in float32) and an end-to-end serving check: a trained
+sketch's ``estimate_many`` (compiled) against the pre-compilation
+autograd estimate path on a real workload.
+
+Acceptance gates (asserted here, recorded in the JSON):
+
+* full run — float32 batched throughput >= 3x autograd, float64 >= 2x;
+  single-query latency >= 2x better in both dtypes; parity bounds hold.
+* ``--tiny`` (CI smoke) — compiled (float32) >= 2x autograd on the
+  256-query batch; parity bounds hold.  The remaining wall-clock gates
+  are skipped: shared CI runners are too noisy for tight ratios.
+
+Results are written to ``benchmarks/results/BENCH_inference.json``
+(uploaded as a CI artifact); see ``docs/performance.md`` for how to
+read them.
+
+Run from the repository root::
+
+    python benchmarks/bench_inference.py          # full (a minute or two)
+    python benchmarks/bench_inference.py --tiny   # CI smoke run (seconds)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import SketchConfig  # noqa: E402
+from repro.core.batches import collate  # noqa: E402
+from repro.core.featurization import QueryFeatures  # noqa: E402
+from repro.core.mscn import MSCN  # noqa: E402
+from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
+from repro.demo import SketchManager  # noqa: E402
+from repro.metrics import MIN_CARDINALITY  # noqa: E402
+from repro.nn.inference import InferenceSession  # noqa: E402
+from repro.sampling import query_bitmaps  # noqa: E402
+from repro.workload import spec_for_imdb  # noqa: E402
+from repro.workload.generator import TrainingQueryGenerator  # noqa: E402
+
+#: Full-run acceptance thresholds (the PR's headline claim).
+MIN_BATCHED_SPEEDUP_F32 = 3.0
+MIN_BATCHED_SPEEDUP_F64 = 2.0
+MIN_SINGLE_SPEEDUP = 2.0
+#: CI smoke threshold on the 256-query batch.
+MIN_TINY_BATCHED_SPEEDUP = 2.0
+#: Parity bounds (relative): compiled vs autograd forward outputs.
+MAX_REL_F64 = 1e-12
+MAX_REL_F32 = 1e-6
+#: End-to-end: compiled serving estimates vs the autograd estimate path.
+MAX_REL_SERVING = 1e-9
+
+
+def best_time(fn, iterations: int, repeats: int = 3) -> float:
+    """Seconds per call: best mean over ``repeats`` timed blocks."""
+    fn()  # warmup (populates buffer pools, JITs nothing — this is numpy)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best
+
+
+def synthetic_batch(rng, batch_size, table_dim, join_dim, predicate_dim):
+    """A ragged batch shaped like real serving traffic (1-4 tables, etc.)."""
+    features = []
+    for _ in range(batch_size):
+        n_t = int(rng.integers(1, 5))
+        n_j = max(n_t - 1, 1)
+        n_p = int(rng.integers(1, 5))
+        features.append(
+            QueryFeatures(
+                tables=rng.random((n_t, table_dim)),
+                joins=rng.random((n_j, join_dim)),
+                predicates=rng.random((n_p, predicate_dim)),
+            )
+        )
+    return collate(features)
+
+
+def max_rel(got: np.ndarray, ref: np.ndarray) -> float:
+    return float(np.max(np.abs(got - ref) / np.abs(ref)))
+
+
+def run_forward_bench(args) -> dict:
+    """Phase 1: the model forward in isolation, all three paths."""
+    table_dim = 6 + args.samples  # one-hot table ids + sample bitmap
+    join_dim, predicate_dim = 7, 40
+    rng = np.random.default_rng(args.seed)
+    model = MSCN(table_dim, join_dim, predicate_dim,
+                 hidden_units=args.hidden, seed=args.seed)
+    model.eval()
+    session64 = InferenceSession(model, dtype=np.float64)
+    session32 = InferenceSession(model, dtype=np.float32)
+
+    big = synthetic_batch(rng, args.batch, table_dim, join_dim, predicate_dim)
+    one = synthetic_batch(rng, 1, table_dim, join_dim, predicate_dim)
+
+    reference = model(big).numpy()
+    parity = {
+        "forward_float64_max_rel": max_rel(session64.run(big), reference),
+        "forward_float32_max_rel": max_rel(session32.run(big), reference),
+    }
+
+    t_auto_big = best_time(lambda: model(big).numpy(), args.iters_batched)
+    t_f64_big = best_time(lambda: session64.run(big), args.iters_batched)
+    t_f32_big = best_time(lambda: session32.run(big), args.iters_batched)
+    t_auto_one = best_time(lambda: model(one).numpy(), args.iters_single)
+    t_f64_one = best_time(lambda: session64.run(one), args.iters_single)
+    t_f32_one = best_time(lambda: session32.run(one), args.iters_single)
+
+    return {
+        "single_query": {
+            "autograd_us": t_auto_one * 1e6,
+            "compiled_float64_us": t_f64_one * 1e6,
+            "compiled_float32_us": t_f32_one * 1e6,
+            "speedup_float64": t_auto_one / t_f64_one,
+            "speedup_float32": t_auto_one / t_f32_one,
+        },
+        "batched": {
+            "batch_size": args.batch,
+            "autograd_qps": args.batch / t_auto_big,
+            "compiled_float64_qps": args.batch / t_f64_big,
+            "compiled_float32_qps": args.batch / t_f32_big,
+            "speedup_float64": t_auto_big / t_f64_big,
+            "speedup_float32": t_auto_big / t_f32_big,
+        },
+        "parity": parity,
+    }
+
+
+def run_serving_parity(args) -> dict:
+    """Phase 2: a real sketch's compiled estimates vs the autograd path."""
+    db = generate_imdb(ImdbConfig(scale=args.scale, seed=7))
+    manager = SketchManager(db)
+    manager.create_sketch(
+        "bench",
+        spec_for_imdb(),
+        config=SketchConfig(
+            sample_size=min(args.samples, 200),
+            n_training_queries=args.queries,
+            epochs=args.epochs,
+            hidden_units=args.hidden,
+            seed=args.seed,
+        ),
+    )
+    sketch = manager.get_sketch("bench")
+    workload = TrainingQueryGenerator(
+        db, spec_for_imdb(), seed=args.seed + 1
+    ).draw_many(args.distinct)
+
+    compiled = sketch.estimate_many(workload, use_cache=False)
+    autograd = []
+    for query in workload:
+        bitmaps = query_bitmaps(sketch.samples, query)
+        features = sketch.featurizer.featurize_query(
+            query, bitmaps, db=sketch._catalog
+        )
+        prediction = float(sketch.model(collate([features])).numpy()[0])
+        autograd.append(
+            max(sketch.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
+        )
+    return {
+        "n_queries": len(workload),
+        "serving_max_rel": max_rel(compiled, np.asarray(autograd)),
+    }
+
+
+def run(args) -> int:
+    print(
+        f"forward bench: batch={args.batch}, samples={args.samples}, "
+        f"hidden={args.hidden}...",
+        file=sys.stderr,
+    )
+    result = run_forward_bench(args)
+    print(
+        f"serving parity: scale={args.scale}, {args.queries} training "
+        f"queries, {args.epochs} epochs...",
+        file=sys.stderr,
+    )
+    result["parity"].update(run_serving_parity(args))
+
+    single, batched, parity = (
+        result["single_query"], result["batched"], result["parity"]
+    )
+    gates = {
+        "forward_float64_parity": parity["forward_float64_max_rel"] <= MAX_REL_F64,
+        "forward_float32_parity": parity["forward_float32_max_rel"] <= MAX_REL_F32,
+        "serving_parity": parity["serving_max_rel"] <= MAX_REL_SERVING,
+    }
+    if args.tiny:
+        gates["tiny_batched_speedup"] = (
+            max(batched["speedup_float64"], batched["speedup_float32"])
+            >= MIN_TINY_BATCHED_SPEEDUP
+        )
+    else:
+        gates["batched_speedup_float32"] = (
+            batched["speedup_float32"] >= MIN_BATCHED_SPEEDUP_F32
+        )
+        gates["batched_speedup_float64"] = (
+            batched["speedup_float64"] >= MIN_BATCHED_SPEEDUP_F64
+        )
+        gates["single_speedup_float64"] = (
+            single["speedup_float64"] >= MIN_SINGLE_SPEEDUP
+        )
+        gates["single_speedup_float32"] = (
+            single["speedup_float32"] >= MIN_SINGLE_SPEEDUP
+        )
+
+    result["config"] = {
+        "mode": "tiny" if args.tiny else "full",
+        "batch": args.batch,
+        "samples": args.samples,
+        "hidden": args.hidden,
+        "seed": args.seed,
+        "scale": args.scale,
+        "queries": args.queries,
+        "epochs": args.epochs,
+        "distinct": args.distinct,
+    }
+    result["gates"] = gates
+    result["pass"] = all(gates.values())
+
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    out_path = os.path.join(results_dir, "BENCH_inference.json")
+    with open(out_path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+
+    print(
+        f"single query : autograd {single['autograd_us']:8.1f} us | "
+        f"f64 {single['compiled_float64_us']:7.1f} us "
+        f"({single['speedup_float64']:.1f}x) | "
+        f"f32 {single['compiled_float32_us']:7.1f} us "
+        f"({single['speedup_float32']:.1f}x)"
+    )
+    print(
+        f"batched ({batched['batch_size']:4d}): autograd "
+        f"{batched['autograd_qps']:8.0f} q/s | "
+        f"f64 {batched['compiled_float64_qps']:8.0f} q/s "
+        f"({batched['speedup_float64']:.1f}x) | "
+        f"f32 {batched['compiled_float32_qps']:8.0f} q/s "
+        f"({batched['speedup_float32']:.1f}x)"
+    )
+    print(
+        f"parity       : forward f64 {parity['forward_float64_max_rel']:.2e} | "
+        f"forward f32 {parity['forward_float32_max_rel']:.2e} | "
+        f"serving {parity['serving_max_rel']:.2e} "
+        f"({parity['n_queries']} queries)"
+    )
+    print(f"results written to {os.path.relpath(out_path)}")
+
+    for name, ok in gates.items():
+        if not ok:
+            print(f"FAIL: gate {name}", file=sys.stderr)
+    if result["pass"]:
+        print(
+            f"PASS: compiled forward {batched['speedup_float32']:.1f}x (f32) / "
+            f"{batched['speedup_float64']:.1f}x (f64) batched, "
+            f"{single['speedup_float64']:.1f}x single-query (f64)",
+            file=sys.stderr,
+        )
+    return 0 if result["pass"] else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=256,
+                        help="batched-throughput batch size")
+    parser.add_argument("--samples", type=int, default=500,
+                        help="sample bitmap width (sets table_dim)")
+    parser.add_argument("--hidden", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iters-single", type=int, default=300,
+                        help="timed iterations for single-query latency")
+    parser.add_argument("--iters-batched", type=int, default=20,
+                        help="timed iterations for batched throughput")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="synthetic IMDb scale for the serving phase")
+    parser.add_argument("--queries", type=int, default=600,
+                        help="training queries for the serving-phase sketch")
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--distinct", type=int, default=48,
+                        help="workload size for the serving parity check")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.samples = min(args.samples, 100)
+        args.iters_single = min(args.iters_single, 60)
+        args.iters_batched = min(args.iters_batched, 6)
+        args.scale = min(args.scale, 0.05)
+        args.queries = min(args.queries, 200)
+        args.epochs = min(args.epochs, 1)
+        args.distinct = min(args.distinct, 24)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,7 +214,7 @@ class SketchBuilder:
             featurizer.featurize_query(q, query_bitmaps(samples, q), db=self.db)
             for q in kept
         ]
-        normalized = np.array([featurizer.normalize_label(c) for c in labels])
+        normalized = featurizer.normalize_label(labels)
         dataset = TrainingSet(features, normalized)
         model = MSCN(
             table_dim=featurizer.table_dim,

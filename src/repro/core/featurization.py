@@ -230,16 +230,29 @@ class Featurizer:
     def log_label_span(self) -> float:
         return self.max_log_label - self.min_log_label
 
-    def normalize_label(self, cardinality: float) -> float:
-        """Map a cardinality to [0, 1] (log scale, clipped)."""
-        log_card = np.log(max(float(cardinality), 1.0))
-        norm = (log_card - self.min_log_label) / self.log_label_span
-        return float(np.clip(norm, 0.0, 1.0))
+    def normalize_label(self, cardinality):
+        """Map cardinalities to [0, 1] (log scale, clipped).
 
-    def denormalize_label(self, value: float) -> float:
-        """Inverse of :meth:`normalize_label`."""
-        value = float(np.clip(value, 0.0, 1.0))
-        return float(np.exp(value * self.log_label_span + self.min_log_label))
+        Accepts a scalar (returns ``float``) or an array of any shape
+        (returns a float64 array, elementwise identical to the scalar
+        path) — the serving and training pipelines pass whole label
+        vectors through in one call instead of a Python loop.
+        """
+        cards = np.maximum(np.asarray(cardinality, dtype=np.float64), 1.0)
+        norm = np.clip(
+            (np.log(cards) - self.min_log_label) / self.log_label_span, 0.0, 1.0
+        )
+        if norm.ndim == 0:
+            return float(norm)
+        return norm
+
+    def denormalize_label(self, value):
+        """Inverse of :meth:`normalize_label` (scalar or array, like it)."""
+        value = np.clip(np.asarray(value, dtype=np.float64), 0.0, 1.0)
+        cards = np.exp(value * self.log_label_span + self.min_log_label)
+        if cards.ndim == 0:
+            return float(cards)
+        return cards
 
     # ------------------------------------------------------------------
     # literal normalization

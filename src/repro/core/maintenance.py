@@ -147,7 +147,7 @@ def refresh_sketch(
         featurizer.featurize_query(q, query_bitmaps(samples, q), db=db)
         for q in kept
     ]
-    normalized = np.array([featurizer.normalize_label(c) for c in labels])
+    normalized = featurizer.normalize_label(np.asarray(labels))
 
     import copy
 
@@ -165,4 +165,5 @@ def refresh_sketch(
         model=model,
         samples=samples,
         metadata=metadata,
+        inference_dtype=sketch.inference_dtype,
     )

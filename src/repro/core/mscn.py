@@ -86,6 +86,19 @@ class MSCN(Module):
         out = self.out_mlp(combined).sigmoid()
         return out.reshape(out.shape[0])
 
+    def compile(self, dtype="float64"):
+        """Snapshot the current weights into a compiled inference session.
+
+        The session (:class:`~repro.nn.inference.InferenceSession`) runs
+        the same forward as :meth:`forward` as a flat sequence of
+        in-place numpy calls against pooled buffers — no autograd nodes,
+        no per-call allocation on repeated batch shapes.  It does not
+        track later weight updates; recompile after training.
+        """
+        from ..nn.inference import InferenceSession
+
+        return InferenceSession(self, dtype=dtype)
+
     def architecture(self) -> dict:
         """JSON-able architecture description for serialization."""
         return {

@@ -9,7 +9,11 @@ is a single call: consume a SQL query (or a structured
 :class:`~repro.workload.query.Query`), return a cardinality estimate.
 Sketches serialize to one compact binary payload — the paper's
 "small footprint size (a few MiBs)" — and estimation is pure in-memory
-arithmetic ("fast to query (within milliseconds)").
+arithmetic ("fast to query (within milliseconds)"): the forward pass
+runs through a compiled, autograd-free
+:class:`~repro.nn.inference.InferenceSession` against pooled buffers
+(the autograd graph is reserved for training and parity testing; see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import numpy as np
 from ..cache import LRUCache
 from ..errors import SketchError
 from ..metrics import MIN_CARDINALITY
+from ..nn.inference import InferenceSession
 from ..nn.serialize import state_dict_from_bytes, state_dict_to_bytes
 from ..sampling.bitmaps import PredicateMaskMemo, batch_bitmaps, query_bitmaps
 from ..sampling.sampler import (
@@ -30,7 +35,7 @@ from ..sampling.sampler import (
 )
 from ..workload.query import Query
 from .featurization import Featurizer
-from .batches import collate
+from .batches import CollateScratch, collate
 from .mscn import MSCN
 
 _SAMPLE_PREFIX = "sample."
@@ -62,12 +67,28 @@ class DeepSketch:
     model: MSCN
     samples: MaterializedSamples
     metadata: dict = field(default_factory=dict)
+    #: Dtype of the compiled inference session ("float64" or "float32").
+    #: float32 roughly halves forward cost at ~1e-7 relative error in the
+    #: normalized prediction, which denormalization amplifies to ~1e-5
+    #: relative in the cardinality; see docs/performance.md before
+    #: opting in.
+    inference_dtype: str = "float64"
 
     def __post_init__(self):
         self.model.eval()
+        if self.inference_dtype not in ("float64", "float32"):
+            raise SketchError(
+                f"inference_dtype must be 'float64' or 'float32', "
+                f"got {self.inference_dtype!r}"
+            )
         self._catalog = _SampleCatalog(self.samples)
         self._cache = LRUCache(maxsize=DEFAULT_ESTIMATE_CACHE_SIZE)
         self._mask_memo = PredicateMaskMemo(self.samples)
+        self._session: InferenceSession | None = None
+        self._scratch = CollateScratch()
+        # Collating straight at the session dtype makes the session's
+        # input conversion a zero-copy passthrough either way.
+        self._batch_dtype = np.dtype(self.inference_dtype)
 
     # ------------------------------------------------------------------
     # estimation (Figure 1b)
@@ -77,14 +98,34 @@ class DeepSketch:
         """The per-sketch estimate result cache (keyed by canonical query)."""
         return self._cache
 
+    @property
+    def inference_session(self) -> InferenceSession:
+        """The compiled forward pass serving this sketch's estimates.
+
+        Compiled lazily from the current model weights and invalidated
+        by :meth:`clear_cache` (retrain/rebuild), so it always reflects
+        the weights the caches were filled under.
+        """
+        if self._session is None:
+            self._session = InferenceSession(self.model, dtype=self.inference_dtype)
+        return self._session
+
+    def _predict_batch(self, batch) -> np.ndarray:
+        """Normalized predictions for a collated batch (compiled path)."""
+        return self.inference_session.run(batch)
+
     def clear_cache(self) -> None:
         """Invalidate cached estimates (and memoized predicate masks).
 
         Called by the demo manager when a sketch is dropped or replaced,
         and by anything that mutates the model or samples in place.
+        Also drops the compiled inference session, which snapshots the
+        model weights — the next estimate recompiles from the weights as
+        they are then.
         """
         self._cache.clear()
         self._mask_memo = PredicateMaskMemo(self.samples)
+        self._session = None
 
     def _coerce(self, query: Query | str) -> Query:
         if isinstance(query, str):
@@ -109,8 +150,8 @@ class DeepSketch:
                 return hit
         bitmaps = query_bitmaps(self.samples, query)
         features = self.featurizer.featurize_query(query, bitmaps, db=self._catalog)
-        batch = collate([features])
-        prediction = float(self.model(batch).numpy()[0])
+        batch = collate([features], dtype=self._batch_dtype, scratch=self._scratch)
+        prediction = float(self._predict_batch(batch)[0])
         value = max(self.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
         if use_cache:
             self._cache.put(query, value)
@@ -136,11 +177,13 @@ class DeepSketch:
         predicate mask is evaluated against the samples once
         (:func:`~repro.sampling.bitmaps.batch_bitmaps`), featurization
         reuses rows, duplicate queries collapse onto one model slot, and
-        cached queries skip the model entirely.  ``feature_cache`` (a
+        cached queries skip the model entirely.  The forward pass runs
+        through the compiled :attr:`inference_session` (autograd-free,
+        pooled buffers), as does :meth:`estimate`, so the two paths stay
+        numerically identical to each other.  ``feature_cache`` (a
         :class:`repro.serve.feature_cache.FeatureCache`) lets the
         structure-row reuse persist across calls and across sketches for
-        templated workloads.  Estimates are numerically identical to
-        per-query :meth:`estimate` calls.
+        templated workloads.
         """
         if not queries:
             return np.empty(0)
@@ -172,16 +215,17 @@ class DeepSketch:
             features = self.featurizer.featurize_batch(
                 distinct, bitmaps, db=self._catalog, template_cache=feature_cache
             )
-            predictions = self.model(collate(features)).numpy()
-            values = [
-                max(self.featurizer.denormalize_label(float(p)), MIN_CARDINALITY)
-                for p in predictions
-            ]
-            for i in np.flatnonzero(slots >= 0):
-                value = values[slots[i]]
-                results[i] = value
-                if use_cache:
-                    self._cache.put(parsed[i], value)
+            predictions = self._predict_batch(
+                collate(features, dtype=self._batch_dtype, scratch=self._scratch)
+            )
+            values = np.maximum(
+                self.featurizer.denormalize_label(predictions), MIN_CARDINALITY
+            )
+            needs_model = np.flatnonzero(slots >= 0)
+            results[needs_model] = values[slots[needs_model]]
+            if use_cache:
+                for i in needs_model:
+                    self._cache.put(parsed[i], float(results[i]))
         return results
 
     @property
@@ -205,6 +249,7 @@ class DeepSketch:
             "featurizer": self.featurizer.to_manifest(),
             "samples": sample_manifest,
             "metadata": self.metadata,
+            "inference_dtype": self.inference_dtype,
         }
         return state_dict_to_bytes(payload, meta=meta)
 
@@ -233,6 +278,8 @@ class DeepSketch:
             model=model,
             samples=samples,
             metadata=dict(meta.get("metadata", {})),
+            # Pre-PR-3 payloads have no inference_dtype; default float64.
+            inference_dtype=str(meta.get("inference_dtype", "float64")),
         )
 
     def save(self, path: str) -> int:

@@ -158,7 +158,7 @@ class SketchManager:
             featurizer.featurize_query(q, query_bitmaps(samples, q), db=self.db)
             for q in kept
         ]
-        normalized = np.array([featurizer.normalize_label(c) for c in labels])
+        normalized = featurizer.normalize_label(np.asarray(labels))
         model = MSCN(
             table_dim=featurizer.table_dim,
             join_dim=featurizer.join_dim,

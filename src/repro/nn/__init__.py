@@ -7,11 +7,14 @@ Public surface:
   :class:`Dropout`, :class:`Sequential`, :func:`mlp`
 * optimizers: :class:`SGD`, :class:`Adam`
 * losses: :class:`MSELoss`, :class:`QErrorLoss`
+* compiled inference: :class:`~repro.nn.inference.InferenceSession`
+  (autograd-free serving forward; see ``docs/performance.md``)
 * functional ops: :func:`masked_mean`, :func:`concat`, :func:`maximum`
 * serialization: :func:`save_module`, :func:`load_module`
 """
 
 from .functional import masked_mean
+from .inference import InferenceSession
 from .init import INITIALIZERS, kaiming_uniform, xavier_normal, xavier_uniform
 from .layers import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, mlp
 from .loss import Loss, MSELoss, QErrorLoss
@@ -32,6 +35,7 @@ __all__ = [
     "stack_rows",
     "masked_mean",
     "Module",
+    "InferenceSession",
     "Linear",
     "ReLU",
     "Sigmoid",

@@ -1,0 +1,219 @@
+"""Compiled, autograd-free MSCN inference.
+
+The autograd :class:`~repro.nn.tensor.Tensor` graph is the right tool
+for training and the parity oracle for everything else, but it is pure
+overhead at serving time: every op allocates a node, a backward closure,
+and a fresh float64 intermediate that is discarded as soon as the
+estimate is read out.  :class:`InferenceSession` removes all of that.
+
+A session is *compiled* once from a trained :class:`~repro.core.mscn.MSCN`:
+
+* the weights are snapshotted as contiguous arrays at a fixed dtype
+  (float64 by default; float32 opt-in halves the GEMM cost at a
+  documented ~1e-7 relative error — see ``docs/performance.md``);
+* the forward pass is a flat, fixed sequence of in-place numpy calls —
+  ``np.dot(..., out=...)`` for every matmul, fused ReLU via
+  ``np.maximum(..., out=...)``, and a mask-multiply / sum / scale
+  masked mean — mirroring the exact arithmetic of
+  :meth:`MSCN.forward` without building a graph;
+* every intermediate lives in a per-shape buffer pool, so repeated
+  calls with the same batch shape perform **zero** allocations beyond
+  the tiny ``(B,)`` output (which is always a fresh array the caller
+  may keep).
+
+Buffer pools are thread-local: concurrent callers (e.g. a user thread
+estimating while the async server's flush thread answers a batch) each
+get their own scratch space and share only the read-only weight
+snapshot, so the session is safe to use from any number of threads.
+
+Because the weights are snapshotted, a session goes stale when its
+model is retrained or mutated in place; :meth:`DeepSketch.clear_cache`
+drops the sketch's session alongside its result cache so the next
+estimate recompiles from the current weights.
+
+The numerical contract: a float64 session matches the autograd forward
+to a few ULPs (<= 1e-12 relative — 2-D GEMM vs batched matmul kernel
+rounding); a float32 session matches to <= 1e-6 relative.  Both bounds
+are asserted in ``tests/nn/test_inference.py`` and measured in
+``benchmarks/bench_inference.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ReproError
+from ..pools import DEFAULT_MAX_SHAPES, ArrayPool
+from .layers import Linear, Sequential
+from .tensor import stable_sigmoid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..core.batches import Batch
+    from ..core.mscn import MSCN
+
+#: Buffer pools are cleared when they accumulate more distinct shapes
+#: than this — a backstop against unbounded growth under adversarial
+#: batch-shape churn, far above anything steady-state serving produces.
+MAX_POOLED_SHAPES = DEFAULT_MAX_SHAPES
+
+
+class _MLP:
+    """Weight snapshot of one two-layer MLP: ``relu(x@W1+b1) @ W2 + b2``.
+
+    Arrays are C-contiguous at the session dtype so ``np.dot`` can write
+    straight into pooled output buffers.
+    """
+
+    __slots__ = ("w1", "b1", "w2", "b2")
+
+    def __init__(self, module: Sequential, dtype: np.dtype):
+        linears = [m for m in module.layers if isinstance(m, Linear)]
+        if len(linears) != 2:
+            raise ReproError(
+                f"cannot compile set module {module!r}: expected exactly two "
+                f"Linear layers, found {len(linears)}"
+            )
+        first, second = linears
+        # np.array (not ascontiguousarray): the snapshot must be a COPY
+        # even when the parameter is already contiguous at the session
+        # dtype, or the optimizers' in-place updates (``p.data -= ...``)
+        # would write through into a "compiled" session.
+        self.w1 = np.array(first.weight.data, dtype=dtype, order="C")
+        self.b1 = np.array(first.bias.data, dtype=dtype, order="C")
+        self.w2 = np.array(second.weight.data, dtype=dtype, order="C")
+        self.b2 = np.array(second.bias.data, dtype=dtype, order="C")
+
+
+class InferenceSession:
+    """A compiled forward pass over a snapshot of an MSCN's weights.
+
+    Construct once per trained model (cheap: four small weight copies),
+    then call :meth:`run` per batch.  See the module docstring for the
+    execution model, threading contract, and numerical guarantees.
+    """
+
+    SUPPORTED_DTYPES = (np.float64, np.float32)
+
+    def __init__(self, model: "MSCN", dtype=np.float64):
+        dtype = np.dtype(dtype)
+        if dtype not in [np.dtype(d) for d in self.SUPPORTED_DTYPES]:
+            raise ReproError(
+                f"InferenceSession supports float64/float32, got {dtype}"
+            )
+        self.dtype = dtype
+        self.hidden_units = model.hidden_units
+        self.table_dim = model.table_dim
+        self.join_dim = model.join_dim
+        self.predicate_dim = model.predicate_dim
+        self._table_mlp = _MLP(model.table_mlp, dtype)
+        self._join_mlp = _MLP(model.join_mlp, dtype)
+        self._predicate_mlp = _MLP(model.predicate_mlp, dtype)
+        self._out_mlp = _MLP(model.out_mlp, dtype)
+        self._pools = ArrayPool(zeroed=False, max_shapes=MAX_POOLED_SHAPES)
+
+    # ------------------------------------------------------------------
+    # buffer pool
+    # ------------------------------------------------------------------
+    def _pool(self) -> dict:
+        """This thread's shape-keyed scratch buffers."""
+        return self._pools.buffers()
+
+    def _buffer(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
+        """An uninitialized scratch array; reused across same-shape calls."""
+        return self._pools.array(shape, self.dtype, tag=tag)
+
+    def _as_input(self, tag: str, array: np.ndarray) -> np.ndarray:
+        """``array`` at the session dtype, C-contiguous.
+
+        When the batch already matches (the default float64 collation
+        feeding a float64 session) this is a zero-copy passthrough; a
+        dtype mismatch is converted into a pooled buffer, so even the
+        float32 path allocates nothing on repeated shapes.
+        """
+        if array.dtype == self.dtype and array.flags.c_contiguous:
+            return array
+        buf = self._buffer(tag, array.shape)
+        np.copyto(buf, array, casting="same_kind")
+        return buf
+
+    # ------------------------------------------------------------------
+    # the compiled forward
+    # ------------------------------------------------------------------
+    def _set_module(
+        self,
+        tag: str,
+        mlp: _MLP,
+        x: np.ndarray,
+        mask: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """One set MLP + masked mean, written into ``out`` (a (B, h) view).
+
+        Mirrors ``masked_mean(mlp(Tensor(x)), mask)`` with every
+        intermediate pooled: the (B, S, d) input is viewed as a 2-D
+        (B*S, d) operand so both layers run as plain GEMMs.
+        """
+        batch_size, set_size, _ = x.shape
+        x2d = self._as_input(tag + ".in", x).reshape(batch_size * set_size, -1)
+        h1 = self._buffer(tag + ".h1", (x2d.shape[0], self.hidden_units))
+        np.dot(x2d, mlp.w1, out=h1)
+        h1 += mlp.b1
+        np.maximum(h1, 0.0, out=h1)
+        h2 = self._buffer(tag + ".h2", (x2d.shape[0], self.hidden_units))
+        np.dot(h1, mlp.w2, out=h2)
+        h2 += mlp.b2
+        np.maximum(h2, 0.0, out=h2)
+        # Masked mean: zero padded rows, sum the set axis, scale by the
+        # real-element count (empty sets divide by 1, contributing zero,
+        # exactly like nn.functional.masked_mean).
+        mask = self._as_input(tag + ".mask", np.asarray(mask))
+        h2 *= mask.reshape(-1, 1)
+        np.sum(h2.reshape(batch_size, set_size, self.hidden_units), axis=1, out=out)
+        counts = self._buffer(tag + ".counts", (batch_size, 1))
+        np.sum(mask.reshape(batch_size, set_size), axis=1, keepdims=True, out=counts)
+        np.maximum(counts, 1.0, out=counts)
+        out /= counts
+
+    def run(self, batch: "Batch") -> np.ndarray:
+        """Normalized log-cardinality predictions, float64, shape (B,).
+
+        The returned array is freshly allocated (never a pooled buffer),
+        so callers may hold it across subsequent ``run`` calls.
+        """
+        batch_size = batch.tables.shape[0]
+        h = self.hidden_units
+        combined = self._buffer("combined", (batch_size, 3 * h))
+        self._set_module(
+            "tables", self._table_mlp, batch.tables, batch.table_mask,
+            combined[:, 0:h],
+        )
+        self._set_module(
+            "joins", self._join_mlp, batch.joins, batch.join_mask,
+            combined[:, h:2 * h],
+        )
+        self._set_module(
+            "predicates", self._predicate_mlp, batch.predicates,
+            batch.predicate_mask, combined[:, 2 * h:3 * h],
+        )
+        o1 = self._buffer("out.h1", (batch_size, h))
+        np.dot(combined, self._out_mlp.w1, out=o1)
+        o1 += self._out_mlp.b1
+        np.maximum(o1, 0.0, out=o1)
+        o2 = self._buffer("out.h2", (batch_size, 1))
+        np.dot(o1, self._out_mlp.w2, out=o2)
+        o2 += self._out_mlp.b2
+        return stable_sigmoid(o2).reshape(batch_size).astype(np.float64)
+
+    __call__ = run
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceSession(dtype={self.dtype.name}, "
+            f"dims=({self.table_dim}, {self.join_dim}, {self.predicate_dim}), "
+            f"hidden={self.hidden_units})"
+        )
+
+
+__all__ = ["InferenceSession", "MAX_POOLED_SHAPES"]

@@ -33,6 +33,21 @@ def _as_array(value) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw ndarray.
+
+    Shared by the autograd :meth:`Tensor.sigmoid` and the compiled
+    inference path (:mod:`repro.nn.inference`) so the two forwards stay
+    arithmetically identical by construction.
+    """
+    clipped = np.clip(x, -60, 60)
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    )
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions.
 
@@ -254,13 +269,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        s = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
-            np.exp(np.clip(self.data, -60, 60))
-            / (1.0 + np.exp(np.clip(self.data, -60, 60))),
-        )
+        s = stable_sigmoid(self.data)
         out = Tensor(s, _parents=(self,))
 
         def backward(g: np.ndarray) -> None:

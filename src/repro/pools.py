@@ -1,0 +1,63 @@
+"""Thread-local scratch-array pools for the zero-allocation hot paths.
+
+One :class:`ArrayPool` instance backs both the compiled inference
+buffers (:mod:`repro.nn.inference`) and the collation scratch
+(:class:`repro.core.batches.CollateScratch`): arrays are keyed by
+``(tag, shape, dtype)`` and reused across calls, so hot loops that
+repeat batch shapes stop allocating.
+
+Pools are per-thread (``threading.local``): concurrent callers share
+the pool *object* but never its arrays, which is what makes handing a
+pooled buffer out by reference safe without locks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+#: A per-thread pool accumulating more distinct (tag, shape, dtype)
+#: keys than this is cleared outright — a backstop against unbounded
+#: shape churn, far above anything steady-state serving produces.
+DEFAULT_MAX_SHAPES = 256
+
+
+class ArrayPool:
+    """Per-thread scratch arrays keyed by ``(tag, shape, dtype)``.
+
+    ``zeroed=True`` hands out zero-filled arrays (collation targets
+    that are written sparsely); ``zeroed=False`` hands out
+    uninitialized arrays whose every element the caller overwrites
+    (matmul/reduction outputs).  ``tag`` separates buffers that may
+    coincide in shape but must not alias within one computation.
+    """
+
+    def __init__(self, zeroed: bool, max_shapes: int = DEFAULT_MAX_SHAPES):
+        self._zeroed = zeroed
+        self._max_shapes = max_shapes
+        self._local = threading.local()
+
+    def buffers(self) -> dict:
+        """The calling thread's live pool (key -> array)."""
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        return pool
+
+    def array(self, shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
+        """A pooled array of the given shape; reused across calls."""
+        pool = self.buffers()
+        key = (tag, shape, np.dtype(dtype))
+        buf = pool.get(key)
+        if buf is None:
+            if len(pool) >= self._max_shapes:
+                pool.clear()
+            alloc = np.zeros if self._zeroed else np.empty
+            buf = pool[key] = alloc(shape, dtype=dtype)
+        elif self._zeroed:
+            buf.fill(0.0)
+        return buf
+
+
+__all__ = ["ArrayPool", "DEFAULT_MAX_SHAPES"]

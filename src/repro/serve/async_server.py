@@ -38,9 +38,14 @@ closes that gap:
 
 Numerical behavior is identical to the synchronous paths: the flush
 loop answers batches through the same
-:func:`repro.serve.server.answer_chunk` pipeline, so estimates match
-``DeepSketch.estimate`` to within the few-ULP BLAS rounding documented
-in :mod:`repro.serve.bench`.
+:func:`repro.serve.server.answer_chunk` pipeline — and therefore
+through each sketch's compiled
+:class:`~repro.nn.inference.InferenceSession` forward — so estimates
+match ``DeepSketch.estimate`` to within the few-ULP BLAS rounding
+documented in :mod:`repro.serve.bench`.  Sessions and their buffer
+pools are invalidated with the result caches when a sketch is dropped
+or rebuilt, and the pools are thread-local, so the flush thread and
+direct callers never share scratch memory.
 
 Typical use::
 

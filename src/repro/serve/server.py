@@ -119,11 +119,15 @@ def answer_chunk(
 ) -> None:
     """Answer one micro-batch in place: a single ``estimate_many`` call.
 
-    On a batch-level failure (a query can pass routing yet fail
-    featurization — unknown column/operator for this sketch's
-    vocabulary) the chunk is retried one request at a time so only the
-    offending requests fail.  Shared by the synchronous and async
-    servers; ``stats`` counters are updated for the whole chunk.
+    The model work behind that call runs on the sketch's compiled
+    :class:`~repro.nn.inference.InferenceSession` — the autograd-free
+    forward with pooled buffers — so a serving flush never touches the
+    training graph (see ``docs/performance.md``).  On a batch-level
+    failure (a query can pass routing yet fail featurization — unknown
+    column/operator for this sketch's vocabulary) the chunk is retried
+    one request at a time so only the offending requests fail.  Shared
+    by the synchronous and async servers; ``stats`` counters are
+    updated for the whole chunk.
     """
     queries = [r.query for r in chunk]
     if use_cache:

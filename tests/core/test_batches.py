@@ -1,9 +1,12 @@
 """Batch collation and training-set tests."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import TrainingSet, collate
+from repro.core.batches import CollateScratch
 from repro.core.featurization import QueryFeatures
 from repro.errors import TrainingError
 
@@ -41,6 +44,67 @@ class TestCollate:
     def test_batch_size_property(self):
         batch = collate([fake_features()] * 4)
         assert batch.size == 4
+
+    def test_default_dtype_is_float64(self):
+        batch = collate([fake_features()])
+        assert batch.dtype == np.float64
+        assert batch.table_mask.dtype == np.float64
+
+    def test_float32_opt_in(self):
+        batch = collate([fake_features(), fake_features(n_preds=3)], dtype=np.float32)
+        for array in (batch.tables, batch.table_mask, batch.joins,
+                      batch.join_mask, batch.predicates, batch.predicate_mask):
+            assert array.dtype == np.float32
+        reference = collate([fake_features(), fake_features(n_preds=3)])
+        np.testing.assert_array_equal(batch.tables, reference.tables)
+        np.testing.assert_array_equal(batch.predicate_mask, reference.predicate_mask)
+
+    def test_astype_roundtrip(self):
+        batch = collate([fake_features(fill=0.5)])
+        f32 = batch.astype(np.float32)
+        assert f32.dtype == np.float32
+        np.testing.assert_array_equal(f32.tables, batch.tables)
+
+
+class TestCollateScratch:
+    def test_scratch_matches_plain_collation(self):
+        features = [fake_features(n_tables=1, n_preds=2), fake_features(n_tables=3)]
+        plain = collate(features)
+        pooled = collate(features, scratch=CollateScratch())
+        for name in ("tables", "table_mask", "joins", "join_mask",
+                     "predicates", "predicate_mask"):
+            np.testing.assert_array_equal(getattr(pooled, name), getattr(plain, name))
+
+    def test_same_shape_reuses_buffers(self):
+        scratch = CollateScratch()
+        features = [fake_features(fill=3.0), fake_features(fill=3.0)]
+        first = collate(features, scratch=scratch)
+        second = collate([fake_features(fill=5.0), fake_features(fill=5.0)], scratch=scratch)
+        assert second.tables is first.tables  # pooled: same buffer object
+        assert np.all(second.tables == 5.0)  # fully re-zeroed and refilled
+
+    def test_sets_with_equal_shapes_do_not_alias(self):
+        # join and predicate sets with identical (B, S, d) must come from
+        # distinct pooled buffers within one collation.
+        features = [fake_features(n_joins=2, n_preds=2, jd=4, pd=4)]
+        batch = collate(features, scratch=CollateScratch())
+        assert batch.joins is not batch.predicates
+        assert batch.join_mask is not batch.table_mask
+
+    def test_scratch_is_thread_local(self):
+        scratch = CollateScratch()
+        features = [fake_features(fill=2.0)]
+        main_batch = collate(features, scratch=scratch)
+        seen = {}
+
+        def worker():
+            seen["batch"] = collate(features, scratch=scratch)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["batch"].tables is not main_batch.tables
+        np.testing.assert_array_equal(seen["batch"].tables, main_batch.tables)
 
 
 class TestTrainingSet:
@@ -91,3 +155,98 @@ class TestTrainingSet:
     def test_invalid_batch_size(self):
         with pytest.raises(TrainingError):
             list(self.make_set().minibatches(0))
+
+
+class TestPrecollation:
+    """Minibatches now come from one dataset-wide padded batch."""
+
+    def ragged_set(self, n=19):
+        rng = np.random.default_rng(4)
+        features = [
+            fake_features(
+                n_tables=int(rng.integers(1, 4)),
+                n_joins=int(rng.integers(1, 3)),
+                n_preds=int(rng.integers(1, 5)),
+                fill=float(i + 1),
+            )
+            for i in range(n)
+        ]
+        return TrainingSet(features, np.linspace(0, 1, n))
+
+    def test_precollated_is_cached(self):
+        ds = self.ragged_set()
+        assert ds.precollated() is ds.precollated()
+
+    def test_minibatches_match_legacy_collation(self):
+        """Each yielded batch equals collating those queries directly,
+        modulo extra all-zero masked padding out to dataset maxima."""
+        ds = self.ragged_set()
+        order = np.arange(len(ds))
+        for start, (batch, labels) in zip(
+            range(0, len(ds), 5), ds.minibatches(5, shuffle=False)
+        ):
+            idx = order[start : start + 5]
+            legacy = collate([ds.features[i] for i in idx])
+            for name in ("tables", "joins", "predicates"):
+                wide = getattr(batch, name)
+                narrow = getattr(legacy, name)
+                s = narrow.shape[1]
+                np.testing.assert_array_equal(wide[:, :s, :], narrow)
+                assert np.all(wide[:, s:, :] == 0.0)
+            for name in ("table_mask", "join_mask", "predicate_mask"):
+                wide = getattr(batch, name)
+                narrow = getattr(legacy, name)
+                s = narrow.shape[1]
+                np.testing.assert_array_equal(wide[:, :s], narrow)
+                assert np.all(wide[:, s:] == 0.0)
+            np.testing.assert_array_equal(labels, ds.labels[idx])
+
+    def test_model_outputs_unchanged_by_dataset_padding(self):
+        """Dataset-maxima padding is invisible through the masked mean."""
+        from repro.core.mscn import MSCN
+
+        ds = self.ragged_set()
+        model = MSCN(5, 3, 4, hidden_units=8, seed=0)
+        model.eval()
+        for (batch, _), start in zip(
+            ds.minibatches(7, shuffle=False), range(0, len(ds), 7)
+        ):
+            legacy = collate(ds.features[start : start + 7])
+            np.testing.assert_allclose(
+                model(batch).numpy(), model(legacy).numpy(), rtol=1e-12
+            )
+
+    def test_shuffled_epochs_cover_everything(self):
+        ds = self.ragged_set()
+        seen = []
+        for batch, labels in ds.minibatches(4, shuffle=True, seed=8):
+            assert batch.size == len(labels)
+            # fill value identifies the query each padded row came from
+            row_fill = batch.tables[:, 0, 0]
+            np.testing.assert_array_equal(
+                row_fill, [float(np.argmin(np.abs(ds.labels - l)) + 1) for l in labels]
+            )
+            seen.extend(labels.tolist())
+        assert sorted(seen) == sorted(ds.labels.tolist())
+
+    def test_shuffle_scratch_reused_across_epochs(self):
+        ds = self.ragged_set()
+        list(ds.minibatches(4, seed=1))
+        scratch = ds._shuffled
+        assert scratch is not None
+        list(ds.minibatches(4, seed=2))
+        assert ds._shuffled is scratch
+
+    def test_interleaved_shuffled_iterators_stay_independent(self):
+        """A second live shuffled iteration must not overwrite batches the
+        first one already yielded (the scratch is claimed per iteration)."""
+        ds = self.ragged_set()
+        it1 = ds.minibatches(4, shuffle=True, seed=1)
+        batch1, labels1 = next(it1)
+        snapshot = batch1.tables.copy()
+        it2 = ds.minibatches(4, shuffle=True, seed=2)
+        next(it2)  # a shared scratch would overwrite batch1's views here
+        np.testing.assert_array_equal(batch1.tables, snapshot)
+        # both iterations still cover their full (distinct) orders
+        seen1 = labels1.tolist() + [l for _, ls in it1 for l in ls.tolist()]
+        assert sorted(seen1) == sorted(ds.labels.tolist())

@@ -111,19 +111,20 @@ class TestBatchParity:
 
 
 class _ForwardCounter:
-    """Wraps the sketch's model to count forward passes."""
+    """Wraps the sketch's compiled forward to count model invocations."""
 
     def __init__(self, sketch, monkeypatch):
         self.calls = 0
-        original = sketch.model.forward
+        original = sketch._predict_batch
 
         def counting(batch):
             self.calls += 1
             return original(batch)
 
-        # Module.__call__ dispatches through self.forward, so an
-        # instance-level override intercepts every model invocation.
-        monkeypatch.setattr(sketch.model, "forward", counting)
+        # Estimation dispatches through DeepSketch._predict_batch (the
+        # compiled InferenceSession), so an instance-level override
+        # intercepts every model invocation on both estimate paths.
+        monkeypatch.setattr(sketch, "_predict_batch", counting)
 
 
 class TestCache:
@@ -184,6 +185,149 @@ class TestCache:
         stats = sketch.cache.stats()
         assert stats.hits >= 1 and stats.misses >= 1
         assert 0.0 < stats.hit_rate < 1.0
+
+
+class TestCompiledPath:
+    """The serving forward is the compiled session, not the autograd graph,
+    and it stays in lockstep with the model across invalidations."""
+
+    def autograd_reference(self, sketch, queries):
+        """Estimates via the pre-compilation code path (the oracle)."""
+        from repro.core.batches import collate
+        from repro.metrics import MIN_CARDINALITY
+        from repro.sampling import query_bitmaps
+
+        values = []
+        for query in queries:
+            bitmaps = query_bitmaps(sketch.samples, query)
+            features = sketch.featurizer.featurize_query(
+                query, bitmaps, db=sketch._catalog
+            )
+            prediction = float(sketch.model(collate([features])).numpy()[0])
+            values.append(
+                max(sketch.featurizer.denormalize_label(prediction), MIN_CARDINALITY)
+            )
+        return values
+
+    def test_estimates_match_autograd_oracle(self, sketch, workload):
+        compiled = [sketch.estimate(q, use_cache=False) for q in workload[:20]]
+        reference = self.autograd_reference(sketch, workload[:20])
+        np.testing.assert_allclose(compiled, reference, rtol=1e-9, atol=0.0)
+
+    def test_session_is_reused_across_calls(self, sketch, workload):
+        first = sketch.inference_session
+        sketch.estimate(workload[0], use_cache=False)
+        sketch.estimate_many(workload[:5], use_cache=False)
+        assert sketch.inference_session is first
+
+    def test_clear_cache_invalidates_session(self, sketch, workload):
+        query = workload[0]
+        before = sketch.estimate(query, use_cache=False)
+        stale_session = sketch.inference_session
+        # Mutate the model in place (what an optimizer step does), then
+        # invalidate: estimates must reflect the new weights and agree
+        # with the autograd oracle again.
+        param = sketch.model.out_mlp.layers[-1].bias
+        original = param.data.copy()
+        try:
+            param.data += 0.25
+            assert sketch.estimate(query, use_cache=False) == before, (
+                "stale session still serves the snapshotted weights"
+            )
+            sketch.clear_cache()
+            assert sketch.inference_session is not stale_session
+            after = sketch.estimate(query, use_cache=False)
+            assert after != before
+            np.testing.assert_allclose(
+                [after], self.autograd_reference(sketch, [query]), rtol=1e-9
+            )
+        finally:
+            param.data[:] = original
+            sketch.clear_cache()
+
+    def test_retrain_invalidates_session(self, sketch, workload):
+        """A real retrain (Trainer.fit on the sketch's model) followed by
+        clear_cache() serves estimates from the new weights, in parity
+        with the autograd oracle."""
+        from repro.core.batches import TrainingSet
+        from repro.core.training import Trainer, TrainingConfig
+        from repro.sampling import query_bitmaps
+
+        state = sketch.model.state_dict()
+        before = sketch.estimate(workload[0], use_cache=False)
+        features = [
+            sketch.featurizer.featurize_query(
+                q, query_bitmaps(sketch.samples, q), db=sketch._catalog
+            )
+            for q in workload[:12]
+        ]
+        trainer = Trainer(
+            sketch.model,
+            sketch.featurizer,
+            TrainingConfig(epochs=1, batch_size=4, validation_fraction=0.25),
+        )
+        try:
+            trainer.fit(TrainingSet(features, np.linspace(0.2, 0.8, 12)))
+            sketch.model.eval()
+            sketch.clear_cache()
+            after = sketch.estimate(workload[0], use_cache=False)
+            assert after != before  # the retrain moved the weights
+            compiled = [sketch.estimate(q, use_cache=False) for q in workload[:5]]
+            np.testing.assert_allclose(
+                compiled,
+                self.autograd_reference(sketch, workload[:5]),
+                rtol=1e-9,
+                atol=0.0,
+            )
+        finally:
+            sketch.model.load_state_dict(state)
+            sketch.model.eval()
+            sketch.clear_cache()
+
+    def test_float32_sketch_parity(self, sketch, workload):
+        from repro.core.sketch import DeepSketch
+
+        fast = DeepSketch(
+            name="f32",
+            featurizer=sketch.featurizer,
+            model=sketch.model,
+            samples=sketch.samples,
+            inference_dtype="float32",
+        )
+        queries = workload[:20]
+        exact = [sketch.estimate(q, use_cache=False) for q in queries]
+        approx = [fast.estimate(q, use_cache=False) for q in queries]
+        # ~1e-7 float32 error in the normalized prediction is amplified
+        # by exp(span * v) in denormalization; span ~ 15 here.
+        np.testing.assert_allclose(approx, exact, rtol=1e-4, atol=0.0)
+        sketch.model.eval()  # restore (shared model object)
+
+    def test_inference_dtype_survives_serialization(self, sketch):
+        from repro.core.sketch import DeepSketch
+
+        fast = DeepSketch(
+            name="f32-roundtrip",
+            featurizer=sketch.featurizer,
+            model=sketch.model,
+            samples=sketch.samples,
+            inference_dtype="float32",
+        )
+        restored = DeepSketch.from_bytes(fast.to_bytes())
+        assert restored.inference_dtype == "float32"
+        assert restored.inference_session.dtype == np.float32
+
+    def test_invalid_inference_dtype_rejected(self, sketch):
+        from repro.core.sketch import DeepSketch
+        from repro.errors import SketchError
+
+        with pytest.raises(SketchError):
+            DeepSketch(
+                name="bad",
+                featurizer=sketch.featurizer,
+                model=sketch.model,
+                samples=sketch.samples,
+                inference_dtype="float16",
+            )
 
 
 class TestManagerInvalidation:

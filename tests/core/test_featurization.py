@@ -79,6 +79,33 @@ class TestLabelNormalization:
                 sample_size=10, column_bounds={},
             ).fit_labels(np.array([]))
 
+    def test_vectorized_normalize_matches_scalar(self, featurizer):
+        cards = np.array([0.25, 1.0, 7.0, 123.0, 99_999.0, 1e9])
+        vector = featurizer.normalize_label(cards)
+        assert isinstance(vector, np.ndarray) and vector.dtype == np.float64
+        scalar = [featurizer.normalize_label(float(c)) for c in cards]
+        np.testing.assert_array_equal(vector, scalar)  # bit-identical
+
+    def test_vectorized_denormalize_matches_scalar(self, featurizer):
+        values = np.array([-0.1, 0.0, 0.33, 0.5, 1.0, 1.7])
+        vector = featurizer.denormalize_label(values)
+        assert isinstance(vector, np.ndarray) and vector.dtype == np.float64
+        scalar = [featurizer.denormalize_label(float(v)) for v in values]
+        np.testing.assert_array_equal(vector, scalar)  # bit-identical
+
+    def test_scalar_inputs_still_return_floats(self, featurizer):
+        assert isinstance(featurizer.normalize_label(42), float)
+        assert isinstance(featurizer.denormalize_label(0.5), float)
+        assert isinstance(featurizer.denormalize_label(np.float64(0.5)), float)
+
+    def test_vectorized_roundtrip(self, featurizer):
+        cards = np.array([1.0, 5.0, 123.0, 99_999.0])
+        np.testing.assert_allclose(
+            featurizer.denormalize_label(featurizer.normalize_label(cards)),
+            cards,
+            rtol=1e-9,
+        )
+
 
 @settings(max_examples=40, deadline=None)
 @given(st.floats(min_value=1.0, max_value=1e8))

@@ -1,0 +1,185 @@
+"""Compiled InferenceSession vs the autograd forward.
+
+The acceptance bar for the compiled serving path: predictions agree
+with ``MSCN.forward`` to <= 1e-12 relative in float64 and <= 1e-6
+relative in float32, across batch sizes (1 / 7 / 256), ragged set
+sizes, empty join/predicate sets, and zero-allocation buffer reuse
+must never leak state between calls.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.batches import Batch, collate
+from repro.core.featurization import QueryFeatures
+from repro.core.mscn import MSCN
+from repro.errors import ReproError
+from repro.nn import InferenceSession
+
+TABLE_DIM, JOIN_DIM, PRED_DIM, HIDDEN = 12, 4, 7, 16
+
+
+@pytest.fixture(scope="module")
+def model():
+    model = MSCN(TABLE_DIM, JOIN_DIM, PRED_DIM, hidden_units=HIDDEN, seed=42)
+    model.eval()
+    return model
+
+
+def random_batch(rng, batch_size, max_tables=4, max_joins=3, max_preds=5):
+    """Collate a ragged batch (set sizes vary per query; empties included)."""
+    features = []
+    for _ in range(batch_size):
+        n_t = int(rng.integers(1, max_tables + 1))
+        n_j = int(rng.integers(1, max_joins + 1))
+        n_p = int(rng.integers(1, max_preds + 1))
+        features.append(
+            QueryFeatures(
+                tables=rng.normal(size=(n_t, TABLE_DIM)),
+                # Zero rows model the "empty set, active mask bit"
+                # encoding the featurizer uses for joins/predicates.
+                joins=np.zeros((1, JOIN_DIM)) if n_j == 1 else rng.normal(size=(n_j, JOIN_DIM)),
+                predicates=rng.normal(size=(n_p, PRED_DIM)),
+            )
+        )
+    return collate(features)
+
+
+class TestParity:
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_float64(self, model, batch_size):
+        rng = np.random.default_rng(batch_size)
+        batch = random_batch(rng, batch_size)
+        reference = model(batch).numpy()
+        compiled = InferenceSession(model, dtype=np.float64).run(batch)
+        assert compiled.dtype == np.float64
+        np.testing.assert_allclose(compiled, reference, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_float32(self, model, batch_size):
+        rng = np.random.default_rng(100 + batch_size)
+        batch = random_batch(rng, batch_size)
+        reference = model(batch).numpy()
+        compiled = InferenceSession(model, dtype=np.float32).run(batch)
+        assert compiled.dtype == np.float64  # output contract: always f64
+        np.testing.assert_allclose(compiled, reference, rtol=1e-6, atol=1e-7)
+
+    def test_float32_collated_input(self, model):
+        """A batch already collated at float32 feeds the session directly."""
+        rng = np.random.default_rng(5)
+        batch = random_batch(rng, 9)
+        session = InferenceSession(model, dtype=np.float32)
+        from_f64 = session.run(batch)
+        from_f32 = session.run(batch.astype(np.float32))
+        np.testing.assert_allclose(from_f32, from_f64, rtol=1e-6, atol=1e-7)
+
+    def test_all_padding_row_matches_autograd(self, model):
+        """A fully masked-out set (count clamped to 1) agrees across paths."""
+        batch = Batch(
+            tables=np.random.default_rng(1).normal(size=(2, 2, TABLE_DIM)),
+            table_mask=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            joins=np.zeros((2, 1, JOIN_DIM)),
+            join_mask=np.zeros((2, 1)),  # entirely empty join sets
+            predicates=np.random.default_rng(2).normal(size=(2, 1, PRED_DIM)),
+            predicate_mask=np.ones((2, 1)),
+        )
+        reference = model(batch).numpy()
+        compiled = InferenceSession(model).run(batch)
+        np.testing.assert_allclose(compiled, reference, rtol=1e-12, atol=0.0)
+
+
+class TestBufferPool:
+    def test_repeated_shapes_reuse_buffers(self, model):
+        rng = np.random.default_rng(0)
+        session = InferenceSession(model)
+        batch = random_batch(rng, 8)
+        session.run(batch)
+        pool_ids = {key: id(buf) for key, buf in session._pool().items()}
+        assert pool_ids, "first run should have populated the pool"
+        session.run(batch)
+        session.run(batch)
+        after = {key: id(buf) for key, buf in session._pool().items()}
+        for key, ident in pool_ids.items():
+            assert after[key] == ident, f"buffer {key} was reallocated"
+
+    def test_returned_array_is_not_a_pooled_buffer(self, model):
+        rng = np.random.default_rng(3)
+        session = InferenceSession(model)
+        batch = random_batch(rng, 4)
+        first = session.run(batch)
+        kept = first.copy()
+        second = session.run(batch)  # same shape: pooled buffers reused
+        np.testing.assert_array_equal(first, kept)
+        np.testing.assert_array_equal(second, kept)
+        first[:] = -1.0  # mutating the caller's copy must not corrupt state
+        np.testing.assert_array_equal(session.run(batch), kept)
+
+    def test_pools_are_thread_local(self, model):
+        session = InferenceSession(model)
+        rng = np.random.default_rng(7)
+        batch = random_batch(rng, 6)
+        expected = session.run(batch)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    results.append(session.run(batch))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for got in results:
+            np.testing.assert_array_equal(got, expected)
+
+
+class TestSnapshotSemantics:
+    def test_weights_are_snapshotted(self, model):
+        rng = np.random.default_rng(11)
+        batch = random_batch(rng, 5)
+        session = InferenceSession(model)
+        before = session.run(batch)
+        param = model.out_mlp.layers[-1].bias
+        original = param.data.copy()
+        try:
+            # In-place update, exactly like the optimizers' `p.data -= ...`:
+            # the session must hold a copy, not an alias of the live array.
+            param.data += 1.0
+            np.testing.assert_array_equal(session.run(batch), before)
+            recompiled = InferenceSession(model)
+            fresh = recompiled.run(batch)
+            assert not np.array_equal(fresh, before)
+            np.testing.assert_allclose(
+                fresh, model(batch).numpy(), rtol=1e-12, atol=0.0
+            )
+        finally:
+            param.data[:] = original
+
+    def test_mscn_compile_helper(self, model):
+        session = model.compile()
+        assert isinstance(session, InferenceSession)
+        assert session.dtype == np.float64
+        assert model.compile("float32").dtype == np.float32
+
+    def test_unsupported_dtype_rejected(self, model):
+        with pytest.raises(ReproError):
+            InferenceSession(model, dtype=np.int32)
+
+    def test_non_mlp_module_rejected(self, model):
+        from repro.nn.layers import Linear, ReLU, Sequential
+
+        class Odd:
+            hidden_units = 4
+            table_dim = join_dim = predicate_dim = 4
+            table_mlp = Sequential(Linear(4, 4), ReLU())  # one Linear only
+
+        with pytest.raises(ReproError):
+            InferenceSession(Odd())
