@@ -1,39 +1,52 @@
-"""Serving throughput: single-query loop vs batched vs async serving.
+"""Serving throughput: single-query loop vs batched vs async vs executors.
 
 The paper claims sketches are "fast to query (within milliseconds)";
-this harness quantifies how far batching pushes that.  It builds a
-sketch over the synthetic IMDb, generates a JOB-light-style workload,
-tiles it to a 512-request stream, and measures:
+this harness quantifies how far the serving engine pushes that.  It
+builds a sketch over the synthetic IMDb, generates a JOB-light-style
+workload, tiles it to a request stream, and measures:
 
 * the seed path — one ``estimate()`` call per request;
 * the vectorized ``estimate_many`` fast path on the distinct queries;
-* the full ``SketchServer`` (routing, micro-batching, LRU cache).
+* the full engine through the ``SketchServer`` facade (routing,
+  micro-batching, LRU cache) with ``--executor`` choosing where the
+  micro-batches run;
+* the **executor scale-out suite** — the same uncached stream through
+  the inline, thread, and process executors (2 process workers by
+  default: the CI smoke), with estimates cross-checked to 1e-12;
+* the **overload scenario** — a burst far beyond ``max_queue_depth``,
+  auditing that the queue stays bounded, the overflow is shed with
+  structured ``code="shed"`` responses, and zero futures are abandoned.
 
-With ``--concurrent`` it additionally runs the asynchronous engine
-(``AsyncSketchServer``) under concurrent client threads: throughput and
-client-observed p50/p99 latency versus the synchronous server on the
-same stream, plus a low-load phase demonstrating that p99 queueing wait
-stays within 2x ``--max-wait-ms``.
+With ``--concurrent`` it additionally runs the async facade under
+concurrent client threads (throughput + p50/p99 latency vs three sync
+baselines, plus the low-load queueing bound).
 
 Estimates from all paths must agree (max relative difference below
-1e-9; observed ~1e-15, i.e. BLAS kernel rounding), and the batched path
-must be at least 5x faster than the single-query loop — both are
-asserted in the full configuration, so this file doubles as an
-acceptance gate.  The concurrent gates (async throughput >= sync,
-bounded p99 wait) are likewise asserted only in the full configuration.
-``--tiny`` asserts identity only: sub-millisecond timings on shared CI
-runners are too noisy for a hard ratio.
+1e-9 for batching, 1e-12 across executors; observed ~1e-15/0.0) — these
+parity gates and the overload audit run in **every** configuration.
+Wall-clock gates run only in the full configuration: batched serving
+>= 5x the single-query loop, and — on a multi-core host — the process
+executor >= 1.5x the single-threaded (inline) flush path.  ``--tiny``
+keeps the correctness gates and skips the timing gates: sub-millisecond
+timings on shared CI runners are too noisy for hard ratios.
+
+Every run writes machine-readable results to
+``benchmarks/results/BENCH_serving.json`` (same shape philosophy as
+``BENCH_inference.json``: sections + config + gates + pass), plus the
+human-readable ``bench_serving.txt``.
 
 Run from the repository root::
 
-    python benchmarks/bench_serving.py                # full (a few minutes)
-    python benchmarks/bench_serving.py --concurrent   # adds the async scenario
-    python benchmarks/bench_serving.py --tiny         # CI smoke run (seconds)
+    python benchmarks/bench_serving.py                    # full (minutes)
+    python benchmarks/bench_serving.py --executor process # engine pass on 2 cores
+    python benchmarks/bench_serving.py --concurrent       # adds the async scenario
+    python benchmarks/bench_serving.py --tiny             # CI smoke run (seconds)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -45,7 +58,13 @@ from repro.core import SketchConfig  # noqa: E402
 from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
 from repro.demo import SketchManager  # noqa: E402
 from repro.serve import run_serving_benchmark  # noqa: E402
-from repro.serve.bench import apply_tiny_args, run_concurrent_benchmark  # noqa: E402
+from repro.serve.bench import (  # noqa: E402
+    EXECUTOR_PARITY_RTOL,
+    apply_tiny_args,
+    run_concurrent_benchmark,
+    run_executor_benchmark,
+    run_overload_benchmark,
+)
 from repro.workload import (  # noqa: E402
     JobLightConfig,
     generate_job_light,
@@ -60,10 +79,13 @@ MIN_SPEEDUP = 5.0
 #: at least the throughput the synchronous batched server delivers to
 #: the same concurrent clients serving live traffic (mutex-serialized,
 #: one request per flush — without the async engine, clients that hold
-#: one request at a time have nothing to batch).  The chunk-owning
-#: concurrent pattern and the single-caller whole-stream ideal are
-#: reported alongside for scale.
+#: one request at a time have nothing to batch).
 MIN_CONCURRENT_RATIO = 1.0
+
+#: Acceptance threshold for the process executor vs the single-threaded
+#: (inline) flush path, gated only on multi-core hosts in the full
+#: configuration — a 1-core container cannot overlap anything.
+MIN_PROCESS_SPEEDUP = 1.5
 
 
 def run(args) -> int:
@@ -91,8 +113,31 @@ def run(args) -> int:
     result = run_serving_benchmark(
         manager, "bench", queries,
         batch_size=args.batch, max_batch_size=args.max_batch,
+        executor=args.executor, executor_workers=args.workers,
     )
     text = result.report()
+
+    print(
+        f"running executor scale-out suite (workers={args.workers})...",
+        file=sys.stderr,
+    )
+    # Micro-batches sized so the stream splits into at least ~2 chunks
+    # per worker — the units a thread/process executor overlaps.
+    suite_max_batch = max(8, min(args.max_batch, args.batch // (2 * args.workers)))
+    executor_suite = run_executor_benchmark(
+        manager, "bench", queries,
+        batch_size=args.batch,
+        max_batch_size=suite_max_batch,
+        workers=args.workers,
+    )
+    text += "\n\n" + executor_suite.report()
+
+    overload = run_overload_benchmark(
+        manager, "bench", queries,
+        burst_size=args.batch,
+        max_queue_depth=max(8, args.batch // 8),
+    )
+    text += "\n" + overload.report()
 
     concurrent = None
     if args.concurrent:
@@ -112,61 +157,149 @@ def run(args) -> int:
         text += concurrent.report()
     print(text)
 
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    multi_core = (os.cpu_count() or 1) >= 2
+    process_result = executor_suite.result_for("process")
+    process_clean = (
+        process_result is not None and process_result.n_fallbacks == 0
+    )
+    gates = {
+        "served_any": not result.all_failed,
+        "serving_parity": result.identical,
+        "executor_parity": executor_suite.parity_ok,
+        "process_pool_ran": process_clean,
+        "overload_bounded_shed": overload.ok,
+    }
+    if not args.tiny:
+        if args.executor == "inline":
+            # The 5x bar was calibrated for the inline engine pass; a
+            # thread/process pass pays hand-off overhead that the
+            # executor suite below gates on its own terms (warmed,
+            # relative to inline, multi-core only).
+            gates["served_speedup"] = result.served_speedup >= MIN_SPEEDUP
+        if multi_core:
+            gates["process_speedup"] = (
+                executor_suite.speedup("process") >= MIN_PROCESS_SPEEDUP
+            )
+    if concurrent is not None:
+        gates["concurrent_any"] = not concurrent.all_failed
+        gates["concurrent_parity"] = concurrent.identical
+        if not args.tiny:
+            gates["concurrent_throughput"] = (
+                concurrent.throughput_ratio >= MIN_CONCURRENT_RATIO
+            )
+            gates["p99_wait_bounded"] = concurrent.p99_wait_bounded
+    ok = all(gates.values())
+
+    # ------------------------------------------------------------------
+    # machine-readable results (BENCH_serving.json)
+    # ------------------------------------------------------------------
+    payload = {
+        "serving": {
+            "n_queries": result.n_queries,
+            "n_distinct": result.n_distinct,
+            "executor": args.executor,
+            "single_seconds": result.single_seconds,
+            "vector_seconds": result.vector_seconds,
+            "served_seconds": result.served_seconds,
+            "single_qps": result.single_qps,
+            "served_qps": result.served_qps,
+            "served_speedup": result.served_speedup,
+            "vector_speedup": result.vector_speedup,
+            "max_rel_diff_vector": result.max_rel_diff_vector,
+            "max_rel_diff_served": result.max_rel_diff_served,
+            "n_errors": result.n_errors,
+        },
+        "executors": {
+            r.executor: {
+                "workers": r.workers,
+                "seconds": r.seconds,
+                "qps": r.qps,
+                "speedup_vs_inline": executor_suite.speedup(r.executor),
+                "forward_batches": r.n_forward_batches,
+                "fallbacks": r.n_fallbacks,
+                "max_rel_diff_vs_inline": r.max_rel_diff,
+            }
+            for r in executor_suite.results
+        },
+        "overload": {
+            "n_requests": overload.n_requests,
+            "max_queue_depth": overload.max_queue_depth,
+            "n_served": overload.n_served,
+            "n_shed": overload.n_shed,
+            "n_unresolved_futures": overload.n_unresolved,
+            "max_depth_seen": overload.max_depth_seen,
+            "bounded": overload.bounded,
+        },
+        "config": {
+            "mode": "tiny" if args.tiny else "full",
+            "scale": args.scale,
+            "queries": args.queries,
+            "epochs": args.epochs,
+            "samples": args.samples,
+            "hidden": args.hidden,
+            "seed": args.seed,
+            "distinct": args.distinct,
+            "batch": args.batch,
+            "max_batch": args.max_batch,
+            "executor": args.executor,
+            "workers": args.workers,
+            "cpu_count": os.cpu_count(),
+            "executor_parity_rtol": EXECUTOR_PARITY_RTOL,
+        },
+        "gates": gates,
+        "pass": ok,
+    }
+    if concurrent is not None:
+        payload["concurrent"] = {
+            "n_clients": concurrent.n_clients,
+            "async_seconds": concurrent.async_seconds,
+            "async_qps": concurrent.async_qps,
+            "throughput_ratio_vs_live_sync": concurrent.throughput_ratio,
+            "chunked_ratio": concurrent.chunked_ratio,
+            "single_caller_ratio": concurrent.single_caller_ratio,
+            "p50_latency_s": concurrent.p50_latency,
+            "p99_latency_s": concurrent.p99_latency,
+            "low_load_p99_wait_s": concurrent.low_load_p99_wait,
+            "max_rel_diff": concurrent.max_rel_diff,
+            "n_deduped": concurrent.n_deduped,
+            "n_errors": concurrent.n_errors,
+        }
+
     results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
     os.makedirs(results_dir, exist_ok=True)
     with open(os.path.join(results_dir, "bench_serving.txt"), "w") as f:
         f.write(text.rstrip() + "\n")
+    with open(os.path.join(results_dir, "BENCH_serving.json"), "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
 
-    ok = True
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
     if result.n_errors:
         print(f"note: {result.n_errors}/{result.n_queries} served requests "
               "errored (isolated per request)", file=sys.stderr)
-    if result.all_failed:
-        print("FAIL: every served request errored", file=sys.stderr)
-        ok = False
-    if not result.identical:
-        print("FAIL: batched estimates diverge from the single-query path",
-              file=sys.stderr)
-        ok = False
-    # Wall-clock gating only in the full configuration: the tiny smoke
-    # run exists to check correctness on CI, where sub-millisecond
-    # timings on shared runners are too noisy for a hard ratio.
-    if not args.tiny and result.served_speedup < MIN_SPEEDUP:
+    for gate, passed in gates.items():
+        if not passed:
+            print(f"FAIL: gate {gate!r} failed", file=sys.stderr)
+    if not multi_core:
         print(
-            f"FAIL: served speedup {result.served_speedup:.1f}x is below "
-            f"the {MIN_SPEEDUP:.0f}x acceptance threshold",
+            "note: single-core host — the process-executor speedup gate "
+            "is informational only here (measured "
+            f"{executor_suite.speedup('process'):.2f}x inline)",
             file=sys.stderr,
         )
-        ok = False
-    if concurrent is not None:
-        if concurrent.all_failed:
-            print("FAIL: every concurrent request errored", file=sys.stderr)
-            ok = False
-        if not concurrent.identical:
-            print("FAIL: async estimates diverge from the single-query path",
-                  file=sys.stderr)
-            ok = False
-        if not args.tiny:
-            if concurrent.throughput_ratio < MIN_CONCURRENT_RATIO:
-                print(
-                    f"FAIL: async throughput is {concurrent.throughput_ratio:.2f}x "
-                    f"the sync server on live concurrent traffic "
-                    f"(need >= {MIN_CONCURRENT_RATIO:.2f}x)",
-                    file=sys.stderr,
-                )
-                ok = False
-            if not concurrent.p99_wait_bounded:
-                print(
-                    f"FAIL: low-load p99 wait "
-                    f"{concurrent.low_load_p99_wait * 1000:.2f}ms exceeds "
-                    f"2 x max_wait ({2 * args.max_wait_ms:.0f}ms)",
-                    file=sys.stderr,
-                )
-                ok = False
     if ok:
         summary = (
             f"PASS: {result.served_speedup:.1f}x served / "
-            f"{result.vector_speedup:.1f}x vectorized, estimates identical"
+            f"{result.vector_speedup:.1f}x vectorized, "
+            f"process executor {executor_suite.speedup('process'):.2f}x inline "
+            f"({args.workers} workers, {os.cpu_count()} cores), "
+            f"overload shed {overload.n_shed}/{overload.n_requests} bounded, "
+            "estimates identical"
         )
         if concurrent is not None:
             summary += (
@@ -192,6 +325,12 @@ def main(argv=None) -> int:
                         help="total serving requests (distinct tiled)")
     parser.add_argument("--max-batch", type=int, default=256,
                         help="micro-batch size per forward pass")
+    parser.add_argument("--executor", choices=("inline", "thread", "process"),
+                        default="inline",
+                        help="executor for the main serving-engine pass "
+                        "(the scale-out suite always runs all three)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="thread/process executor workers")
     parser.add_argument("--concurrent", action="store_true",
                         help="also run the async engine under concurrent "
                         "client threads (throughput + p50/p99 latency)")
@@ -202,6 +341,8 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true",
                         help="smoke-test configuration for CI (seconds)")
     args = parser.parse_args(argv)
+    if args.workers <= 0:
+        parser.error(f"--workers must be positive, got {args.workers}")
     if args.tiny:
         apply_tiny_args(args)
     return run(args)

@@ -16,12 +16,18 @@ Two cache classes back the estimation and serving fast paths:
 Keys must be hashable; :class:`~repro.workload.query.Query` qualifies
 because it is a frozen dataclass whose three sets are stored canonically
 sorted — two queries that differ only in clause order are one cache
-entry.  Neither class synchronizes internally: concurrent users (the
-async serving loop) hold their own lock around cache access.
+entry.  Both classes synchronize internally (a per-instance re-entrant
+lock around every mutation and read): the serving executors answer
+micro-batches of the same sketch from multiple threads, so the
+per-sketch result cache and predicate-mask memo must tolerate
+concurrent ``get``/``put`` without corrupting the recency order.  The
+lock is uncontended in single-threaded use and its cost is noise next
+to even one cached-model forward.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -61,57 +67,66 @@ class LRUCache:
         if maxsize < 0:
             raise ReproError(f"cache maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        with self._lock:
+            return iter(list(self._data))
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Cached value for ``key`` (refreshing recency), else ``default``."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return default
-        self._hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Like :meth:`get` but touches neither recency nor counters."""
-        value = self._data.get(key, _MISSING)
-        return default if value is _MISSING else value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.maxsize == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are cumulative and survive)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._data),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -149,6 +164,7 @@ class TTLCache:
         self.maxsize = maxsize
         self.ttl_seconds = ttl_seconds
         self._clock = clock
+        self._lock = threading.RLock()
         self._data: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -156,11 +172,13 @@ class TTLCache:
         self._expirations = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        entry = self._data.get(key)
-        return entry is not None and not self._expired(entry[1])
+        with self._lock:
+            entry = self._data.get(key)
+            return entry is not None and not self._expired(entry[1])
 
     def _expired(self, deadline: float) -> bool:
         return deadline != float("inf") and self._clock() >= deadline
@@ -172,62 +190,71 @@ class TTLCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Live cached value for ``key`` (refreshing recency), else ``default``."""
-        entry = self._data.get(key)
-        if entry is None:
-            self._misses += 1
-            return default
-        value, deadline = entry
-        if self._expired(deadline):
-            del self._data[key]
-            self._expirations += 1
-            self._misses += 1
-            return default
-        self._hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            value, deadline = entry
+            if self._expired(deadline):
+                del self._data[key]
+                self._expirations += 1
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Like :meth:`get` but touches neither recency nor counters."""
-        entry = self._data.get(key)
-        if entry is None or self._expired(entry[1]):
-            return default
-        return entry[0]
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None or self._expired(entry[1]):
+                return default
+            return entry[0]
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.maxsize == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = (value, self._deadline())
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = (value, self._deadline())
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
 
     def purge_expired(self) -> int:
         """Drop every expired entry now; returns how many were dropped."""
-        expired = [k for k, (_, deadline) in self._data.items() if self._expired(deadline)]
-        for key in expired:
-            del self._data[key]
-        self._expirations += len(expired)
-        return len(expired)
+        with self._lock:
+            expired = [
+                k for k, (_, deadline) in self._data.items() if self._expired(deadline)
+            ]
+            for key in expired:
+                del self._data[key]
+            self._expirations += len(expired)
+            return len(expired)
 
     def clear(self) -> None:
         """Drop all entries (counters are cumulative and survive)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     @property
     def expirations(self) -> int:
         """Entries dropped because their TTL elapsed (cumulative)."""
-        return self._expirations
+        with self._lock:
+            return self._expirations
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._data),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -78,11 +78,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the per-sketch estimate cache")
     serve.add_argument("--async", dest="use_async", action="store_true",
                        help="serve through the asynchronous latency-bounded "
-                       "engine (background flush loop, request dedup, "
+                       "facade (background flush loop, request dedup, "
                        "shared feature cache)")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="async only: max queueing delay before a "
                        "partial micro-batch is flushed")
+    serve.add_argument("--executor", choices=("inline", "thread", "process"),
+                       default="inline",
+                       help="where micro-batches execute: the calling/flush "
+                       "thread (inline), a thread pool, or a process pool "
+                       "of shipped weight snapshots (multi-core)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker count for --executor thread/process")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="admission control: bound on buffered requests; "
+                       "overload returns structured shed errors instead of "
+                       "queueing without limit (meant for --async, where a "
+                       "background flusher drains while clients submit; the "
+                       "sync facade buffers the whole stream first, so a "
+                       "bound below the stream length sheds its tail)")
+    serve.add_argument("--shed-policy", choices=("reject", "oldest"),
+                       default="reject",
+                       help="who loses when the queue is full: the new "
+                       "request (reject) or the longest-waiting one (oldest)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline: requests waiting longer "
+                       "resolve as structured deadline errors instead of "
+                       "consuming model time (meant for --async; the sync "
+                       "facade buffers the whole stream before one flush, "
+                       "so a deadline shorter than that buffering window "
+                       "expires the stream's head)")
 
     bench = commands.add_parser(
         "bench-serve",
@@ -102,6 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="total requests (distinct queries tiled)")
     bench.add_argument("--max-batch", type=int, default=256,
                        help="micro-batch size per model forward pass")
+    bench.add_argument("--executor", choices=("inline", "thread", "process"),
+                       default="inline",
+                       help="executor for the serving-engine pass")
+    bench.add_argument("--workers", type=int, default=2,
+                       help="worker count for --executor thread/process")
     bench.add_argument("--tiny", action="store_true",
                        help="smoke-test configuration (seconds, not minutes)")
     return parser
@@ -201,39 +231,47 @@ def _cmd_serve(args) -> int:
     for path in args.sketches:
         manager.register_sketch(DeepSketch.load(path))
     requests = _read_sql_lines(args.sql)
+    engine_knobs = dict(
+        max_batch_size=args.max_batch,
+        use_cache=not args.no_cache,
+        executor=args.executor,
+        executor_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        shed_policy=args.shed_policy,
+        deadline_ms=args.deadline_ms,
+    )
     if args.use_async:
         server = AsyncSketchServer(
             manager,
-            AsyncServeConfig(
-                max_batch_size=args.max_batch,
-                max_wait_ms=args.max_wait_ms,
-                use_cache=not args.no_cache,
-            ),
+            AsyncServeConfig(max_wait_ms=args.max_wait_ms, **engine_knobs),
         )
         start = time.perf_counter()
         with server:
             responses = server.serve(requests)
         elapsed = time.perf_counter() - start
     else:
-        server = SketchServer(
-            manager,
-            ServeConfig(max_batch_size=args.max_batch, use_cache=not args.no_cache),
-        )
-        start = time.perf_counter()
-        responses = server.serve(requests)
-        elapsed = time.perf_counter() - start
+        with SketchServer(manager, ServeConfig(**engine_knobs)) as server:
+            start = time.perf_counter()
+            responses = server.serve(requests)
+            # Captured before __exit__: executor teardown (process-pool
+            # joins) is lifecycle cost, not serving throughput.
+            elapsed = time.perf_counter() - start
     for response in responses:
         if response.ok:
             flags = " (cached)" if response.cached else ""
             print(f"{response.estimate:.0f}\t{response.sketch}{flags}")
         else:
-            print(f"error\t{response.error}")
+            kind = f"error:{response.code}" if response.code else "error"
+            print(f"{kind}\t{response.error}")
     stats = server.stats
+    summary = server.stats_summary()
     print(
         f"served {stats.n_answered}/{stats.n_requests} requests in "
         f"{elapsed:.3f}s ({stats.n_answered / max(elapsed, 1e-9):.0f} q/s; "
+        f"executor={summary['executor']}, "
         f"{stats.n_forward_batches} forward batches, "
-        f"{stats.n_cache_hits} cache hits, {stats.n_errors} errors)",
+        f"{stats.n_cache_hits} cache hits, {stats.n_errors} errors, "
+        f"{stats.n_shed} shed, {stats.n_deadline_missed} deadline-missed)",
         file=sys.stderr,
     )
     if args.use_async:
@@ -284,6 +322,7 @@ def _cmd_bench_serve(args) -> int:
     result = run_serving_benchmark(
         manager, "bench", queries,
         batch_size=args.batch, max_batch_size=args.max_batch,
+        executor=args.executor, executor_workers=args.workers,
     )
     print(result.report())
     if result.n_errors:

@@ -18,6 +18,7 @@ runs through a compiled, autograd-free
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +46,12 @@ _SAMPLE_PREFIX = "sample."
 #: the materialized samples.
 DEFAULT_ESTIMATE_CACHE_SIZE = 8192
 
+#: Globally unique snapshot tokens.  ``itertools.count`` is safe to
+#: advance from multiple threads under CPython's GIL, and tokens are
+#: never reused — unlike ``id()``, which the process-pool executor must
+#: not key worker state on (a freed sketch's id can be recycled).
+_SNAPSHOT_TOKENS = itertools.count(1)
+
 
 class _SampleCatalog:
     """Adapter letting the featurizer resolve string literals against the
@@ -60,11 +67,18 @@ class _SampleCatalog:
 
 @dataclass
 class DeepSketch:
-    """A trained, queryable Deep Sketch."""
+    """A trained, queryable Deep Sketch.
+
+    ``model`` may be ``None`` for an **estimation-only** sketch restored
+    from a :class:`SketchSnapshot` (the process-pool executor's worker
+    replica): such a sketch estimates through its shipped
+    :class:`~repro.nn.inference.InferenceSession` exactly like a full
+    one, but cannot be retrained, recompiled, or re-serialized.
+    """
 
     name: str
     featurizer: Featurizer
-    model: MSCN
+    model: MSCN | None
     samples: MaterializedSamples
     metadata: dict = field(default_factory=dict)
     #: Dtype of the compiled inference session ("float64" or "float32").
@@ -75,7 +89,8 @@ class DeepSketch:
     inference_dtype: str = "float64"
 
     def __post_init__(self):
-        self.model.eval()
+        if self.model is not None:
+            self.model.eval()
         if self.inference_dtype not in ("float64", "float32"):
             raise SketchError(
                 f"inference_dtype must be 'float64' or 'float32', "
@@ -86,6 +101,7 @@ class DeepSketch:
         self._mask_memo = PredicateMaskMemo(self.samples)
         self._session: InferenceSession | None = None
         self._scratch = CollateScratch()
+        self._snapshot_token = next(_SNAPSHOT_TOKENS)
         # Collating straight at the session dtype makes the session's
         # input conversion a zero-copy passthrough either way.
         self._batch_dtype = np.dtype(self.inference_dtype)
@@ -107,8 +123,25 @@ class DeepSketch:
         the weights the caches were filled under.
         """
         if self._session is None:
+            if self.model is None:
+                raise SketchError(
+                    f"sketch {self.name!r} is an estimation-only snapshot "
+                    "with no model to compile a session from"
+                )
             self._session = InferenceSession(self.model, dtype=self.inference_dtype)
         return self._session
+
+    @property
+    def snapshot_token(self) -> int:
+        """Identity of the current weights/caches generation.
+
+        Unique across all sketches in the process and bumped by
+        :meth:`clear_cache`, so anything holding derived state (the
+        process-pool executor's shipped worker replicas) can detect
+        both "different sketch under the same name" and "same sketch,
+        retrained" with one integer comparison.
+        """
+        return self._snapshot_token
 
     def _predict_batch(self, batch) -> np.ndarray:
         """Normalized predictions for a collated batch (compiled path)."""
@@ -121,11 +154,16 @@ class DeepSketch:
         and by anything that mutates the model or samples in place.
         Also drops the compiled inference session, which snapshots the
         model weights — the next estimate recompiles from the weights as
-        they are then.
+        they are then — and advances :attr:`snapshot_token` so shipped
+        worker replicas are recognized as stale.  An estimation-only
+        sketch keeps its session (there is no model to recompile from);
+        it only forgets cached results.
         """
         self._cache.clear()
         self._mask_memo = PredicateMaskMemo(self.samples)
-        self._session = None
+        if self.model is not None:
+            self._session = None
+        self._snapshot_token = next(_SNAPSHOT_TOKENS)
 
     def _coerce(self, query: Query | str) -> Query:
         if isinstance(query, str):
@@ -234,10 +272,42 @@ class DeepSketch:
         return list(self.featurizer.tables)
 
     # ------------------------------------------------------------------
+    # estimation-only snapshots (process-pool serving workers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SketchSnapshot":
+        """A picklable, estimation-only replica of this sketch.
+
+        The payload is the compiled :attr:`inference_session` (weights
+        only — no autograd model), the featurizer manifest, and the
+        materialized-sample arrays: everything :meth:`estimate_many`
+        needs and nothing it doesn't.  :meth:`SketchSnapshot.restore`
+        rehydrates it in another process without retraining, rebuilding
+        samples, or recompiling weights.  ``token`` captures
+        :attr:`snapshot_token` at snapshot time so holders can tell when
+        the replica has gone stale.
+        """
+        sample_arrays, sample_manifest = samples_to_payload(self.samples)
+        return SketchSnapshot(
+            name=self.name,
+            token=self.snapshot_token,
+            inference_dtype=self.inference_dtype,
+            featurizer_manifest=self.featurizer.to_manifest(),
+            sample_arrays=sample_arrays,
+            sample_manifest=sample_manifest,
+            session=self.inference_session,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
     # serialization and footprint
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
         """Serialize the whole sketch (model + samples + featurizer)."""
+        if self.model is None:
+            raise SketchError(
+                f"sketch {self.name!r} is an estimation-only snapshot; "
+                "only the original (model-bearing) sketch serializes"
+            )
         payload = {
             f"model.{k}": v for k, v in self.model.state_dict().items()
         }
@@ -299,8 +369,45 @@ class DeepSketch:
         return len(self.to_bytes())
 
     def __repr__(self) -> str:
+        params = "-" if self.model is None else self.model.num_parameters()
         return (
             f"DeepSketch({self.name!r}, tables={self.tables}, "
-            f"params={self.model.num_parameters()}, "
+            f"params={params}, "
             f"sample_size={self.samples.sample_size})"
         )
+
+
+@dataclass
+class SketchSnapshot:
+    """Picklable estimation-only view of a :class:`DeepSketch`.
+
+    Produced by :meth:`DeepSketch.snapshot` and consumed by the serving
+    layer's process-pool executor: the parent pickles one of these per
+    sketch into each worker, and :meth:`restore` turns it back into an
+    estimation-only ``DeepSketch`` (``model=None``, session pre-set)
+    whose ``estimate``/``estimate_many`` run the exact same compiled
+    arithmetic as the parent's — the worker never retrains, never
+    re-materializes samples, and never touches autograd.
+    """
+
+    name: str
+    token: int
+    inference_dtype: str
+    featurizer_manifest: dict
+    sample_arrays: dict
+    sample_manifest: dict
+    session: InferenceSession
+    metadata: dict = field(default_factory=dict)
+
+    def restore(self) -> DeepSketch:
+        """Rehydrate an estimation-only sketch from this snapshot."""
+        sketch = DeepSketch(
+            name=self.name,
+            featurizer=Featurizer.from_manifest(self.featurizer_manifest),
+            model=None,
+            samples=samples_from_payload(self.sample_arrays, self.sample_manifest),
+            metadata=dict(self.metadata),
+            inference_dtype=self.inference_dtype,
+        )
+        sketch._session = self.session
+        return sketch

@@ -1,4 +1,4 @@
-"""Estimation-quality metrics.
+"""Estimation-quality metrics and serving telemetry primitives.
 
 The paper reports estimation errors as **q-errors** (Moerkotte et al.,
 PVLDB 2009): the factor between the true and the estimated cardinality,
@@ -8,10 +8,24 @@ PVLDB 2009): the factor between the true and the estimated cardinality,
 Table 1 of the paper summarizes q-error distributions with the median,
 90th, 95th, and 99th percentiles, the maximum, and the mean; this module
 computes exactly those rows.
+
+The second half of the module is the serving subsystem's telemetry
+vocabulary: :class:`Counter`, :class:`Gauge`, and the windowed
+:class:`LatencySummary` (nearest-rank :func:`percentile` over a bounded
+deque of recent observations).  The estimation engine
+(:class:`repro.serve.engine.EstimationEngine`) maintains one of each —
+a queue-depth gauge, shed/deadline-miss counters, and flush-latency /
+queue-wait summaries — and snapshots them through its single
+``stats()`` call, shared by both server facades.  All three classes are
+internally locked so submit threads, the flush loop, and executor
+worker threads can update them without external coordination.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -82,13 +96,17 @@ def summarize_qerrors(errors: Iterable[float]) -> QErrorSummary:
         raise ReproError("cannot summarize an empty q-error sample")
     if np.any(arr < 1.0 - 1e-9):
         raise ReproError("q-errors must be >= 1; got a smaller value")
+    # The arithmetic mean of a sample lies in [min, max] mathematically,
+    # but np.mean's pairwise summation can land 1 ULP outside; clamp so
+    # the summary always satisfies the invariant.
+    mean = float(np.clip(np.mean(arr), np.min(arr), np.max(arr)))
     return QErrorSummary(
         median=float(np.median(arr)),
         p90=float(np.percentile(arr, 90)),
         p95=float(np.percentile(arr, 95)),
         p99=float(np.percentile(arr, 99)),
         max=float(np.max(arr)),
-        mean=float(np.mean(arr)),
+        mean=mean,
         count=int(arr.size),
     )
 
@@ -126,3 +144,124 @@ def geometric_mean_qerror(errors: Sequence[float]) -> float:
     if arr.size == 0:
         raise ReproError("cannot average an empty q-error sample")
     return float(np.exp(np.mean(np.log(arr))))
+
+
+# ----------------------------------------------------------------------
+# serving telemetry (consumed by repro.serve.engine)
+# ----------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing event counter (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (thread-safe).
+
+    The serving engine uses one for its queue depth, mirroring its
+    (lock-guarded, authoritative) depth counter via :meth:`set` on
+    every change; ``value`` is what ``stats()`` reports.  ``adjust``
+    is for gauges whose owner has no counter of its own to mirror.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: float = 0):
+        self._lock = threading.Lock()
+        self._value = value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def adjust(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class LatencySummary:
+    """Percentile summary over a bounded window of recent observations.
+
+    Observations are seconds (or any nonnegative duration); the window
+    bounds memory so a long-running server reports *recent* behavior
+    rather than an all-time blur.  ``summary()`` returns the dict shape
+    the serving layer has exposed since PR 2: ``count``/``p50``/``p95``/
+    ``p99``/``max`` (count as a float, for JSON friendliness).
+    """
+
+    __slots__ = ("_lock", "_window")
+
+    def __init__(self, window: int = 8192):
+        if window <= 0:
+            raise ReproError(f"summary window must be positive, got {window}")
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(float(seconds))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            ordered = sorted(self._window)
+        if not ordered:
+            return {"count": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+        def rank(q: float) -> float:
+            # Nearest-rank on the already-sorted window: one sort serves
+            # every percentile of this snapshot.
+            return ordered[max(int(math.ceil(q * len(ordered))), 1) - 1]
+
+        return {
+            "count": float(len(ordered)),
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "max": ordered[-1],
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"LatencySummary(n={s['count']:.0f}, p50={s['p50']:.6f}, "
+            f"p99={s['p99']:.6f})"
+        )

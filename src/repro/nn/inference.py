@@ -31,6 +31,13 @@ model is retrained or mutated in place; :meth:`DeepSketch.clear_cache`
 drops the sketch's session alongside its result cache so the next
 estimate recompiles from the current weights.
 
+Sessions are also **picklable**: the pickle payload is the weight
+snapshot plus the dims/dtype header, and unpickling rebuilds a fresh
+(empty) buffer pool.  This is how the serving layer's process-pool
+executor ships a trained model to worker processes — the worker gets
+the exact compiled arrays, never the autograd model, and never
+retrains or recompiles anything (see ``repro.serve.executor``).
+
 The numerical contract: a float64 session matches the autograd forward
 to a few ULPs (<= 1e-12 relative — 2-D GEMM vs batched matmul kernel
 rounding); a float32 session matches to <= 1e-6 relative.  Both bounds
@@ -111,6 +118,23 @@ class InferenceSession:
         self._join_mlp = _MLP(model.join_mlp, dtype)
         self._predicate_mlp = _MLP(model.predicate_mlp, dtype)
         self._out_mlp = _MLP(model.out_mlp, dtype)
+        self._pools = ArrayPool(zeroed=False, max_shapes=MAX_POOLED_SHAPES)
+
+    # ------------------------------------------------------------------
+    # pickling (process-pool executors ship sessions to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Everything but the buffer pools (thread-locals don't pickle).
+
+        The weight arrays are the session's whole identity; pools are
+        scratch that every process/thread regrows on first use.
+        """
+        state = dict(self.__dict__)
+        del state["_pools"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._pools = ArrayPool(zeroed=False, max_shapes=MAX_POOLED_SHAPES)
 
     # ------------------------------------------------------------------

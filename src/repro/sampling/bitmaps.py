@@ -69,10 +69,16 @@ class PredicateMaskMemo:
     """
 
     def __init__(self, samples: MaterializedSamples, maxsize: int = 8192):
+        import threading
+
         self._samples = samples
         self._predicate_masks = LRUCache(maxsize=maxsize)
         self._selection_bitmaps = LRUCache(maxsize=maxsize)
         self.evaluations = 0  # distinct predicate evaluations performed
+        # The backing caches are internally locked, but this diagnostic
+        # counter is a read-modify-write of its own: serving executors
+        # may evaluate chunks of one sketch from several threads.
+        self._eval_lock = threading.Lock()
 
     def predicate_mask(self, table_name: str, pred: Predicate) -> np.ndarray:
         key = (table_name, pred.column, pred.op, pred.literal)
@@ -81,7 +87,8 @@ class PredicateMaskMemo:
             table = self._samples.for_table(table_name)
             mask = table.column(pred.column).evaluate(pred.op, pred.literal)
             self._predicate_masks.put(key, mask)
-            self.evaluations += 1
+            with self._eval_lock:
+                self.evaluations += 1
         return mask
 
     def selection_bitmap(

@@ -1,53 +1,77 @@
-"""Sketch-serving engine: batched synchronous and latency-bounded async.
+"""Sketch serving: one estimation engine, two facades, pluggable executors.
 
 The paper's pitch is that a Deep Sketch is "fast to query (within
 milliseconds)"; this package turns the one-query-at-a-time estimation
-path into a throughput-oriented serving subsystem with two front doors:
+path into a throughput-oriented serving subsystem.  Since the engine
+refactor it is layered as:
 
-* :class:`SketchServer` — the synchronous engine.  A caller hands it a
-  stream (``serve``) or an explicit queue (``submit``/``flush``); it
-  parses and routes per sketch, coalesces micro-batches, and answers
-  each micro-batch with a single MSCN forward pass over the vectorized
-  pre-model pipeline (:func:`repro.sampling.bitmaps.batch_bitmaps` +
-  :meth:`repro.core.featurization.Featurizer.featurize_batch`), backed
-  by a per-sketch LRU result cache.
-* :class:`AsyncSketchServer` — the concurrent engine.  Thread-safe
-  ``submit()`` returns a future (``submit_async()`` for ``asyncio``);
-  a background loop flushes per-sketch micro-batches when they fill
-  *or* when the oldest request has waited ``max_wait_ms``, bounding
-  tail latency while sharing one flush across all waiting clients.
-  Identical in-flight queries are deduplicated across sketches, and a
-  shared template-keyed :class:`FeatureCache` reuses structure feature
-  rows between queries that differ only in literals.
+* :class:`EstimationEngine` — the single, transport-agnostic request
+  lifecycle: parse, route, dedup, result-cache fast path, **admission
+  control** (bounded queue with structured shed responses and
+  per-request deadlines), per-sketch micro-batching, execution, and
+  scatter.  One implementation, shared by both front doors.
+* :class:`SketchServer` — the synchronous facade: caller-driven
+  flushes over an explicit queue (``submit``/``flush``) or a stream
+  (``serve``).  Right for offline streams and benchmarks.
+* :class:`AsyncSketchServer` — the concurrent facade: thread-safe
+  ``submit()`` returning futures (``submit_async()`` for ``asyncio``),
+  with a background loop flushing under full/timed/idle/drain
+  triggers, bounding tail latency while sharing one flush across all
+  waiting clients.
+* Executors (:mod:`repro.serve.executor`) — where micro-batches run:
+  ``inline`` (calling thread; bit-identical to the pre-engine paths),
+  ``thread`` (overlapping chunks on a thread pool), or ``process``
+  (true multi-core scale-out over shipped
+  :class:`~repro.core.sketch.SketchSnapshot` weight replicas).
 
-Both engines produce estimates numerically identical to the
+Both facades produce estimates numerically identical to the
 single-query path (see :mod:`repro.serve.bench` for the parity caveat
-and the measurement harness).
+and the measurement harness) and share one telemetry snapshot —
+``server.stats_summary()`` / ``EstimationEngine.stats()`` — wired
+into :mod:`repro.metrics` gauges, counters, and latency summaries.
 """
 
 from .async_server import AsyncServeConfig, AsyncServerStats, AsyncSketchServer
 from .bench import ServingBenchResult, run_serving_benchmark, tile_workload
-from .feature_cache import FeatureCache
-from .server import (
+from .engine import (
+    CODE_DEADLINE,
+    CODE_SHED,
     EstimateResponse,
+    EstimationEngine,
     ServeConfig,
     ServerStats,
-    SketchServer,
     answer_chunk,
     prepare_request,
 )
+from .executor import (
+    EXECUTOR_NAMES,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .feature_cache import FeatureCache
+from .server import SketchServer
 
 __all__ = [
+    "EstimationEngine",
     "SketchServer",
     "ServeConfig",
     "ServerStats",
     "AsyncSketchServer",
     "AsyncServeConfig",
     "AsyncServerStats",
+    "CODE_DEADLINE",
+    "CODE_SHED",
+    "EXECUTOR_NAMES",
     "FeatureCache",
     "EstimateResponse",
+    "InlineExecutor",
+    "ProcessExecutor",
     "ServingBenchResult",
+    "ThreadExecutor",
     "answer_chunk",
+    "make_executor",
     "prepare_request",
     "run_serving_benchmark",
     "tile_workload",

@@ -1,51 +1,45 @@
-"""Asynchronous, latency-bounded sketch serving.
+"""Asynchronous, latency-bounded serving facade over the estimation engine.
 
-:class:`repro.serve.server.SketchServer` batches well but only flushes
-when a caller blocks on ``serve``/``flush`` — fine for offline streams,
-wrong for live traffic where many independent clients each hold one
-request and nobody sees the whole stream.  :class:`AsyncSketchServer`
-closes that gap:
+:class:`~repro.serve.server.SketchServer` batches well but only flushes
+when a caller asks — fine for offline streams, wrong for live traffic
+where many independent clients each hold one request and nobody sees
+the whole stream.  :class:`AsyncSketchServer` closes that gap by
+driving the same :class:`~repro.serve.engine.EstimationEngine` from a
+background flush loop:
 
 * ``submit()`` is thread-safe and returns a
   :class:`concurrent.futures.Future` immediately; any number of client
   threads can submit concurrently.  ``submit_async()`` is the
-  ``asyncio`` front-end (awaitable from an event loop).
-* Requests are parsed and routed on the submitting thread, then
-  buffered **per sketch**.  A background flush loop drains each buffer
-  under a dual trigger: the buffer reaches
-  ``AsyncServeConfig.max_batch_size`` (flush now, full batch) **or**
-  the oldest buffered request has waited ``max_wait_ms`` (flush now,
-  partial batch).  Queueing delay is therefore bounded by
-  ``max_wait_ms`` regardless of load, while one model forward pass is
-  shared by every request in the flushed batch.  An opportunistic
-  third trigger (``min_idle_ms``) flushes a buffer as soon as arrivals
-  quiesce, so a burst never waits out a deadline that cannot add batch
-  members; under sustained load it never fires.
-* **Cross-sketch deduplication**: identical canonical queries in
-  flight at the same time collapse onto a single pending computation —
-  every waiter receives the *same* future, which resolves once with
-  the *same* response object.  "Cross-sketch" describes where the map
-  lives: one map above all per-sketch buffers, keyed by
-  ``(sketch, canonical query)`` — requests answered by different
-  sketches are different computations and never merge.
-* A shared template-keyed :class:`~repro.serve.feature_cache.FeatureCache`
-  persists structure feature rows across flushes and across sketches,
-  so templated workloads ("same query, different constants") only
-  recompute predicate literal slots and sample bitmaps.
-* Estimate-cache hits are answered directly on the submitting thread
-  (a read-only ``peek``; only the flush thread ever writes a sketch's
-  result cache) — a repeated query never waits for a batch at all.
+  ``asyncio`` front-end (awaitable from an event loop), and
+  ``submit_many()`` amortizes intake for a client holding a batch.
+* The engine buffers requests **per sketch** and the loop flushes each
+  buffer under the engine's triggers: full (``max_batch_size``), timed
+  (``max_wait_ms``), idle (``min_idle_ms`` quiescence), and drain
+  (close).  Queueing delay is bounded by ``max_wait_ms`` regardless of
+  load, while one flush is shared by every waiting client.
+* **Admission control and deadlines** are engine features and therefore
+  apply here exactly as on the sync facade: with ``max_queue_depth``
+  set, overload resolves futures *at submit time* with structured
+  ``code="shed"`` responses (policy ``"reject"``) or evicts the
+  longest-waiting request (``"oldest"``); requests older than
+  ``deadline_ms`` at flush time resolve with ``code="deadline"``
+  instead of consuming model time.
+* **Cross-sketch deduplication** merges identical in-flight canonical
+  queries onto a single pending computation — every waiter receives
+  the *same* future and the *same* response object — and estimate-cache
+  hits are answered directly on the submitting thread (a read-only
+  ``peek``; the flush side replays recency), so a repeated query never
+  waits for a batch at all.
+* The engine's **executor** decides where micro-batches run: inline on
+  the flush loop (default), across a thread pool, or across a process
+  pool of shipped weight snapshots (see :mod:`repro.serve.executor`).
 
-Numerical behavior is identical to the synchronous paths: the flush
-loop answers batches through the same
-:func:`repro.serve.server.answer_chunk` pipeline — and therefore
-through each sketch's compiled
-:class:`~repro.nn.inference.InferenceSession` forward — so estimates
-match ``DeepSketch.estimate`` to within the few-ULP BLAS rounding
-documented in :mod:`repro.serve.bench`.  Sessions and their buffer
-pools are invalidated with the result caches when a sketch is dropped
-or rebuilt, and the pools are thread-local, so the flush thread and
-direct callers never share scratch memory.
+Numerical behavior is identical to the synchronous facade: both drive
+the same engine and the same
+:func:`~repro.serve.engine.answer_chunk` pipeline — and therefore each
+sketch's compiled :class:`~repro.nn.inference.InferenceSession` — so
+estimates match ``DeepSketch.estimate`` to within the few-ULP BLAS
+rounding documented in :mod:`repro.serve.bench`.
 
 Typical use::
 
@@ -59,136 +53,51 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
-import math
-import threading
-import time
-from collections import deque
-from concurrent.futures import Future
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..errors import SketchError
+from ..metrics import percentile
 from ..workload.query import Query
 from ..demo.manager import SketchManager
-from .feature_cache import DEFAULT_FEATURE_CACHE_SIZE, FeatureCache
-from .server import (
-    EstimateResponse,
-    ServerStats,
-    answer_chunk,
-    prepare_request,
-)
+from .engine import EstimationEngine, ServeConfig, ServerStats
+from .feature_cache import FeatureCache
 
 
-@dataclass(frozen=True)
-class AsyncServeConfig:
-    """Knobs of the asynchronous serving loop.
+class AsyncServeConfig(ServeConfig):
+    """Alias of the engine's :class:`~repro.serve.engine.ServeConfig`.
 
-    ``max_batch_size`` and ``max_wait_ms`` form the dual flush trigger:
-    a buffer is flushed as soon as it holds ``max_batch_size`` requests
-    *or* its oldest request has waited ``max_wait_ms`` milliseconds,
-    whichever comes first.  Small ``max_wait_ms`` favors latency, large
-    favors batching; ``0`` flushes as fast as the loop can spin.
+    Kept as a distinct name for readability at async call sites (and
+    for source compatibility with pre-engine code); the knobs are the
+    engine's — including the executor and admission-control fields that
+    used to be out of the async server's reach.
 
-    ``min_idle_ms`` adds an opportunistic third trigger (the shape used
-    by production dynamic batchers): a non-empty buffer whose *last*
-    arrival is older than ``min_idle_ms`` flushes immediately — the
-    burst has quiesced, so waiting out the rest of ``max_wait_ms``
-    would add latency without adding batch members.  Under sustained
-    arrivals the idle timer never fires and batches still grow to the
-    size/deadline bounds; ``None`` disables the trigger for pure
-    deadline semantics.
-
-    ``dedup`` merges identical in-flight canonical queries onto one
-    computation.  ``feature_cache_size``/``feature_cache_ttl_s`` bound
-    the shared template-keyed feature cache (``ttl`` of ``None`` means
-    entries only ever leave by LRU eviction).  ``latency_window`` is
-    how many recent per-request wait times the server retains for its
-    percentile summary.
+    Migration note: the pre-engine sentinels ``max_wait_ms=0`` ("flush
+    as fast as the loop can spin") and ``min_idle_ms=0`` are now
+    rejected by validation — use a small positive wait (e.g. ``0.1``)
+    for spin-like flushing, and ``min_idle_ms=None`` to disable the
+    idle trigger.
     """
 
-    max_batch_size: int = 256
-    max_wait_ms: float = 2.0
-    min_idle_ms: float | None = 1.0
-    use_cache: bool = True
-    dedup: bool = True
-    feature_cache_size: int = DEFAULT_FEATURE_CACHE_SIZE
-    feature_cache_ttl_s: float | None = 600.0
-    latency_window: int = 8192
 
-    def __post_init__(self):
-        if self.max_batch_size <= 0:
-            raise SketchError(
-                f"max_batch_size must be positive, got {self.max_batch_size}"
-            )
-        if self.max_wait_ms < 0:
-            raise SketchError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
-        if self.min_idle_ms is not None and self.min_idle_ms < 0:
-            raise SketchError(f"min_idle_ms must be >= 0, got {self.min_idle_ms}")
-        if self.latency_window <= 0:
-            raise SketchError(
-                f"latency_window must be positive, got {self.latency_window}"
-            )
-
-
-@dataclass
 class AsyncServerStats(ServerStats):
-    """Sync counters plus the async loop's flush/dedup accounting."""
+    """Alias of the engine's :class:`~repro.serve.engine.ServerStats`.
 
-    n_deduped: int = 0          # futures merged onto an in-flight twin
-    n_fast_cache_hits: int = 0  # answered at submit time from the cache
-    n_flushes: int = 0
-    n_flushes_full: int = 0     # triggered by max_batch_size
-    n_flushes_timed: int = 0    # triggered by max_wait_ms
-    n_flushes_idle: int = 0     # triggered by min_idle_ms quiescence
-    n_flushes_drain: int = 0    # triggered by shutdown drain
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(int(math.ceil(q * len(ordered))), 1)
-    return ordered[rank - 1]
-
-
-class _Pending:
-    """One in-flight computation shared by every deduped waiter.
-
-    All waiters hold the *same* future object — deduplication merges a
-    request by handing back the twin's future, so a duplicate costs one
-    dict lookup and an increment, with no allocation and no extra
-    ``set_result`` at resolve time.
+    The flush/dedup counters this subclass used to add now live on the
+    unified stats block shared by both facades.
     """
-
-    __slots__ = ("response", "future", "waiters", "enqueued_at")
-
-    def __init__(self, response: EstimateResponse, enqueued_at: float):
-        self.response = response
-        self.future: Future[EstimateResponse] = Future()
-        # Move the future to RUNNING immediately so no waiter can
-        # cancel() it: the computation is shared, and a cancelled future
-        # would make the flush loop's set_result raise InvalidStateError
-        # (killing the loop and stranding every other waiter).  An
-        # asyncio caller that cancels its await stops waiting without
-        # affecting the shared computation (asyncio.wrap_future only
-        # cancels its own wrapper once the inner future is running).
-        self.future.set_running_or_notify_cancel()
-        self.waiters = 1
-        self.enqueued_at = enqueued_at
 
 
 class AsyncSketchServer:
     """Latency-bounded concurrent serving over a :class:`SketchManager`.
 
-    Thread-safety contract: ``submit`` may be called from any number of
-    threads; all shared state (buffers, dedup map, stats) is guarded by
-    one lock, and sketch result caches are only *written* by the flush
-    thread (submitters use a read-only peek), so no cache access races.
-    The flush loop is a daemon thread started lazily on first submit
-    (or explicitly via :meth:`start`); :meth:`close` — or leaving the
+    A thin facade: all lifecycle logic lives in the engine.  The flush
+    loop is a daemon thread started lazily on first submit (or
+    explicitly via :meth:`start`); :meth:`close` — or leaving the
     server's context manager — drains every buffered request before
     stopping, so no accepted future is ever abandoned.
+
+    Telemetry: :attr:`stats` is the raw counter block; :meth:`stats_summary`
+    is the engine's one-call snapshot, identical in shape to the sync
+    facade's.
     """
 
     def __init__(
@@ -197,50 +106,39 @@ class AsyncSketchServer:
         config: AsyncServeConfig | None = None,
         feature_cache: FeatureCache | None = None,
     ):
-        self.manager = manager
-        self.config = config or AsyncServeConfig()
-        self.stats = AsyncServerStats()
-        self.feature_cache = feature_cache or FeatureCache(
-            maxsize=self.config.feature_cache_size,
-            ttl_seconds=self.config.feature_cache_ttl_s,
+        self.engine = EstimationEngine(
+            manager, config or AsyncServeConfig(), feature_cache
         )
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
-        # sketch name -> FIFO of _Pending awaiting a flush
-        self._buffers: dict[str, list[_Pending]] = {}
-        # sketch name -> monotonic time of the newest arrival (idle trigger)
-        self._last_enqueue: dict[str, float] = {}
-        # (sketch name, canonical query) -> its buffered _Pending (dedup)
-        self._inflight: dict[tuple[str, Query], _Pending] = {}
-        self._waits: deque[float] = deque(maxlen=self.config.latency_window)
-        # Fast-path cache hits recorded for the flush thread to replay
-        # as real cache.get()s: submitters only peek (read-only), but
-        # without a recency touch the hottest repeated queries would age
-        # to LRU-oldest and be evicted under cache pressure.  Bounded —
-        # dropping old touches only costs recency precision.
-        self._touches: deque[tuple[str, Query]] = deque(maxlen=4096)
-        self._touches_pending = 0
-        self._thread: threading.Thread | None = None
-        self._closed = False
-        self._last_purge = time.monotonic()
+
+    # -- engine views ---------------------------------------------------
+    @property
+    def manager(self) -> SketchManager:
+        return self.engine.manager
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.engine.config
+
+    @property
+    def stats(self) -> ServerStats:
+        return self.engine.counters
+
+    @property
+    def feature_cache(self):
+        return self.engine.feature_cache
+
+    def stats_summary(self) -> dict:
+        """The engine's one-call telemetry snapshot (both facades share
+        this shape; see :meth:`EstimationEngine.stats`)."""
+        return self.engine.stats()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "AsyncSketchServer":
         """Start the background flush loop (idempotent)."""
-        with self._lock:
-            self._ensure_thread_locked()
+        self.engine.start_loop()
         return self
-
-    def _ensure_thread_locked(self) -> None:
-        if self._closed:
-            raise SketchError("server is closed")
-        if self._thread is None or not self._thread.is_alive():
-            self._thread = threading.Thread(
-                target=self._run, name="sketch-serve-flush", daemon=True
-            )
-            self._thread.start()
 
     def close(self, timeout: float | None = 30.0) -> None:
         """Drain every buffered request, then stop the flush loop.
@@ -249,15 +147,7 @@ class AsyncSketchServer:
         resolved before the loop exits; ``submit`` calls after close
         raise :class:`~repro.errors.SketchError`.
         """
-        with self._cond:
-            if self._closed:
-                thread = self._thread
-            else:
-                self._closed = True
-                thread = self._thread
-                self._cond.notify_all()
-        if thread is not None and thread.is_alive():
-            thread.join(timeout)
+        self.engine.close(timeout)
 
     def __enter__(self) -> "AsyncSketchServer":
         return self.start()
@@ -267,214 +157,48 @@ class AsyncSketchServer:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        return self.engine.closed
 
     @property
     def pending(self) -> int:
         """Buffered requests not yet taken by a flush (dedup'd count)."""
-        with self._lock:
-            return sum(len(buf) for buf in self._buffers.values())
+        return self.engine.pending
 
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
-    def submit(
-        self, request: Query | str, sketch: str | None = None
-    ) -> "Future[EstimateResponse]":
+    def submit(self, request: Query | str, sketch: str | None = None):
         """Enqueue one request; resolves within ~``max_wait_ms`` + model time.
 
         Parsing and routing happen on the calling thread, so malformed
         SQL and uncoverable table sets resolve immediately with an error
-        response (never an exception through the future).  A request
-        whose estimate is already cached also resolves immediately —
-        repeated queries never pay the batching wait.
+        response (never an exception through the future), as do cache
+        hits (no batching wait) and admission-control sheds (structured
+        ``code="shed"`` responses instead of unbounded queueing).
         """
-        response = prepare_request(self.manager, request, sketch)
-
-        if response.ok and self.config.use_cache:
-            # Read-only peek: submit threads must not mutate the cache
-            # (recency and counters are owned by the flush thread).
-            try:
-                hit = self.manager.get_sketch(response.sketch).cache.peek(
-                    response.query
-                )
-            except SketchError:
-                hit = None  # dropped since routing; the flush will report it
-            if hit is not None:
-                response.estimate = float(hit)
-                response.cached = True
-                with self._lock:
-                    if self._closed:
-                        raise SketchError("server is closed")
-                    self.stats.n_requests += 1
-                    self.stats.n_answered += 1
-                    self.stats.n_cache_hits += 1
-                    self.stats.n_fast_cache_hits += 1
-                    self._count_sketch_locked(response.sketch)
-                    self._waits.append(0.0)
-                    self._record_touch_locked(response)
-                future: Future[EstimateResponse] = Future()
-                future.set_result(response)
-                return future
-
-        with self._cond:
-            if self._closed:
-                raise SketchError("server is closed")
-            self._ensure_thread_locked()
-            self.stats.n_requests += 1
-            if not response.ok:
-                self.stats.n_errors += 1
-                future = Future()
-                future.set_result(response)
-                return future
-            key = (response.sketch, response.query)
-            twin = self._inflight.get(key) if self.config.dedup else None
-            if twin is not None:
-                # Merge onto the in-flight twin: the caller gets the
-                # twin's own future (identical object for all waiters).
-                twin.waiters += 1
-                self.stats.n_deduped += 1
-                return twin.future
-            pending = _Pending(response, time.monotonic())
-            buffer = self._buffers.setdefault(response.sketch, [])
-            buffer.append(pending)
-            if self.config.dedup:
-                self._inflight[key] = pending
-            self._last_enqueue[response.sketch] = pending.enqueued_at
-            # Wake the flush loop only when its schedule actually
-            # changes: a previously empty buffer needs a deadline, a
-            # full one needs an immediate flush.  Intermediate arrivals
-            # only push the idle deadline later, which the loop
-            # discovers on its own — notifying for each of them would
-            # wake it hundreds of times per burst for nothing.
-            if len(buffer) == 1 or len(buffer) >= self.config.max_batch_size:
-                self._cond.notify_all()
-        return pending.future
+        return self.engine.submit(request, sketch, ensure_loop=True)
 
     def submit_many(
         self, requests: Sequence[Query | str], sketch: str | None = None
-    ) -> "list[Future[EstimateResponse]]":
+    ):
         """Amortized intake: enqueue a whole batch under one lock.
 
-        Semantically identical to calling :meth:`submit` per request,
-        but parsing, routing, and cache peeks happen before the lock is
-        taken, all buffer/dedup bookkeeping happens inside a single
-        critical section, and the flush loop is notified at most once.
-        This is the efficient entry point for a client that holds many
+        Semantically identical to calling :meth:`submit` per request;
+        this is the efficient entry point for a client that holds many
         requests (a replayed log, a fan-in gateway).
         """
-        prepared: list[tuple[EstimateResponse, float | None]] = []
-        for request in requests:
-            response = prepare_request(self.manager, request, sketch)
-            hit = None
-            if response.ok and self.config.use_cache:
-                try:
-                    hit = self.manager.get_sketch(response.sketch).cache.peek(
-                        response.query
-                    )
-                except SketchError:
-                    hit = None
-            prepared.append((response, hit))
+        return self.engine.submit_many(list(requests), sketch, ensure_loop=True)
 
-        futures: list[Future[EstimateResponse]] = []
-        resolved: list[tuple[Future, EstimateResponse]] = []
-        with self._cond:
-            if self._closed:
-                raise SketchError("server is closed")
-            if prepared:
-                self._ensure_thread_locked()
-            notify = False
-            now = time.monotonic()
-            for response, hit in prepared:
-                self.stats.n_requests += 1
-                if not response.ok:
-                    self.stats.n_errors += 1
-                    future = Future()
-                    resolved.append((future, response))
-                    futures.append(future)
-                    continue
-                if hit is not None:
-                    response.estimate = float(hit)
-                    response.cached = True
-                    self.stats.n_answered += 1
-                    self.stats.n_cache_hits += 1
-                    self.stats.n_fast_cache_hits += 1
-                    self._count_sketch_locked(response.sketch)
-                    self._waits.append(0.0)
-                    self._record_touch_locked(response)
-                    future = Future()
-                    resolved.append((future, response))
-                    futures.append(future)
-                    continue
-                key = (response.sketch, response.query)
-                twin = self._inflight.get(key) if self.config.dedup else None
-                if twin is not None:
-                    twin.waiters += 1
-                    self.stats.n_deduped += 1
-                    futures.append(twin.future)
-                    continue
-                pending = _Pending(response, now)
-                buffer = self._buffers.setdefault(response.sketch, [])
-                buffer.append(pending)
-                if self.config.dedup:
-                    self._inflight[key] = pending
-                self._last_enqueue[response.sketch] = now
-                if len(buffer) == 1 or len(buffer) >= self.config.max_batch_size:
-                    notify = True
-                futures.append(pending.future)
-            if notify:
-                self._cond.notify_all()
-        for future, response in resolved:
-            future.set_result(response)
-        return futures
-
-    async def submit_async(
-        self, request: Query | str, sketch: str | None = None
-    ) -> EstimateResponse:
+    async def submit_async(self, request: Query | str, sketch: str | None = None):
         """``asyncio`` front-end: await one request from an event loop."""
         return await asyncio.wrap_future(self.submit(request, sketch))
 
     def serve(
         self, requests: Iterable[Query | str], sketch: str | None = None
-    ) -> list[EstimateResponse]:
+    ):
         """Submit a stream and block for all responses (submission order)."""
         futures = self.submit_many(list(requests), sketch)
         return [future.result() for future in futures]
-
-    def _count_sketch_locked(self, name: str) -> None:
-        self.stats.sketch_requests[name] = self.stats.sketch_requests.get(name, 0) + 1
-
-    def _record_touch_locked(self, response: EstimateResponse) -> None:
-        """Queue a fast-path hit for the flush thread's recency replay.
-
-        The loop is woken at most once per batch of touches — a fully
-        warm stream would otherwise never wake it and never refresh
-        recency at all.
-        """
-        self._touches.append((response.sketch, response.query))
-        self._touches_pending += 1
-        if self._touches_pending >= 256:
-            self._touches_pending = 0
-            self._cond.notify_all()
-
-    def _replay_touches(self) -> None:
-        """Flush-thread side: turn queued peeks into real cache gets.
-
-        Only the flush thread mutates sketch caches; replaying the
-        submit-time peeks here keeps hot repeated queries at the MRU
-        end so cache pressure evicts cold entries, not the hottest.
-        """
-        with self._lock:
-            if not self._touches:
-                return
-            touches = list(self._touches)
-            self._touches.clear()
-            self._touches_pending = 0
-        for name, query in touches:
-            try:
-                self.manager.get_sketch(name).cache.get(query)
-            except SketchError:
-                continue  # sketch dropped since the hit; nothing to touch
 
     # ------------------------------------------------------------------
     # latency accounting
@@ -486,171 +210,7 @@ class AsyncSketchServer:
         ``max_wait_ms`` trigger bounds; model time is excluded.  Fast
         cache hits count as zero wait.
         """
-        with self._lock:
-            waits = list(self._waits)
-        return {
-            "count": float(len(waits)),
-            "p50": percentile(waits, 0.50),
-            "p95": percentile(waits, 0.95),
-            "p99": percentile(waits, 0.99),
-            "max": max(waits) if waits else 0.0,
-        }
-
-    # ------------------------------------------------------------------
-    # the background flush loop
-    # ------------------------------------------------------------------
-    def _run(self) -> None:
-        while True:
-            with self._cond:
-                batches = None
-                while True:
-                    now = time.monotonic()
-                    batches = self._take_ready_locked(now)
-                    if batches or self._touches:
-                        break
-                    if self._closed:
-                        # Drained: buffers are empty (a closed take
-                        # grabs everything), so the loop is done.
-                        return
-                    timeout = self._next_deadline_locked(now)
-                    if timeout is None:
-                        self._maybe_purge_feature_cache(now)
-                    self._cond.wait(timeout=timeout)
-            for name, chunk in batches:
-                self._answer(name, chunk)
-            self._replay_touches()
-
-    def _maybe_purge_feature_cache(self, now: float) -> None:
-        """Reap expired feature-cache entries while the loop is idle.
-
-        Expiry is lazy on lookup, which never fires for entries whose
-        featurizer (a dropped/rebuilt sketch's) is gone — their keys are
-        never looked up again.  One sweep per TTL while idle keeps such
-        orphans from pinning vocabularies and structure rows for the
-        server's lifetime.
-        """
-        ttl = getattr(self.feature_cache, "ttl_seconds", None)
-        if ttl is None or now - self._last_purge < ttl:
-            return
-        self._last_purge = now
-        self.feature_cache.purge_expired()
-
-    def _next_deadline_locked(self, now: float) -> float | None:
-        """Seconds until some buffer's wait or idle trigger next fires."""
-        min_idle_s = (
-            None
-            if self.config.min_idle_ms is None
-            else self.config.min_idle_ms / 1000.0
-        )
-        deadlines = []
-        for name, buffer in self._buffers.items():
-            if not buffer:
-                continue
-            deadline = buffer[0].enqueued_at + self.config.max_wait_ms / 1000.0
-            if min_idle_s is not None:
-                deadline = min(deadline, self._last_enqueue[name] + min_idle_s)
-            deadlines.append(deadline)
-        if not deadlines:
-            return None
-        return max(min(deadlines) - now, 0.0)
-
-    def _take_ready_locked(
-        self, now: float
-    ) -> list[tuple[str, list[_Pending]]]:
-        """Pop every buffer whose flush trigger has fired.
-
-        Taken requests leave the dedup map immediately: a duplicate
-        arriving while the batch is being answered becomes a fresh
-        pending request (and, with caching on, a cache hit at its own
-        submit or flush time) rather than attaching to a computation
-        whose futures may already be resolving.
-        """
-        max_wait_s = self.config.max_wait_ms / 1000.0
-        min_idle_s = (
-            None
-            if self.config.min_idle_ms is None
-            else self.config.min_idle_ms / 1000.0
-        )
-        taken: list[tuple[str, list[_Pending]]] = []
-        for name in list(self._buffers):
-            buffer = self._buffers[name]
-            if not buffer:
-                del self._buffers[name]
-                self._last_enqueue.pop(name, None)
-                continue
-            full = len(buffer) >= self.config.max_batch_size
-            timed = now - buffer[0].enqueued_at >= max_wait_s
-            idle = (
-                min_idle_s is not None
-                and now - self._last_enqueue[name] >= min_idle_s
-            )
-            if not (full or timed or idle or self._closed):
-                continue
-            chunk = buffer[: self.config.max_batch_size]
-            remainder = buffer[self.config.max_batch_size :]
-            if remainder:
-                self._buffers[name] = remainder
-            else:
-                del self._buffers[name]
-                self._last_enqueue.pop(name, None)
-            if self.config.dedup:
-                for pending in chunk:
-                    self._inflight.pop(
-                        (pending.response.sketch, pending.response.query), None
-                    )
-            self.stats.n_flushes += 1
-            if full:
-                self.stats.n_flushes_full += 1
-            elif timed:
-                self.stats.n_flushes_timed += 1
-            elif idle:
-                self.stats.n_flushes_idle += 1
-            else:
-                self.stats.n_flushes_drain += 1
-            for pending in chunk:
-                self._waits.append(now - pending.enqueued_at)
-            taken.append((name, chunk))
-        return taken
-
-    def _answer(self, name: str, chunk: list[_Pending]) -> None:
-        """Answer one flushed micro-batch and resolve all its futures."""
-        responses = [pending.response for pending in chunk]
-        local = ServerStats()
-        try:
-            sketch = self.manager.get_sketch(name)
-        except SketchError as exc:
-            # The sketch was dropped between routing and flushing.
-            for response in responses:
-                response.error = str(exc)
-        else:
-            try:
-                answer_chunk(
-                    sketch,
-                    responses,
-                    use_cache=self.config.use_cache,
-                    stats=local,
-                    feature_cache=self.feature_cache,
-                )
-            except Exception as exc:  # never strand a future on a bug
-                for response in responses:
-                    if response.ok and response.estimate is None:
-                        response.error = f"internal serving error: {exc!r}"
-        with self._lock:
-            self.stats.n_forward_batches += local.n_forward_batches
-            self.stats.n_cache_hits += local.n_cache_hits
-            for pending in chunk:
-                # Count every waiter, not every computation, so
-                # n_requests == n_answered + n_errors at quiescence even
-                # with dedup merging futures.
-                if pending.response.ok:
-                    self.stats.n_answered += pending.waiters
-                else:
-                    self.stats.n_errors += pending.waiters
-                self.stats.sketch_requests[name] = (
-                    self.stats.sketch_requests.get(name, 0) + pending.waiters
-                )
-        for pending in chunk:
-            pending.future.set_result(pending.response)
+        return self.engine.wait_summary()
 
 
 __all__ = [

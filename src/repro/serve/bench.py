@@ -179,12 +179,16 @@ def run_serving_benchmark(
     queries: Sequence[Query],
     batch_size: int = 512,
     max_batch_size: int = 256,
+    executor: str = "inline",
+    executor_workers: int = 2,
 ) -> ServingBenchResult:
     """Measure single-query vs batched serving on ``queries``.
 
     ``queries`` are the distinct workload; they are tiled round-robin to
     ``batch_size`` requests.  The sketch's cache is cleared before each
-    timed pass so no path benefits from earlier passes.
+    timed pass so no path benefits from earlier passes.  ``executor``
+    selects where the serving engine runs its micro-batches (see
+    :mod:`repro.serve.executor`).
     """
     sketch = manager.get_sketch(sketch_name)
     workload = tile_workload(list(queries), batch_size)
@@ -211,11 +215,18 @@ def run_serving_benchmark(
     # Pass 3: the serving engine over the full stream, cold cache.
     sketch.clear_cache()
     server = SketchServer(
-        manager, ServeConfig(max_batch_size=max_batch_size, use_cache=True)
+        manager,
+        ServeConfig(
+            max_batch_size=max_batch_size,
+            use_cache=True,
+            executor=executor,
+            executor_workers=executor_workers,
+        ),
     )
     t0 = time.perf_counter()
     responses = server.serve(workload, sketch=sketch_name)
     served_seconds = time.perf_counter() - t0
+    server.close()
     # Errors are isolated per request by the server; they are *counted*
     # here (and surfaced in the report / exit code by the callers)
     # rather than aborting the run, and identity is checked over the
@@ -554,4 +565,257 @@ def run_concurrent_benchmark(
         n_forward_batches=async_run["stats"].n_forward_batches,
         n_fast_cache_hits=async_run["stats"].n_fast_cache_hits,
         n_errors=async_run["errors"],
+    )
+
+
+# ----------------------------------------------------------------------
+# executor scale-out scenario (inline vs thread vs process)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ExecutorBenchResult:
+    """One executor's timing + parity on the model-bound stream.
+
+    The stream is served with the result cache **off** so every
+    micro-batch performs real featurization and model work — the
+    CPU-bound scenario multi-core scale-out targets.  ``max_rel_diff``
+    compares against the inline executor's estimates on the same
+    stream (the engine-parity acceptance bound is 1e-12).
+    """
+
+    executor: str
+    workers: int
+    seconds: float
+    qps: float
+    n_forward_batches: int
+    n_fallbacks: int
+    max_rel_diff: float
+
+
+@dataclass
+class ExecutorSuiteResult:
+    """Timings of every executor on the same stream, inline as baseline."""
+
+    n_requests: int
+    max_batch_size: int
+    results: list  # [ExecutorBenchResult], inline first
+
+    def result_for(self, name: str) -> ExecutorBenchResult | None:
+        for result in self.results:
+            if result.executor == name:
+                return result
+        return None
+
+    def speedup(self, name: str) -> float:
+        """Throughput of ``name`` relative to the inline executor."""
+        inline = self.result_for("inline")
+        other = self.result_for(name)
+        if inline is None or other is None or other.seconds <= 0:
+            return float("nan")
+        return inline.seconds / other.seconds
+
+    @property
+    def parity_ok(self) -> bool:
+        return all(r.max_rel_diff <= EXECUTOR_PARITY_RTOL for r in self.results)
+
+    def report(self) -> str:
+        lines = [
+            f"executor scale-out: {self.n_requests} uncached requests, "
+            f"micro-batches of {self.max_batch_size}"
+        ]
+        for r in self.results:
+            lines.append(
+                f"{r.executor:>8} x{r.workers}: {r.seconds:8.3f}s "
+                f"({r.qps:10.0f} q/s, {self.speedup(r.executor):5.2f}x inline; "
+                f"{r.n_forward_batches} forwards, {r.n_fallbacks} fallbacks, "
+                f"max rel diff {r.max_rel_diff:.2e})"
+            )
+        return "\n".join(lines)
+
+
+#: Acceptance bound for inline vs thread vs process estimates.
+EXECUTOR_PARITY_RTOL = 1e-12
+
+
+def run_executor_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    batch_size: int = 512,
+    max_batch_size: int = 64,
+    workers: int = 2,
+    executors: Sequence[str] = ("inline", "thread", "process"),
+    repeats: int = 3,
+) -> ExecutorSuiteResult:
+    """Serve the same uncached stream through each executor and compare.
+
+    ``max_batch_size`` deliberately defaults smaller than the serving
+    default so the stream splits into several micro-batches — the units
+    a thread/process executor overlaps.  Caching is off: a cached
+    stream measures dict lookups, not scale-out — and with no caches in
+    play the sketch is **not** cleared between repeats, so this is a
+    steady-state measurement (``clear_cache`` advances the sketch's
+    snapshot token, which would force the process executor to rebuild
+    its worker pool inside the timed region — a retrain cost, not a
+    serving cost).  Each executor runs ``repeats`` times (best run
+    reported); one untimed warmup run builds pools and warms the
+    per-worker mask memos and buffer pools for every executor alike.
+    """
+    manager.get_sketch(sketch_name)  # raise early on an unknown name
+    workload = tile_workload(list(queries), batch_size)
+    results: list[ExecutorBenchResult] = []
+    inline_estimates: np.ndarray | None = None
+
+    for name in executors:
+        config = ServeConfig(
+            max_batch_size=max_batch_size,
+            use_cache=False,
+            executor=name,
+            executor_workers=workers,
+        )
+        best = None
+        with SketchServer(manager, config) as server:
+            # Warm up outside the timed region: process pools fork and
+            # receive snapshots here, and every executor's scratch
+            # pools/memos settle onto the workload's shapes.
+            server.serve(workload, sketch=sketch_name)
+            for _ in range(repeats):
+                # Per-run counter deltas, so the reported forwards and
+                # fallbacks describe the best run alone — not the
+                # cumulative warmup+repeats total.
+                forwards0 = server.stats.n_forward_batches
+                fallbacks0 = server.stats.n_executor_fallbacks
+                t0 = time.perf_counter()
+                responses = server.serve(workload, sketch=sketch_name)
+                seconds = time.perf_counter() - t0
+                run_stats = (
+                    server.stats.n_forward_batches - forwards0,
+                    server.stats.n_executor_fallbacks - fallbacks0,
+                )
+                if best is None or seconds < best[0]:
+                    best = (seconds, responses, run_stats)
+            seconds, responses, (n_forwards, n_fallbacks) = best
+        estimates = np.array(
+            [r.estimate if r.ok else np.nan for r in responses]
+        )
+        if inline_estimates is None:
+            inline_estimates = estimates
+            diff = 0.0
+        else:
+            diff = _max_rel_diff(estimates, inline_estimates)
+        results.append(
+            ExecutorBenchResult(
+                executor=name,
+                workers=1 if name == "inline" else workers,
+                seconds=seconds,
+                qps=len(workload) / seconds,
+                n_forward_batches=n_forwards,
+                n_fallbacks=n_fallbacks,
+                max_rel_diff=diff,
+            )
+        )
+    return ExecutorSuiteResult(
+        n_requests=len(workload),
+        max_batch_size=max_batch_size,
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# overload scenario (admission control)
+# ----------------------------------------------------------------------
+
+@dataclass
+class OverloadBenchResult:
+    """Outcome of slamming a bounded queue with a burst.
+
+    Demonstrates the admission-control contract: queue depth never
+    exceeds ``max_queue_depth``, the overflow is shed with structured
+    ``code="shed"`` responses at submit time, every accepted request is
+    served by the drain, and **every** future resolves (zero abandoned).
+    """
+
+    n_requests: int
+    max_queue_depth: int
+    n_shed: int
+    n_served: int
+    n_unresolved: int
+    max_depth_seen: int
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_depth_seen <= self.max_queue_depth
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.bounded
+            and self.n_unresolved == 0
+            and self.n_shed + self.n_served == self.n_requests
+            and self.n_shed > 0
+        )
+
+    def report(self) -> str:
+        return (
+            f"overload: {self.n_requests} burst requests vs "
+            f"max_queue_depth={self.max_queue_depth} -> "
+            f"{self.n_served} served, {self.n_shed} shed "
+            f"(max depth seen {self.max_depth_seen}, "
+            f"{self.n_unresolved} unresolved futures) "
+            f"[{'OK' if self.ok else 'FAILED'}]"
+        )
+
+
+def run_overload_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    burst_size: int = 512,
+    max_queue_depth: int = 64,
+) -> OverloadBenchResult:
+    """Submit a burst far beyond ``max_queue_depth`` and audit the shed.
+
+    The flush deadline is set beyond the test horizon so the whole
+    burst lands in the buffers before anything drains; the close() then
+    drains exactly the accepted prefix.  Dedup and caching are off so
+    every request is its own queue entry.
+    """
+    from .async_server import AsyncServeConfig, AsyncSketchServer
+
+    sketch = manager.get_sketch(sketch_name)
+    sketch.clear_cache()
+    workload = tile_workload(list(queries), burst_size)
+    config = AsyncServeConfig(
+        max_batch_size=max_queue_depth,
+        max_wait_ms=600_000.0,
+        min_idle_ms=None,
+        use_cache=False,
+        dedup=False,
+        max_queue_depth=max_queue_depth,
+    )
+    server = AsyncSketchServer(manager, config).start()
+    futures = server.submit_many(workload, sketch=sketch_name)
+    server.close()
+    # The engine's lifetime high-water mark, not a racy post-hoc
+    # ``pending`` read: the flush loop may drain the buffers the moment
+    # ``submit_many`` releases the lock, but the peak recorded *inside*
+    # the intake critical section cannot be missed — an over-admitting
+    # engine would show a peak above the configured bound here.
+    max_depth_seen = int(server.stats_summary()["queue_depth_peak"])
+    responses = []
+    n_unresolved = 0
+    for future in futures:
+        if future.done():
+            responses.append(future.result())
+        else:
+            n_unresolved += 1
+    n_shed = sum(1 for r in responses if r.code == "shed")
+    n_served = sum(1 for r in responses if r.ok)
+    return OverloadBenchResult(
+        n_requests=len(workload),
+        max_queue_depth=max_queue_depth,
+        n_shed=n_shed,
+        n_served=n_served,
+        n_unresolved=n_unresolved,
+        max_depth_seen=max_depth_seen,
     )

@@ -1,0 +1,1133 @@
+"""The unified estimation engine behind both serving facades.
+
+Before this module existed, :class:`~repro.serve.server.SketchServer`
+and :class:`~repro.serve.async_server.AsyncSketchServer` each owned a
+copy of the request lifecycle — parse, route, dedup, cache, batch,
+flush, scatter — so every cross-cutting capability (admission control,
+deadlines, executors, metrics) had to be built twice.
+:class:`EstimationEngine` is the single, transport-agnostic
+implementation of that lifecycle; the two servers are now thin facades
+that differ only in *when* flushes happen (caller-driven vs a
+background loop) and in what ``submit`` returns (an index vs a
+future).
+
+The lifecycle, in engine terms::
+
+    submit ──> prepare (parse + route, on the calling thread)
+          ──> fast path (result-cache peek answers repeats instantly)
+          ──> dedup (identical in-flight queries share one computation)
+          ──> admission (bounded queue: shed or evict per shed_policy)
+          ──> buffer (per-sketch FIFO with flush triggers)
+    flush ──> take ready chunks (full / timed / idle / drain / forced)
+          ──> expire (requests past their deadline_ms resolve as
+               structured deadline errors without touching the model)
+          ──> execute (the pluggable Executor answers each chunk —
+               inline, thread pool, or process pool; see
+               repro.serve.executor)
+          ──> scatter (futures resolve, per-waiter accounting, caches
+               and telemetry update)
+
+**Admission control.**  ``max_queue_depth`` bounds the number of
+buffered (pending, not-yet-flushed) computations.  When the bound is
+hit, ``shed_policy`` decides who loses: ``"reject"`` sheds the *new*
+request, ``"oldest"`` evicts the longest-waiting buffered request in
+its favor (fresher traffic is usually more useful than a request that
+has already waited longest).  Either way the loser receives a
+*structured* :class:`EstimateResponse` — ``ok`` is false, ``code`` is
+``"shed"`` — at submit time, never an unbounded queue and never an
+exception through a future.  Requests past ``deadline_ms`` when their
+flush finally happens resolve with ``code="deadline"`` instead of
+consuming model time.  ``close()`` still drains every *accepted*
+request: shedding happens at the door or by explicit eviction, never
+by forgetting.
+
+**Telemetry.**  The engine wires its counters into
+:mod:`repro.metrics`: a queue-depth :class:`~repro.metrics.Gauge`,
+shed / deadline-miss :class:`~repro.metrics.Counter`\\ s, and
+:class:`~repro.metrics.LatencySummary` windows for per-chunk flush
+latency and queueing wait.  One :meth:`stats` call — shared by both
+facades — snapshots all of it plus the classic
+:class:`ServerStats` counters into a JSON-friendly dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ReproError, SketchError
+from ..metrics import Counter, Gauge, LatencySummary
+from ..workload.query import Query
+from ..demo.manager import SketchManager
+from .executor import EXECUTOR_NAMES, MP_START_METHODS, make_executor
+from .feature_cache import DEFAULT_FEATURE_CACHE_SIZE, FeatureCache
+
+#: ``EstimateResponse.code`` for a request refused (or evicted) by
+#: admission control.
+CODE_SHED = "shed"
+#: ``EstimateResponse.code`` for a request that outlived its
+#: ``deadline_ms`` in the queue.
+CODE_DEADLINE = "deadline"
+
+#: Valid ``ServeConfig.shed_policy`` values.
+SHED_POLICIES = ("reject", "oldest")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The engine's knobs — one config for both serving facades.
+
+    Batching: ``max_batch_size`` bounds each model micro-batch;
+    ``max_wait_ms`` bounds how long the oldest buffered request may
+    wait before a partial batch is flushed (background-loop serving);
+    ``min_idle_ms`` flushes a quiesced burst early (``None`` disables).
+
+    Execution: ``executor`` picks how micro-batches run — ``"inline"``
+    (calling thread, the bit-identical default), ``"thread"`` (a
+    thread pool overlapping chunks), or ``"process"`` (a process pool
+    of ``executor_workers`` workers holding shipped weight snapshots;
+    ``mp_start_method`` overrides the multiprocessing start method,
+    default: the interpreter's platform default).
+
+    Admission: ``max_queue_depth`` bounds buffered computations
+    (``None`` = unbounded); on overflow ``shed_policy`` either rejects
+    the newcomer (``"reject"``) or evicts the longest-waiting request
+    in its favor (``"oldest"``).  ``deadline_ms`` expires requests that
+    wait longer than this before their flush (``None`` = no deadline).
+
+    Caching: ``use_cache`` toggles the per-sketch result cache (and the
+    submit-time fast path); ``dedup`` merges identical in-flight
+    queries; ``feature_cache_size``/``feature_cache_ttl_s`` bound the
+    shared template feature cache.  ``latency_window`` is the number of
+    recent observations kept by the wait/flush-latency summaries.
+
+    Every field is validated at construction; bad values raise
+    :class:`~repro.errors.SketchError` (a :class:`~repro.errors.ReproError`)
+    here rather than misbehaving downstream.
+    """
+
+    max_batch_size: int = 256
+    max_wait_ms: float = 2.0
+    min_idle_ms: float | None = 1.0
+    use_cache: bool = True
+    dedup: bool = True
+    executor: str = "inline"
+    executor_workers: int = 2
+    max_queue_depth: int | None = None
+    shed_policy: str = "reject"
+    deadline_ms: float | None = None
+    mp_start_method: str | None = None
+    feature_cache_size: int = DEFAULT_FEATURE_CACHE_SIZE
+    feature_cache_ttl_s: float | None = 600.0
+    latency_window: int = 8192
+
+    def __post_init__(self):
+        if self.max_batch_size <= 0:
+            raise SketchError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms <= 0:
+            raise SketchError(
+                f"max_wait_ms must be positive, got {self.max_wait_ms}"
+            )
+        if self.min_idle_ms is not None and self.min_idle_ms <= 0:
+            raise SketchError(
+                f"min_idle_ms must be positive (or None to disable), "
+                f"got {self.min_idle_ms}"
+            )
+        if self.executor not in EXECUTOR_NAMES:
+            raise SketchError(
+                f"unknown executor {self.executor!r}; "
+                f"choose one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if self.executor_workers <= 0:
+            raise SketchError(
+                f"executor_workers must be positive, got {self.executor_workers}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise SketchError(
+                f"max_queue_depth must be positive (or None for unbounded), "
+                f"got {self.max_queue_depth}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise SketchError(
+                f"unknown shed_policy {self.shed_policy!r}; "
+                f"choose one of {', '.join(SHED_POLICIES)}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise SketchError(
+                f"deadline_ms must be positive (or None to disable), "
+                f"got {self.deadline_ms}"
+            )
+        if self.mp_start_method is not None and (
+            self.mp_start_method not in MP_START_METHODS
+        ):
+            raise SketchError(
+                f"unknown mp_start_method {self.mp_start_method!r}; "
+                f"choose one of {', '.join(MP_START_METHODS)}"
+            )
+        if self.feature_cache_size < 0:
+            raise SketchError(
+                f"feature_cache_size must be >= 0, got {self.feature_cache_size}"
+            )
+        if self.latency_window <= 0:
+            raise SketchError(
+                f"latency_window must be positive, got {self.latency_window}"
+            )
+
+
+@dataclass
+class EstimateResponse:
+    """Outcome of one served request (exactly one of estimate/error set).
+
+    ``code`` structures the non-estimate outcomes the engine itself
+    produces: ``"shed"`` (admission control refused or evicted the
+    request) and ``"deadline"`` (it expired in the queue).  Parse,
+    routing, and featurization failures keep ``code=None`` and carry
+    the underlying error text.
+    """
+
+    request: Query | str
+    query: Query | None
+    sketch: str | None
+    estimate: float | None
+    cached: bool = False
+    error: str | None = None
+    code: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def shed(self) -> bool:
+        return self.code == CODE_SHED
+
+
+@dataclass
+class ServerStats:
+    """Cumulative counters over an engine's lifetime.
+
+    One instance is shared by the engine and whichever facade drives
+    it; ``n_requests == n_answered + n_errors`` at quiescence (shed and
+    deadline-missed requests count toward ``n_errors`` and additionally
+    toward their own counters).
+    """
+
+    n_requests: int = 0
+    n_answered: int = 0
+    n_errors: int = 0
+    n_forward_batches: int = 0
+    n_cache_hits: int = 0
+    sketch_requests: dict = field(default_factory=dict)  # name -> count
+    # intake fast paths
+    n_deduped: int = 0          # futures merged onto an in-flight twin
+    n_fast_cache_hits: int = 0  # answered at submit time from the cache
+    # admission control
+    n_shed: int = 0             # refused or evicted by admission control
+    n_deadline_missed: int = 0  # expired in queue before their flush
+    # flush-trigger accounting
+    n_flushes: int = 0
+    n_flushes_full: int = 0     # triggered by max_batch_size
+    n_flushes_timed: int = 0    # triggered by max_wait_ms (or a deadline)
+    n_flushes_idle: int = 0     # triggered by min_idle_ms quiescence
+    n_flushes_drain: int = 0    # triggered by shutdown drain
+    n_flushes_forced: int = 0   # triggered by a caller-driven flush()
+    # executor health
+    n_executor_fallbacks: int = 0  # jobs degraded to the inline path
+
+
+def prepare_request(
+    manager: SketchManager, request: Query | str, pinned: str | None
+) -> EstimateResponse:
+    """Parse and route one request (no model work yet).
+
+    Returns a response with ``query`` and ``sketch`` resolved, or with
+    ``error`` set when the SQL is malformed, no registered sketch covers
+    the tables, or the pinned sketch name is unknown.
+    """
+    response = EstimateResponse(
+        request=request, query=None, sketch=pinned, estimate=None
+    )
+    try:
+        if isinstance(request, str):
+            from ..db.sql import parse_sql
+
+            response.query = parse_sql(request)
+        else:
+            response.query = request
+        if pinned is None:
+            response.sketch = manager.route_name(response.query)
+        else:
+            manager.get_sketch(pinned)  # raise early if unknown
+    except ReproError as exc:
+        response.error = str(exc)
+    return response
+
+
+def answer_chunk(
+    sketch,
+    chunk: list[EstimateResponse],
+    use_cache: bool,
+    stats: ServerStats,
+    feature_cache=None,
+) -> None:
+    """Answer one micro-batch in place: a single ``estimate_many`` call.
+
+    The model work behind that call runs on the sketch's compiled
+    :class:`~repro.nn.inference.InferenceSession` — the autograd-free
+    forward with pooled buffers — so a serving flush never touches the
+    training graph (see ``docs/performance.md``).  On a batch-level
+    failure (a query can pass routing yet fail featurization — unknown
+    column/operator for this sketch's vocabulary) the chunk is retried
+    one request at a time so only the offending requests fail.  This is
+    the executors' inline chunk path; ``stats`` counters are updated
+    for the whole chunk.
+    """
+    queries = [r.query for r in chunk]
+    if use_cache:
+        for r in chunk:
+            r.cached = r.query in sketch.cache
+    try:
+        estimates = sketch.estimate_many(
+            queries, use_cache=use_cache, feature_cache=feature_cache
+        )
+    except ReproError:
+        for r in chunk:
+            # Re-check at retry time: an earlier retry in this loop
+            # may have cached this query (duplicates in the chunk).
+            r.cached = use_cache and r.query in sketch.cache
+            try:
+                r.estimate = sketch.estimate(r.query, use_cache=use_cache)
+                if r.cached:
+                    stats.n_cache_hits += 1
+                else:
+                    stats.n_forward_batches += 1
+            except ReproError as exc:
+                r.cached = False
+                r.error = str(exc)
+        return
+    if any(not r.cached for r in chunk):
+        stats.n_forward_batches += 1
+    stats.n_cache_hits += sum(r.cached for r in chunk)
+    for r, estimate in zip(chunk, estimates):
+        r.estimate = float(estimate)
+
+
+class _Pending:
+    """One in-flight computation shared by every deduped waiter.
+
+    All waiters hold the *same* future object — deduplication merges a
+    request by handing back the twin's future, so a duplicate costs one
+    dict lookup and an increment, with no allocation and no extra
+    ``set_result`` at resolve time.
+    """
+
+    __slots__ = ("response", "future", "waiters", "enqueued_at", "deadline_at")
+
+    def __init__(
+        self,
+        response: EstimateResponse,
+        enqueued_at: float,
+        deadline_at: float | None = None,
+    ):
+        self.response = response
+        self.future: Future[EstimateResponse] = Future()
+        # Move the future to RUNNING immediately so no waiter can
+        # cancel() it: the computation is shared, and a cancelled future
+        # would make the flush path's set_result raise InvalidStateError
+        # (stranding every other waiter).  An asyncio caller that
+        # cancels its await stops waiting without affecting the shared
+        # computation.
+        self.future.set_running_or_notify_cancel()
+        self.waiters = 1
+        self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+
+
+class FlushJob:
+    """One taken micro-batch on its way through an executor."""
+
+    __slots__ = ("sketch", "pendings", "responses", "done")
+
+    def __init__(self, sketch: str, pendings: list[_Pending]):
+        self.sketch = sketch
+        self.pendings = pendings
+        self.responses = [p.response for p in pendings]
+        self.done = False
+
+
+class EstimationEngine:
+    """One transport-agnostic request lifecycle; see the module docs.
+
+    Thread-safety contract: ``submit``/``submit_many`` may be called
+    from any number of threads; all shared state (buffers, dedup map,
+    counters) lives under one lock, and the caches the executors touch
+    are internally synchronized.  The flush side runs either on a
+    caller's thread (:meth:`flush_pending`, the sync facade) or on the
+    engine's background loop (:meth:`start_loop`, the async facade) —
+    never both for one engine.  :meth:`close` drains every accepted
+    request before shutting the executor down, so no future returned by
+    ``submit`` is ever abandoned.
+    """
+
+    def __init__(
+        self,
+        manager: SketchManager,
+        config: ServeConfig | None = None,
+        feature_cache: FeatureCache | None = None,
+    ):
+        self.manager = manager
+        self.config = config or ServeConfig()
+        self.counters = ServerStats()
+        self.feature_cache = feature_cache or FeatureCache(
+            maxsize=self.config.feature_cache_size,
+            ttl_seconds=self.config.feature_cache_ttl_s,
+        )
+        self.executor = make_executor(self.config)
+        # repro.metrics primitives — the "wired" telemetry surface.
+        self.queue_depth_gauge = Gauge()
+        self.shed_counter = Counter()
+        self.deadline_counter = Counter()
+        self.flush_latency = LatencySummary(window=self.config.latency_window)
+        self.queue_wait = LatencySummary(window=self.config.latency_window)
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # sketch name -> FIFO of _Pending awaiting a flush.  Deques:
+        # flushes and "oldest" evictions consume from the front, and a
+        # list's pop(0)/slice would go quadratic under sustained
+        # overload — exactly when shedding must stay cheap.
+        self._buffers: dict[str, deque[_Pending]] = {}
+        # sketch name -> monotonic time of the newest arrival (idle trigger)
+        self._last_enqueue: dict[str, float] = {}
+        # (sketch name, canonical query) -> its buffered _Pending (dedup)
+        self._inflight: dict[tuple[str, Query], _Pending] = {}
+        self._depth = 0  # buffered computations (authoritative; gauge mirrors)
+        self._depth_high_water = 0  # lifetime peak of _depth
+        # Fast-path cache hits recorded for the flush side to replay as
+        # real cache.get()s: submitters only peek (read-only), but
+        # without a recency touch the hottest repeated queries would age
+        # to LRU-oldest and be evicted under cache pressure.  Bounded —
+        # dropping old touches only costs recency precision.
+        self._touches: deque[tuple[str, Query]] = deque(maxlen=4096)
+        self._touches_pending = 0
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._last_purge = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start_loop(self) -> None:
+        """Start the background flush loop (idempotent)."""
+        with self._lock:
+            self._ensure_loop_locked()
+
+    def _ensure_loop_locked(self) -> None:
+        if self._closed:
+            raise SketchError("server is closed")
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="sketch-serve-flush", daemon=True
+            )
+            self._thread.start()
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain every accepted request, then release the executor.
+
+        Idempotent.  With the background loop running, the loop performs
+        the drain and is joined; without one (the sync facade), buffered
+        requests are flushed on the calling thread.  ``submit`` calls
+        observing the closed flag raise :class:`~repro.errors.SketchError`;
+        calls that won the race and were accepted are always answered.
+        """
+        with self._cond:
+            already = self._closed
+            self._closed = True
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+            if thread.is_alive():
+                # The loop is still draining past the join timeout: it
+                # owns the executor now and closes it when the drain
+                # completes (closing here would yank pools out from
+                # under in-flight chunks, or let a respawned pool leak).
+                return
+        elif not already:
+            # No loop thread: drain synchronously on this thread.
+            self.flush_pending()
+        self.executor.close()
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def prepare(
+        self, request: Query | str, pinned: str | None = None
+    ) -> EstimateResponse:
+        return prepare_request(self.manager, request, pinned)
+
+    def _fast_hit(self, response: EstimateResponse) -> float | None:
+        """Submit-time result-cache peek (read-only; see touch replay)."""
+        if not (response.ok and self.config.use_cache):
+            return None
+        try:
+            return self.manager.get_sketch(response.sketch).cache.peek(
+                response.query
+            )
+        except SketchError:
+            return None  # dropped since routing; the flush will report it
+
+    def submit(
+        self,
+        request: Query | str,
+        sketch: str | None = None,
+        *,
+        coalesce: bool = True,
+        ensure_loop: bool = False,
+    ) -> "Future[EstimateResponse]":
+        """Enqueue one request; returns a future for its response.
+
+        Parsing and routing happen on the calling thread, so malformed
+        SQL and uncoverable table sets resolve immediately with an
+        error response (never an exception through the future), as do
+        cache hits and admission-control sheds.  ``coalesce=False``
+        (the sync facade) disables the submit-time cache fast path and
+        dedup so a caller-driven flush sees exactly one response object
+        per request; ``ensure_loop`` lazily starts the background loop
+        (the async facade).
+        """
+        response = self.prepare(request, sketch)
+        hit = self._fast_hit(response) if coalesce else None
+        gather: dict = {"resolved": [], "victims": [], "notify": False}
+        with self._cond:
+            if self._closed:
+                raise SketchError("server is closed")
+            if ensure_loop:
+                self._ensure_loop_locked()
+            future = self._intake_one_locked(
+                response, hit, time.monotonic(), coalesce, gather
+            )
+            if gather["notify"]:
+                self._cond.notify_all()
+        self._settle_intake(gather)
+        return future
+
+    def submit_many(
+        self,
+        requests: Sequence[Query | str],
+        sketch: str | None = None,
+        *,
+        coalesce: bool = True,
+        ensure_loop: bool = False,
+    ) -> "list[Future[EstimateResponse]]":
+        """Amortized intake: enqueue a whole batch under one lock.
+
+        Per-request semantics match :meth:`submit` — parsing, routing,
+        and cache peeks happen before the lock is taken, all
+        buffer/dedup/admission bookkeeping happens inside a single
+        critical section, and the flush loop is notified at most once.
+        One deliberate difference under ``max_queue_depth``: the batch
+        is admitted atomically (the flush side cannot drain mid-batch),
+        so a single call larger than the depth bound sheds the excess —
+        the batch's tail under ``shed_policy="reject"``, its head under
+        ``"oldest"`` (each over-limit request evicts the batch's own
+        earliest) — a batch *is* instantaneous load, and the bound is a
+        bound.  Callers replaying a large log against a bounded queue
+        should chunk their calls to the depth they want admitted.
+        """
+        prepared = []
+        for request in requests:
+            response = self.prepare(request, sketch)
+            prepared.append(
+                (response, self._fast_hit(response) if coalesce else None)
+            )
+        futures: list[Future[EstimateResponse]] = []
+        gather: dict = {"resolved": [], "victims": [], "notify": False}
+        with self._cond:
+            if self._closed:
+                raise SketchError("server is closed")
+            if prepared and ensure_loop:
+                self._ensure_loop_locked()
+            now = time.monotonic()
+            for response, hit in prepared:
+                futures.append(
+                    self._intake_one_locked(response, hit, now, coalesce, gather)
+                )
+            if gather["notify"]:
+                self._cond.notify_all()
+        self._settle_intake(gather)
+        return futures
+
+    def _intake_one_locked(
+        self,
+        response: EstimateResponse,
+        hit: float | None,
+        now: float,
+        coalesce: bool,
+        gather: dict,
+    ) -> "Future[EstimateResponse]":
+        """The one intake path: stats, fast paths, dedup, admission, buffer.
+
+        Resolved futures and eviction victims are collected into
+        ``gather`` and settled *outside* the lock by
+        :meth:`_settle_intake`.
+        """
+        stats = self.counters
+        stats.n_requests += 1
+        if not response.ok:
+            stats.n_errors += 1
+            future: Future[EstimateResponse] = Future()
+            gather["resolved"].append((future, response))
+            return future
+        if hit is not None:
+            response.estimate = float(hit)
+            response.cached = True
+            stats.n_answered += 1
+            stats.n_cache_hits += 1
+            stats.n_fast_cache_hits += 1
+            self._count_sketch_locked(response.sketch)
+            self.queue_wait.observe(0.0)
+            self._record_touch_locked(response)
+            future = Future()
+            gather["resolved"].append((future, response))
+            return future
+        if coalesce and self.config.dedup:
+            twin = self._inflight.get((response.sketch, response.query))
+            if twin is not None and (
+                twin.deadline_at is None or now < twin.deadline_at
+            ):
+                # Merge onto the in-flight twin: the caller gets the
+                # twin's own future (identical object for all waiters),
+                # and shares the twin's fate — including its deadline;
+                # joining a computation seconds before it expires means
+                # expiring with it.  Only a twin *already* past its
+                # deadline is skipped — it is doomed to a deadline
+                # error, while this brand-new request deserves its own
+                # (future) deadline; the fresh pending below replaces
+                # it in the dedup map.
+                twin.waiters += 1
+                stats.n_deduped += 1
+                return twin.future
+        if not self._admit_locked(response, gather):
+            future = Future()
+            gather["resolved"].append((future, response))
+            return future
+        deadline_at = (
+            None
+            if self.config.deadline_ms is None
+            else now + self.config.deadline_ms / 1000.0
+        )
+        pending = _Pending(response, now, deadline_at)
+        buffer = self._buffers.setdefault(response.sketch, deque())
+        buffer.append(pending)
+        if coalesce and self.config.dedup:
+            self._inflight[(response.sketch, response.query)] = pending
+        self._last_enqueue[response.sketch] = now
+        self._depth += 1
+        if self._depth > self._depth_high_water:
+            self._depth_high_water = self._depth
+        self.queue_depth_gauge.set(self._depth)
+        # Wake the flush loop only when its schedule actually changes: a
+        # previously empty buffer needs a deadline, a full one needs an
+        # immediate flush.  Intermediate arrivals only push the idle
+        # deadline later, which the loop discovers on its own.
+        if len(buffer) == 1 or len(buffer) >= self.config.max_batch_size:
+            gather["notify"] = True
+        return pending.future
+
+    def _settle_intake(self, gather: dict) -> None:
+        """Resolve intake-time futures outside the lock."""
+        for pending in gather["victims"]:
+            pending.future.set_result(pending.response)
+        for future, response in gather["resolved"]:
+            future.set_result(response)
+
+    def _drop_inflight_locked(self, pending: _Pending) -> None:
+        """Remove ``pending`` from the dedup map — only if the entry is
+        actually *its*.  An expired twin's key may already point at the
+        fresh pending that replaced it; popping blindly would strip the
+        replacement's entry and silently stop deduplicating that query.
+        """
+        key = (pending.response.sketch, pending.response.query)
+        if self._inflight.get(key) is pending:
+            del self._inflight[key]
+
+    # -- admission control ----------------------------------------------
+    def _admit_locked(self, response: EstimateResponse, gather: dict) -> bool:
+        """Apply ``max_queue_depth``/``shed_policy``; True if admitted."""
+        limit = self.config.max_queue_depth
+        if limit is None or self._depth < limit:
+            return True
+        if self.config.shed_policy == "oldest":
+            victim = self._evict_oldest_locked()
+            if victim is not None:
+                gather["victims"].append(victim)
+                return True
+        self._mark_shed_locked(
+            response,
+            f"request shed: queue depth {self._depth} >= "
+            f"max_queue_depth {limit}",
+        )
+        self.counters.n_shed += 1
+        self.counters.n_errors += 1
+        self.shed_counter.inc()
+        return False
+
+    def _mark_shed_locked(self, response: EstimateResponse, message: str) -> None:
+        response.error = message
+        response.code = CODE_SHED
+
+    def _evict_oldest_locked(self) -> _Pending | None:
+        """Evict the longest-waiting buffered request (policy "oldest")."""
+        oldest_name = None
+        oldest: _Pending | None = None
+        for name, buffer in self._buffers.items():
+            if buffer and (oldest is None or buffer[0].enqueued_at < oldest.enqueued_at):
+                oldest_name, oldest = name, buffer[0]
+        if oldest is None:
+            return None
+        buffer = self._buffers[oldest_name]
+        buffer.popleft()
+        if not buffer:
+            del self._buffers[oldest_name]
+            self._last_enqueue.pop(oldest_name, None)
+        self._drop_inflight_locked(oldest)
+        self._depth -= 1
+        self.queue_depth_gauge.set(self._depth)
+        self._mark_shed_locked(
+            oldest.response,
+            "request shed: evicted by a newer request "
+            f"(shed_policy='oldest', max_queue_depth {self.config.max_queue_depth})",
+        )
+        self.counters.n_shed += oldest.waiters
+        self.counters.n_errors += oldest.waiters
+        self.shed_counter.inc(oldest.waiters)
+        return oldest
+
+    # ------------------------------------------------------------------
+    # bookkeeping shared with executors
+    # ------------------------------------------------------------------
+    def _count_sketch_locked(self, name: str, n: int = 1) -> None:
+        self.counters.sketch_requests[name] = (
+            self.counters.sketch_requests.get(name, 0) + n
+        )
+
+    def _record_touch_locked(self, response: EstimateResponse) -> None:
+        """Queue a fast-path hit for the flush side's recency replay.
+
+        The loop is woken at most once per batch of touches — a fully
+        warm stream would otherwise never wake it and never refresh
+        recency at all.
+        """
+        self._touches.append((response.sketch, response.query))
+        self._touches_pending += 1
+        if self._touches_pending >= 256:
+            self._touches_pending = 0
+            self._cond.notify_all()
+
+    def _replay_touches(self) -> None:
+        """Flush side: turn queued submit-time peeks into real cache gets.
+
+        Only the flush side mutates result-cache recency for buffered
+        work; replaying the peeks here keeps hot repeated queries at
+        the MRU end so cache pressure evicts cold entries, not the
+        hottest.
+        """
+        with self._lock:
+            if not self._touches:
+                return
+            touches = list(self._touches)
+            self._touches.clear()
+            self._touches_pending = 0
+        for name, query in touches:
+            try:
+                self.manager.get_sketch(name).cache.get(query)
+            except SketchError:
+                continue  # sketch dropped since the hit; nothing to touch
+
+    def record_flush_latency(self, seconds: float) -> None:
+        self.flush_latency.observe(seconds)
+
+    def merge_chunk_stats(
+        self, n_forward_batches: int = 0, n_cache_hits: int = 0
+    ) -> None:
+        with self._lock:
+            self.counters.n_forward_batches += n_forward_batches
+            self.counters.n_cache_hits += n_cache_hits
+
+    def count_executor_fallback(self, n: int = 1) -> None:
+        with self._lock:
+            self.counters.n_executor_fallbacks += n
+
+    def answer_subset(self, sketch_name: str, responses: list) -> None:
+        """Answer ``responses`` through the inline chunk path (no
+        completion) — the executors' degraded/fallback building block."""
+        if not responses:
+            return
+        local = ServerStats()
+        t0 = time.perf_counter()
+        try:
+            sketch = self.manager.get_sketch(sketch_name)
+        except SketchError as exc:
+            # The sketch was dropped between routing and flushing.
+            for response in responses:
+                if response.ok and response.estimate is None:
+                    response.error = str(exc)
+        else:
+            try:
+                answer_chunk(
+                    sketch,
+                    responses,
+                    use_cache=self.config.use_cache,
+                    stats=local,
+                    feature_cache=self.feature_cache,
+                )
+            except Exception as exc:  # never strand a future on a bug
+                for response in responses:
+                    if response.ok and response.estimate is None:
+                        response.error = f"internal serving error: {exc!r}"
+        self.merge_chunk_stats(local.n_forward_batches, local.n_cache_hits)
+        self.record_flush_latency(time.perf_counter() - t0)
+
+    def run_job_inline(self, job: FlushJob) -> None:
+        """Answer one flush job on the calling thread and complete it."""
+        self.answer_subset(job.sketch, job.responses)
+        self.complete_job(job)
+
+    def complete_job(self, job: FlushJob) -> None:
+        """Per-waiter accounting, then resolve the job's futures.
+
+        Idempotent (executor fallbacks may overlap responsibility); the
+        engine also calls it as a safety net after an executor round so
+        an executor bug can never strand a future.
+        """
+        with self._lock:
+            if job.done:
+                return
+            job.done = True
+            for pending in job.pendings:
+                # Count every waiter, not every computation, so
+                # n_requests == n_answered + n_errors at quiescence even
+                # with dedup merging futures.
+                if pending.response.ok:
+                    self.counters.n_answered += pending.waiters
+                else:
+                    self.counters.n_errors += pending.waiters
+                self._count_sketch_locked(job.sketch, pending.waiters)
+        for pending in job.pendings:
+            pending.future.set_result(pending.response)
+
+    # ------------------------------------------------------------------
+    # the flush side
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Buffered computations not yet taken by a flush (dedup'd)."""
+        with self._lock:
+            return self._depth
+
+    def flush_pending(self) -> None:
+        """Take and answer everything buffered, on the calling thread.
+
+        The caller-driven flush (sync facade).  All ready chunks of one
+        call form a single executor round, so a thread/process executor
+        overlaps them across workers.
+        """
+        with self._cond:
+            taken = self._take_ready_locked(time.monotonic(), force=True)
+        self._answer_round(taken)
+        self._replay_touches()
+
+    def _run(self) -> None:
+        """The background flush loop (async facade)."""
+        drained = False
+        while not drained:
+            try:
+                with self._cond:
+                    batches = None
+                    while True:
+                        now = time.monotonic()
+                        batches = self._take_ready_locked(now)
+                        if batches or self._touches:
+                            break
+                        if self._closed:
+                            # Drained: buffers are empty (a closed take
+                            # grabs everything), so the loop is done.
+                            drained = True
+                            break
+                        timeout = self._next_deadline_locked(now)
+                        if timeout is None:
+                            self._maybe_purge_feature_cache(now)
+                        self._cond.wait(timeout=timeout)
+                self._answer_round(batches)
+                self._replay_touches()
+            except Exception:
+                # The loop IS the no-stranded-futures contract: an
+                # unexpected error (say, a duck-typed feature cache
+                # missing a method) must not kill the thread and leave
+                # buffered futures unresolved forever.  Back off
+                # briefly so a persistent fault cannot hot-spin, and
+                # keep draining.
+                time.sleep(0.05)
+        # The drain is complete; release the executor from here so a
+        # close() that timed out waiting for this loop never races its
+        # pools (executor close is idempotent — the normal close() path
+        # also calls it after joining us).
+        self.executor.close()
+
+    def _maybe_purge_feature_cache(self, now: float) -> None:
+        """Reap expired feature-cache entries while the loop is idle.
+
+        Expiry is lazy on lookup, which never fires for entries whose
+        featurizer (a dropped/rebuilt sketch's) is gone — their keys are
+        never looked up again.  One sweep per TTL while idle keeps such
+        orphans from pinning vocabularies and structure rows for the
+        engine's lifetime.
+        """
+        ttl = getattr(self.feature_cache, "ttl_seconds", None)
+        if ttl is None or now - self._last_purge < ttl:
+            return
+        self._last_purge = now
+        purge = getattr(self.feature_cache, "purge_expired", None)
+        if purge is not None:
+            purge()
+
+    def _next_deadline_locked(self, now: float) -> float | None:
+        """Seconds until some buffer's wait/idle/deadline trigger fires."""
+        min_idle_s = (
+            None
+            if self.config.min_idle_ms is None
+            else self.config.min_idle_ms / 1000.0
+        )
+        deadlines = []
+        for name, buffer in self._buffers.items():
+            if not buffer:
+                continue
+            head = buffer[0]
+            deadline = head.enqueued_at + self.config.max_wait_ms / 1000.0
+            if min_idle_s is not None:
+                deadline = min(deadline, self._last_enqueue[name] + min_idle_s)
+            if head.deadline_at is not None:
+                deadline = min(deadline, head.deadline_at)
+            deadlines.append(deadline)
+        if not deadlines:
+            return None
+        return max(min(deadlines) - now, 0.0)
+
+    def _take_ready_locked(
+        self, now: float, force: bool = False
+    ) -> list[tuple[str, str, list[_Pending]]]:
+        """Pop every chunk whose flush trigger has fired.
+
+        Returns ``(sketch name, trigger, chunk)`` triples.  Taken
+        requests leave the dedup map immediately: a duplicate arriving
+        while the batch is being answered becomes a fresh pending
+        request (and, with caching on, a cache hit at its own submit or
+        flush time) rather than attaching to a computation whose
+        futures may already be resolving.  A buffer holding several
+        ``max_batch_size`` chunks yields them all in one round so
+        thread/process executors can overlap them.
+        """
+        max_batch = self.config.max_batch_size
+        max_wait_s = self.config.max_wait_ms / 1000.0
+        min_idle_s = (
+            None
+            if self.config.min_idle_ms is None
+            else self.config.min_idle_ms / 1000.0
+        )
+        taken: list[tuple[str, str, list[_Pending]]] = []
+        for name in list(self._buffers):
+            buffer = self._buffers[name]
+            if not buffer:
+                del self._buffers[name]
+                self._last_enqueue.pop(name, None)
+                continue
+            head = buffer[0]
+            full = len(buffer) >= max_batch
+            timed = now - head.enqueued_at >= max_wait_s or (
+                head.deadline_at is not None and now >= head.deadline_at
+            )
+            idle = (
+                min_idle_s is not None
+                and now - self._last_enqueue[name] >= min_idle_s
+            )
+            if not (full or timed or idle or force or self._closed):
+                continue
+            # Everything goes when any non-size trigger fired; a pure
+            # size trigger takes only the complete chunks and leaves the
+            # tail to its own wait/idle deadline.
+            take_all = timed or idle or force or self._closed
+            chunks: list[list[_Pending]] = []
+            while len(buffer) >= max_batch:
+                chunks.append([buffer.popleft() for _ in range(max_batch)])
+            if buffer and take_all:
+                chunks.append(list(buffer))
+                buffer.clear()
+            if not buffer:
+                del self._buffers[name]
+                self._last_enqueue.pop(name, None)
+            for chunk in chunks:
+                # Ownership beats timing: a close() drain or a
+                # caller-driven flush is counted as such even when the
+                # buffer head had also outwaited max_wait_ms (a sync
+                # caller almost always flushes later than the async
+                # deadline, and those flushes are not "timed").
+                if len(chunk) >= max_batch:
+                    trigger = "full"
+                elif self._closed:
+                    trigger = "drain"
+                elif force:
+                    trigger = "forced"
+                elif timed:
+                    trigger = "timed"
+                else:
+                    trigger = "idle"
+                self.counters.n_flushes += 1
+                setattr(
+                    self.counters,
+                    f"n_flushes_{trigger}",
+                    getattr(self.counters, f"n_flushes_{trigger}") + 1,
+                )
+                self._depth -= len(chunk)
+                for pending in chunk:
+                    self.queue_wait.observe(now - pending.enqueued_at)
+                    self._drop_inflight_locked(pending)
+                taken.append((name, trigger, chunk))
+        if taken:
+            self.queue_depth_gauge.set(self._depth)
+        return taken
+
+    def _answer_round(
+        self, taken: list[tuple[str, str, list[_Pending]]]
+    ) -> None:
+        """Expire, execute, and resolve one round of taken chunks."""
+        if not taken:
+            return
+        now = time.monotonic()
+        jobs: list[FlushJob] = []
+        expired: list[tuple[str, _Pending]] = []
+        for name, _trigger, chunk in taken:
+            live = []
+            for pending in chunk:
+                if pending.deadline_at is not None and now >= pending.deadline_at:
+                    expired.append((name, pending))
+                else:
+                    live.append(pending)
+            if live:
+                jobs.append(FlushJob(name, live))
+        if expired:
+            with self._lock:
+                for _name, pending in expired:
+                    response = pending.response
+                    response.error = (
+                        f"deadline of {self.config.deadline_ms:g}ms exceeded "
+                        "before the request could be served"
+                    )
+                    response.code = CODE_DEADLINE
+                    self.counters.n_deadline_missed += pending.waiters
+                    self.counters.n_errors += pending.waiters
+                    self.deadline_counter.inc(pending.waiters)
+            for _name, pending in expired:
+                pending.future.set_result(pending.response)
+        if not jobs:
+            return
+        try:
+            self.executor.run(self, jobs)
+        except Exception as exc:  # never strand a future on a bug
+            for job in jobs:
+                for response in job.responses:
+                    if response.ok and response.estimate is None:
+                        response.error = f"internal serving error: {exc!r}"
+        # Safety net: an executor must complete every job, but a buggy
+        # or interrupted one must not cost a caller their future.
+        for job in jobs:
+            self.complete_job(job)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def wait_summary(self) -> dict[str, float]:
+        """Queueing-wait percentiles (seconds) over the recent window.
+
+        The wait is submit-to-flush-start — the part of latency the
+        ``max_wait_ms`` trigger bounds; model time is excluded.  Fast
+        cache hits count as zero wait.
+        """
+        return self.queue_wait.summary()
+
+    def stats(self) -> dict:
+        """One JSON-friendly snapshot of the whole engine — the single
+        telemetry call shared by both serving facades.
+
+        Combines the cumulative :class:`ServerStats` counters with the
+        :mod:`repro.metrics` primitives: the queue-depth gauge, the
+        shed / deadline-miss counters, and the p50/p95/p99 flush-latency
+        and queue-wait summaries.
+        """
+        c = self.counters
+        with self._lock:
+            sketch_requests = dict(c.sketch_requests)
+            depth_peak = self._depth_high_water
+        return {
+            "executor": self.executor.name,
+            "executor_workers": self.executor.workers,
+            # Read through the repro.metrics primitives, so the gauge
+            # and counters are the load-bearing source for this
+            # snapshot (the ServerStats ints remain the dataclass
+            # surface; both are updated together under the engine
+            # lock).
+            "queue_depth": int(self.queue_depth_gauge.value),
+            "queue_depth_peak": depth_peak,
+            "max_queue_depth": self.config.max_queue_depth,
+            "requests": c.n_requests,
+            "answered": c.n_answered,
+            "errors": c.n_errors,
+            "shed": self.shed_counter.value,
+            "deadline_missed": self.deadline_counter.value,
+            "cache_hits": c.n_cache_hits,
+            "fast_cache_hits": c.n_fast_cache_hits,
+            "deduped": c.n_deduped,
+            "forward_batches": c.n_forward_batches,
+            "executor_fallbacks": c.n_executor_fallbacks,
+            "flushes": {
+                "total": c.n_flushes,
+                "full": c.n_flushes_full,
+                "timed": c.n_flushes_timed,
+                "idle": c.n_flushes_idle,
+                "drain": c.n_flushes_drain,
+                "forced": c.n_flushes_forced,
+            },
+            "flush_latency": self.flush_latency.summary(),
+            "queue_wait": self.queue_wait.summary(),
+            "sketch_requests": sketch_requests,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimationEngine(executor={self.executor.name!r}, "
+            f"pending={self.pending}, closed={self._closed})"
+        )
+
+
+__all__ = [
+    "CODE_DEADLINE",
+    "CODE_SHED",
+    "SHED_POLICIES",
+    "EstimateResponse",
+    "EstimationEngine",
+    "FlushJob",
+    "ServeConfig",
+    "ServerStats",
+    "answer_chunk",
+    "prepare_request",
+]

@@ -1,0 +1,422 @@
+"""Pluggable micro-batch executors for the estimation engine.
+
+The :class:`~repro.serve.engine.EstimationEngine` owns the request
+lifecycle — parse, route, dedup, cache, admission, micro-batching —
+and hands each ready micro-batch ("flush job") to an executor.  The
+executor's only obligation is: answer every job's responses (estimate
+or error, in place) and call ``engine.complete_job(job)`` exactly once
+per job so futures resolve and per-waiter accounting happens.  Three
+implementations cover the scale spectrum:
+
+* :class:`InlineExecutor` — answers each job on the calling thread
+  through the engine's inline chunk path, one after another.  This is
+  the pre-engine behavior, bit for bit: same ``estimate_many`` call,
+  same cache interaction, same error isolation.  Lowest latency at low
+  load; the default.
+* :class:`ThreadExecutor` — dispatches jobs of one flush round to a
+  thread pool.  Python threads share the GIL, but the BLAS kernels
+  behind the compiled forward release it, and chunks of *different*
+  sketches overlap their Python-side featurization with each other's
+  model time.  No serialization cost; worker threads run the exact
+  inline path (the per-sketch caches are internally locked).
+* :class:`ProcessExecutor` — true multi-core scale-out.  Each worker
+  process receives a pickled
+  :class:`~repro.core.sketch.SketchSnapshot` per sketch — the compiled
+  :class:`~repro.nn.inference.InferenceSession` weight arrays plus the
+  materialized sample tables — restored once per (worker, sketch
+  generation); workers never retrain, rebuild samples, or touch
+  autograd.  The parent keeps the caches: it answers cache hits and
+  collapses duplicates before shipping only the distinct uncached
+  queries, and it writes the results back into the shared cache so
+  later requests hit without crossing a process boundary.  Snapshots
+  are re-shipped (by rebuilding the pool) when a sketch's
+  ``snapshot_token`` changes — a retrained or re-registered sketch can
+  never be served from stale worker weights.
+
+Executors are constructed from :class:`~repro.serve.engine.ServeConfig`
+via :func:`make_executor` (``config.executor`` by name); unknown names
+are rejected at config construction, so the factory never guesses.
+
+Failure behavior: a broken worker pool (a worker killed by the OOM
+killer, a pickling failure) degrades gracefully — the affected jobs
+fall back to the inline path in the parent, the pool is discarded and
+lazily rebuilt on the next flush, and ``n_executor_fallbacks`` counts
+the events.  No future is ever abandoned through any of these paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+
+from ..errors import SketchError
+
+#: Valid ``ServeConfig.executor`` values, in escalation order.
+EXECUTOR_NAMES = ("inline", "thread", "process")
+
+#: Valid ``ServeConfig.mp_start_method`` values (``None`` = pick).
+MP_START_METHODS = ("fork", "spawn", "forkserver")
+
+
+class ChunkExecutor:
+    """Interface: answer flush jobs and complete them on the engine."""
+
+    name = "abstract"
+    workers = 1
+
+    def run(self, engine, jobs) -> None:
+        """Answer every job (in place) and ``engine.complete_job`` each.
+
+        ``jobs`` is a list of :class:`~repro.serve.engine.FlushJob`.
+        Implementations must not raise for per-request failures (those
+        become error responses); the engine additionally guards the
+        whole call so even an executor bug cannot strand a future.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+
+class InlineExecutor(ChunkExecutor):
+    """The current-thread executor: jobs run serially, bit-identically
+    to the pre-engine serving paths."""
+
+    name = "inline"
+
+    def run(self, engine, jobs) -> None:
+        for job in jobs:
+            engine.run_job_inline(job)
+
+
+class ThreadExecutor(ChunkExecutor):
+    """Thread-pool executor: one flush round's jobs run concurrently.
+
+    A single job skips the pool entirely (no hand-off latency when
+    there is nothing to overlap).
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        self.workers = int(workers)
+        self._pool: _ThreadPool | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> _ThreadPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = _ThreadPool(
+                    max_workers=self.workers,
+                    thread_name_prefix="sketch-serve-exec",
+                )
+            return self._pool
+
+    def run(self, engine, jobs) -> None:
+        if len(jobs) == 1:
+            engine.run_job_inline(jobs[0])
+            return
+        pool = self._ensure_pool()
+        futures = [pool.submit(engine.run_job_inline, job) for job in jobs]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# process-pool scale-out
+# ----------------------------------------------------------------------
+
+#: Worker-process registry: sketch name -> restored estimation-only
+#: DeepSketch.  Populated by the pool initializer; module-level so it
+#: survives across tasks.  Staleness is managed entirely parent-side
+#: (``ProcessExecutor._shipped`` vs ``snapshot_token``): a stale sketch
+#: means a new pool, never a worker-side check.
+_WORKER_SKETCHES: dict = {}
+
+
+def _worker_init(payloads: dict) -> None:
+    """Pool initializer: restore every shipped sketch snapshot once."""
+    _WORKER_SKETCHES.clear()
+    for name, blob in payloads.items():
+        _WORKER_SKETCHES[name] = pickle.loads(blob).restore()
+
+
+def _worker_answer(sketch_name: str, queries: list) -> tuple[list, int]:
+    """Answer distinct uncached queries in a worker process.
+
+    Returns ``(results, n_forwards)`` where ``results[i]`` is
+    ``(estimate, None)`` or ``(None, error message)`` for
+    ``queries[i]``.  Mirrors the inline path's error isolation: a
+    batch-level featurization failure falls back to per-query retries
+    so only the offending queries fail.
+    """
+    from ..errors import ReproError
+
+    sketch = _WORKER_SKETCHES.get(sketch_name)
+    if sketch is None:
+        raise RuntimeError(
+            f"worker holds no snapshot for sketch {sketch_name!r}; "
+            "the parent should have rebuilt the pool"
+        )
+    try:
+        values = sketch.estimate_many(queries, use_cache=False)
+    except ReproError:
+        results: list = []
+        n_forwards = 0
+        for query in queries:
+            try:
+                results.append((float(sketch.estimate(query, use_cache=False)), None))
+                n_forwards += 1
+            except ReproError as exc:
+                results.append((None, str(exc)))
+        return results, n_forwards
+    return [(float(v), None) for v in values], 1
+
+
+class ProcessExecutor(ChunkExecutor):
+    """Process-pool executor: featurization + forwards across cores.
+
+    The pool is built lazily on the first flush and rebuilt whenever a
+    referenced sketch is unshipped or its ``snapshot_token`` moved (a
+    retrain/rebuild).  ``start_method`` defaults to the interpreter's
+    own platform default (``multiprocessing.get_start_method()`` —
+    ``fork`` on Linux through 3.13, ``forkserver``/``spawn`` later and
+    elsewhere), so this executor is never riskier than stdlib pools on
+    the same host.  The trade-off is real either way:
+    ``fork`` is the only method that works from a REPL/stdin-driven
+    parent (``spawn``/``forkserver`` re-import ``__main__``, which such
+    parents don't have) but carries the classic fork-with-threads
+    caveats when the async facade's flush loop builds the pool;
+    ``spawn``/``forkserver`` are thread-safe but degrade REPL parents
+    to the inline fallback.  ``ServeConfig.mp_start_method`` overrides
+    the choice per deployment.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, start_method: str | None = None):
+        import multiprocessing
+
+        self.workers = int(workers)
+        self._start_method = start_method or multiprocessing.get_start_method()
+        self._pool: _ProcessPool | None = None
+        self._shipped: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self, engine, needed: dict[str, int]) -> _ProcessPool:
+        """The live pool, rebuilt if any needed sketch is missing/stale.
+
+        ``needed`` maps sketch name -> current snapshot token.  On a
+        rebuild, previously shipped sketches that are still registered
+        and current ride along, so alternating traffic between sketches
+        does not thrash the pool.
+        """
+        with self._lock:
+            if self._pool is not None and all(
+                self._shipped.get(name) == token for name, token in needed.items()
+            ):
+                return self._pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            ship = dict(needed)
+            for name, token in self._shipped.items():
+                if name in ship:
+                    continue
+                try:
+                    sketch = engine.manager.get_sketch(name)
+                except SketchError:
+                    continue
+                if sketch.snapshot_token == token:
+                    ship[name] = token
+            payloads = engine.manager.snapshot_payloads(sorted(ship))
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._start_method)
+            self._pool = _ProcessPool(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(payloads,),
+            )
+            self._shipped = ship
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._shipped = {}
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- the flush path -------------------------------------------------
+    def run(self, engine, jobs) -> None:
+        ready = []
+        needed: dict[str, int] = {}
+        for job in jobs:
+            try:
+                sketch = engine.manager.get_sketch(job.sketch)
+            except SketchError as exc:
+                # Dropped between routing and flushing: same isolation
+                # as the inline path.
+                for response in job.responses:
+                    response.error = str(exc)
+                engine.complete_job(job)
+                continue
+            needed[job.sketch] = sketch.snapshot_token
+            ready.append((job, sketch))
+        if not ready:
+            return
+        try:
+            pool = self._ensure_pool(engine, needed)
+        except Exception:
+            # Pool cannot be (re)built — run the round inline instead of
+            # failing requests over an infrastructure hiccup.
+            engine.count_executor_fallback(len(ready))
+            for job, _ in ready:
+                engine.run_job_inline(job)
+            return
+        dispatched = []
+        broken = False
+        for job, sketch in ready:
+            if not broken:
+                try:
+                    dispatched.append(
+                        (job, sketch, self._dispatch(engine, pool, job, sketch))
+                    )
+                    continue
+                except Exception:
+                    # A pool that broke while idle (worker OOM-killed
+                    # between rounds) surfaces here at submit time:
+                    # discard it so the next flush rebuilds, and finish
+                    # this round inline.
+                    self._discard_pool()
+                    broken = True
+            engine.count_executor_fallback(1)
+            engine.run_job_inline(job)
+        for job, sketch, state in dispatched:
+            self._collect(engine, job, sketch, state)
+
+    def _dispatch(self, engine, pool, job, sketch):
+        """Parent-side cache/dedup, then ship distinct uncached queries.
+
+        Mirrors ``DeepSketch.estimate_many``'s batch construction (cache
+        hits answered here, duplicates collapsed onto one slot, distinct
+        queries in first-occurrence order) so the worker's micro-batch is
+        the same batch the inline path would have run.
+
+        Scope note: collapsing is per job.  Duplicates split across two
+        jobs of one caller-driven round dispatch before the first job's
+        results land in the cache, so they may forward redundantly —
+        correct, just not free.  The async facade's intake dedup merges
+        such duplicates before jobs are formed, which is where
+        duplicate-heavy live traffic is expected.
+        """
+        t0 = time.perf_counter()
+        use_cache = engine.config.use_cache
+        slots: list[int | None] = []
+        distinct: list = []
+        slot_of: dict = {}
+        n_cached = 0
+        for response in job.responses:
+            hit = sketch.cache.get(response.query) if use_cache else None
+            if hit is not None:
+                response.cached = True
+                response.estimate = float(hit)
+                n_cached += 1
+                slots.append(None)
+                continue
+            slot = slot_of.get(response.query)
+            if slot is None:
+                slot = len(distinct)
+                distinct.append(response.query)
+                slot_of[response.query] = slot
+            slots.append(slot)
+        future = pool.submit(_worker_answer, job.sketch, distinct) if distinct else None
+        return t0, slots, future, n_cached
+
+    def _collect(self, engine, job, sketch, state) -> None:
+        t0, slots, future, n_cached = state
+        use_cache = engine.config.use_cache
+        n_forwards = 0
+        if future is not None:
+            try:
+                results, n_forwards = future.result()
+            except (Exception, CancelledError):
+                # CancelledError is Exception-derived on current
+                # CPython, but a sibling job's _discard_pool cancels
+                # queued futures — name it so the no-stranded-futures
+                # chain survives any future exception-hierarchy move.
+                # Worker or transport failure: the pool may be broken —
+                # discard it and answer the model portion inline.
+                self._discard_pool()
+                engine.count_executor_fallback(1)
+                subset = [
+                    r
+                    for r, slot in zip(job.responses, slots)
+                    if slot is not None
+                ]
+                # answer_subset records this job's flush latency itself
+                # (one observation per job, like every other path).
+                engine.answer_subset(job.sketch, subset)
+                engine.merge_chunk_stats(n_cache_hits=n_cached)
+                engine.complete_job(job)
+                return
+            for response, slot in zip(job.responses, slots):
+                if slot is None:
+                    continue
+                value, error = results[slot]
+                if error is not None:
+                    response.error = error
+                else:
+                    response.estimate = value
+                    if use_cache:
+                        sketch.cache.put(response.query, value)
+        engine.merge_chunk_stats(
+            n_forward_batches=n_forwards, n_cache_hits=n_cached
+        )
+        engine.record_flush_latency(time.perf_counter() - t0)
+        engine.complete_job(job)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._shipped = {}
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def make_executor(config) -> ChunkExecutor:
+    """Build the executor named by ``config.executor`` (validated)."""
+    if config.executor == "inline":
+        return InlineExecutor()
+    if config.executor == "thread":
+        return ThreadExecutor(workers=config.executor_workers)
+    if config.executor == "process":
+        return ProcessExecutor(
+            workers=config.executor_workers,
+            start_method=config.mp_start_method,
+        )
+    raise SketchError(f"unknown executor {config.executor!r}")  # pragma: no cover
+
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "MP_START_METHODS",
+    "ChunkExecutor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]

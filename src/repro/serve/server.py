@@ -1,174 +1,74 @@
-"""The synchronous batched estimation server.
+"""The synchronous serving facade over the estimation engine.
 
 Request lifecycle::
 
     submit(sql | Query [, sketch])   # enqueue, cheap
-        -> flush()                   # parse, route, micro-batch, answer
+        -> flush()                   # one caller-driven engine flush
             -> list[EstimateResponse]  # in submission order
 
-``flush`` is where the throughput comes from: requests are grouped by
-the sketch that will answer them, each group is split into micro-batches
-of at most ``ServeConfig.max_batch_size`` queries, and every micro-batch
-costs one MSCN forward pass (cache hits and duplicate queries never
-reach the model at all).  Failures are isolated per request — a
-malformed SQL string or an uncovered table subset yields an error
-response instead of poisoning its batch.
-
-This server only flushes when a caller asks it to (``flush``/``serve``),
-which is the right shape for offline streams — a file of queries, a
+Since the engine refactor, :class:`SketchServer` holds no lifecycle
+logic of its own: parsing, routing, admission control, micro-batching,
+caching, and execution all live in
+:class:`~repro.serve.engine.EstimationEngine`, which this facade drives
+with caller-initiated flushes (no background thread, no submit-time
+coalescing — every request gets its own response object, answered when
+*you* flush).  That shape fits offline streams — a file of queries, a
 benchmark, a bulk re-estimation job.  For live concurrent traffic,
 where no single caller sees the whole stream and tail latency must be
-bounded, use :class:`repro.serve.async_server.AsyncSketchServer`, which
-runs the same prepare/answer pipeline (the module-level
-:func:`prepare_request` / :func:`answer_chunk` helpers below) from a
-background flush loop.
+bounded, use :class:`repro.serve.async_server.AsyncSketchServer`: the
+same engine, driven by a background flush loop.
+
+The engine's executor applies here too: with
+``ServeConfig(executor="process")`` a single ``flush()`` fans its
+micro-batches out across worker processes.  Call :meth:`close` (or use
+the server as a context manager) when using a pooled executor so
+worker threads/processes are released; the default inline executor
+needs no cleanup.
+
+Numerical behavior: with the default inline executor the answers are
+bit-identical to the pre-engine ``SketchServer`` (same
+``estimate_many`` micro-batches, same cache interaction); thread and
+process executors agree within the few-ULP BLAS rounding documented in
+:mod:`repro.serve.bench`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..errors import ReproError, SketchError
 from ..workload.query import Query
 from ..demo.manager import SketchManager
-
-
-@dataclass(frozen=True)
-class ServeConfig:
-    """Serving knobs.
-
-    ``max_batch_size`` bounds the per-forward micro-batch (memory for
-    the padded feature tensors scales with batch size x the largest set
-    in the batch); ``use_cache`` toggles the per-sketch LRU result
-    cache.
-    """
-
-    max_batch_size: int = 256
-    use_cache: bool = True
-
-    def __post_init__(self):
-        if self.max_batch_size <= 0:
-            raise SketchError(
-                f"max_batch_size must be positive, got {self.max_batch_size}"
-            )
-
-
-@dataclass
-class EstimateResponse:
-    """Outcome of one served request (exactly one of estimate/error set)."""
-
-    request: Query | str
-    query: Query | None
-    sketch: str | None
-    estimate: float | None
-    cached: bool = False
-    error: str | None = None
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-
-@dataclass
-class ServerStats:
-    """Cumulative counters over a server's lifetime."""
-
-    n_requests: int = 0
-    n_answered: int = 0
-    n_errors: int = 0
-    n_forward_batches: int = 0
-    n_cache_hits: int = 0
-    sketch_requests: dict = field(default_factory=dict)  # name -> count
-
-
-def prepare_request(
-    manager: SketchManager, request: Query | str, pinned: str | None
-) -> EstimateResponse:
-    """Parse and route one request (no model work yet).
-
-    Returns a response with ``query`` and ``sketch`` resolved, or with
-    ``error`` set when the SQL is malformed, no registered sketch covers
-    the tables, or the pinned sketch name is unknown.
-    """
-    response = EstimateResponse(
-        request=request, query=None, sketch=pinned, estimate=None
-    )
-    try:
-        if isinstance(request, str):
-            from ..db.sql import parse_sql
-
-            response.query = parse_sql(request)
-        else:
-            response.query = request
-        if pinned is None:
-            response.sketch = manager.route_name(response.query)
-        else:
-            manager.get_sketch(pinned)  # raise early if unknown
-    except ReproError as exc:
-        response.error = str(exc)
-    return response
-
-
-def answer_chunk(
-    sketch,
-    chunk: list[EstimateResponse],
-    use_cache: bool,
-    stats: ServerStats,
-    feature_cache=None,
-) -> None:
-    """Answer one micro-batch in place: a single ``estimate_many`` call.
-
-    The model work behind that call runs on the sketch's compiled
-    :class:`~repro.nn.inference.InferenceSession` — the autograd-free
-    forward with pooled buffers — so a serving flush never touches the
-    training graph (see ``docs/performance.md``).  On a batch-level
-    failure (a query can pass routing yet fail featurization — unknown
-    column/operator for this sketch's vocabulary) the chunk is retried
-    one request at a time so only the offending requests fail.  Shared
-    by the synchronous and async servers; ``stats`` counters are
-    updated for the whole chunk.
-    """
-    queries = [r.query for r in chunk]
-    if use_cache:
-        for r in chunk:
-            r.cached = r.query in sketch.cache
-    try:
-        estimates = sketch.estimate_many(
-            queries, use_cache=use_cache, feature_cache=feature_cache
-        )
-    except ReproError:
-        for r in chunk:
-            # Re-check at retry time: an earlier retry in this loop
-            # may have cached this query (duplicates in the chunk).
-            r.cached = use_cache and r.query in sketch.cache
-            try:
-                r.estimate = sketch.estimate(r.query, use_cache=use_cache)
-                if r.cached:
-                    stats.n_cache_hits += 1
-                else:
-                    stats.n_forward_batches += 1
-            except ReproError as exc:
-                r.cached = False
-                r.error = str(exc)
-        return
-    if any(not r.cached for r in chunk):
-        stats.n_forward_batches += 1
-    stats.n_cache_hits += sum(r.cached for r in chunk)
-    for r, estimate in zip(chunk, estimates):
-        r.estimate = float(estimate)
+from .engine import (
+    EstimateResponse,
+    EstimationEngine,
+    ServeConfig,
+    ServerStats,
+    answer_chunk,
+    prepare_request,
+)
 
 
 class SketchServer:
     """Serves cardinality estimates from a :class:`SketchManager`.
 
-    The server holds no model state of its own; it is a batching and
-    routing layer over the manager's registered sketches, so sketches
-    can be registered, dropped, or rebuilt between flushes without
-    restarting the server.  ``feature_cache`` (a
+    The server holds no model state of its own; it is a facade over an
+    :class:`~repro.serve.engine.EstimationEngine`.  Requests are parsed
+    and **routed at submit time** (the engine buffers per sketch), and
+    the model is consulted at flush time — so sketches may be dropped
+    or rebuilt between submit and flush (already-routed requests to a
+    dropped sketch resolve as per-request errors), and a sketch
+    registered mid-stream serves every *subsequent* submit.
+    ``feature_cache`` (a
     :class:`repro.serve.feature_cache.FeatureCache`) is optional and may
     be shared with other servers; it persists template structure rows
-    across flushes.
+    across flushes.  Not thread-safe: concurrent callers must serialize
+    around it (or use the async facade, which is).
+
+    Telemetry: :attr:`stats` is the raw counter block
+    (:class:`~repro.serve.engine.ServerStats`); :meth:`stats_summary`
+    is the engine's one-call snapshot (queue-depth gauge, shed /
+    deadline counters, flush-latency percentiles), identical in shape
+    to the async facade's.
     """
 
     def __init__(
@@ -177,11 +77,32 @@ class SketchServer:
         config: ServeConfig | None = None,
         feature_cache=None,
     ):
-        self.manager = manager
-        self.config = config or ServeConfig()
-        self.stats = ServerStats()
-        self.feature_cache = feature_cache
-        self._queue: list[tuple[Query | str, str | None]] = []
+        self.engine = EstimationEngine(
+            manager, config or ServeConfig(), feature_cache
+        )
+        self._futures: list = []
+
+    # -- engine views ---------------------------------------------------
+    @property
+    def manager(self) -> SketchManager:
+        return self.engine.manager
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.engine.config
+
+    @property
+    def stats(self) -> ServerStats:
+        return self.engine.counters
+
+    @property
+    def feature_cache(self):
+        return self.engine.feature_cache
+
+    def stats_summary(self) -> dict:
+        """The engine's one-call telemetry snapshot (both facades share
+        this shape; see :meth:`EstimationEngine.stats`)."""
+        return self.engine.stats()
 
     # ------------------------------------------------------------------
     # request intake
@@ -191,65 +112,63 @@ class SketchServer:
 
         ``sketch`` pins the request to a named sketch; otherwise the
         request is routed to the narrowest registered sketch covering
-        its tables at flush time.
+        its tables.  Parse/routing failures — and admission-control
+        sheds, when ``max_queue_depth`` is set — are recorded
+        immediately and surface as error responses at the next flush.
         """
-        self._queue.append((request, sketch))
-        self.stats.n_requests += 1
-        return len(self._queue) - 1
+        future = self.engine.submit(request, sketch, coalesce=False)
+        self._futures.append(future)
+        return len(self._futures) - 1
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._futures)
 
     def serve(
         self, requests: Iterable[Query | str], sketch: str | None = None
     ) -> list[EstimateResponse]:
         """Submit a whole stream and flush it: the one-call batch API."""
-        for request in requests:
-            self.submit(request, sketch=sketch)
+        for future in self.engine.submit_many(
+            list(requests), sketch, coalesce=False
+        ):
+            self._futures.append(future)
         return self.flush()
 
     # ------------------------------------------------------------------
     # the batched answer path
     # ------------------------------------------------------------------
     def flush(self) -> list[EstimateResponse]:
-        """Answer every pending request; responses in submission order."""
-        queue, self._queue = self._queue, []
-        responses: list[EstimateResponse] = []
-        groups: dict[str, list[int]] = {}  # sketch name -> response indices
+        """Answer every pending request; responses in submission order.
 
-        for request, pinned in queue:
-            response = self._prepare(request, pinned)
-            responses.append(response)
-            if response.ok:
-                groups.setdefault(response.sketch, []).append(len(responses) - 1)
+        One engine flush: per-sketch micro-batches of at most
+        ``max_batch_size``, all dispatched to the configured executor as
+        a single round (so thread/process executors overlap them).
+        """
+        futures, self._futures = self._futures, []
+        self.engine.flush_pending()
+        return [future.result() for future in futures]
 
-        for name, indices in groups.items():
-            sketch = self.manager.get_sketch(name)
-            self.stats.sketch_requests[name] = (
-                self.stats.sketch_requests.get(name, 0) + len(indices)
-            )
-            for start in range(0, len(indices), self.config.max_batch_size):
-                chunk = indices[start : start + self.config.max_batch_size]
-                self._answer_chunk(sketch, [responses[i] for i in chunk])
+    # ------------------------------------------------------------------
+    # lifecycle (pooled executors want an explicit release)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush anything pending and release the executor (idempotent)."""
+        if not self.engine.closed:
+            self.flush()
+        self.engine.close()
 
-        for response in responses:
-            if response.ok:
-                self.stats.n_answered += 1
-            else:
-                self.stats.n_errors += 1
-        return responses
+    def __enter__(self) -> "SketchServer":
+        return self
 
-    def _prepare(
-        self, request: Query | str, pinned: str | None
-    ) -> EstimateResponse:
-        return prepare_request(self.manager, request, pinned)
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
-    def _answer_chunk(self, sketch, chunk: list[EstimateResponse]) -> None:
-        answer_chunk(
-            sketch,
-            chunk,
-            use_cache=self.config.use_cache,
-            stats=self.stats,
-            feature_cache=self.feature_cache,
-        )
+
+__all__ = [
+    "EstimateResponse",
+    "ServeConfig",
+    "ServerStats",
+    "SketchServer",
+    "answer_chunk",
+    "prepare_request",
+]

@@ -183,3 +183,54 @@ class TestSnapshotSemantics:
 
         with pytest.raises(ReproError):
             InferenceSession(Odd())
+
+
+class TestPickling:
+    """Sessions ship to process-pool serving workers via pickle."""
+
+    def test_roundtrip_preserves_forward_exactly(self, model):
+        import pickle
+
+        rng = np.random.default_rng(11)
+        batch = random_batch(rng, 9)
+        session = InferenceSession(model)
+        expected = session.run(batch)
+        restored = pickle.loads(pickle.dumps(session))
+        np.testing.assert_array_equal(restored.run(batch), expected)
+        assert restored.dtype == session.dtype
+        assert restored.hidden_units == session.hidden_units
+
+    def test_roundtrip_preserves_dtype_mode(self, model):
+        import pickle
+
+        session = InferenceSession(model, dtype=np.float32)
+        restored = pickle.loads(pickle.dumps(session))
+        assert restored.dtype == np.dtype(np.float32)
+        rng = np.random.default_rng(12)
+        batch = random_batch(rng, 3)
+        np.testing.assert_array_equal(restored.run(batch), session.run(batch))
+
+    def test_restored_session_has_fresh_private_pools(self, model):
+        import pickle
+
+        session = InferenceSession(model)
+        rng = np.random.default_rng(13)
+        session.run(random_batch(rng, 2))  # populate this thread's pool
+        restored = pickle.loads(pickle.dumps(session))
+        assert restored._pool() == {}  # pools never travel in the pickle
+        assert restored._pools is not session._pools
+
+    def test_pickle_is_a_weight_copy(self, model):
+        import pickle
+
+        rng = np.random.default_rng(14)
+        batch = random_batch(rng, 4)
+        session = InferenceSession(model)
+        expected = session.run(batch)
+        blob = pickle.dumps(session)
+        # Mutating the original's snapshot must not reach the replica
+        # restored afterwards (the pickle captured the bytes already).
+        session._table_mlp.w1 += 1.0
+        restored = pickle.loads(blob)
+        np.testing.assert_array_equal(restored.run(batch), expected)
+        session._table_mlp.w1 -= 1.0

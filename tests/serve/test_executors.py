@@ -1,0 +1,255 @@
+"""Executors: inline/thread/process parity, snapshot shipping, staleness."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.demo import SketchManager
+from repro.serve import (
+    AsyncServeConfig,
+    AsyncSketchServer,
+    InlineExecutor,
+    ProcessExecutor,
+    ServeConfig,
+    SketchServer,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.workload import spec_for_imdb
+from repro.workload.generator import TrainingQueryGenerator
+
+#: Acceptance bound: inline vs thread vs process estimates.
+PARITY_RTOL = 1e-12
+RESULT_TIMEOUT = 60.0
+
+
+@pytest.fixture()
+def manager(imdb_small, trained_sketch):
+    sketch, _ = trained_sketch
+    sketch.clear_cache()
+    manager = SketchManager(imdb_small)
+    manager.register_sketch(sketch)
+    yield manager
+    sketch.clear_cache()
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small):
+    gen = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=909)
+    return gen.draw_many(32)
+
+
+def serve_with(manager, workload, **config_kwargs):
+    with SketchServer(manager, ServeConfig(**config_kwargs)) as server:
+        responses = server.serve(list(workload))
+        stats = server.stats
+    assert all(r.ok for r in responses), [
+        r.error for r in responses if not r.ok
+    ][:3]
+    return np.array([r.estimate for r in responses]), stats
+
+
+class TestFactory:
+    def test_make_executor_by_name(self):
+        assert isinstance(make_executor(ServeConfig(executor="inline")), InlineExecutor)
+        assert isinstance(make_executor(ServeConfig(executor="thread")), ThreadExecutor)
+        assert isinstance(make_executor(ServeConfig(executor="process")), ProcessExecutor)
+
+    def test_worker_counts(self):
+        executor = make_executor(
+            ServeConfig(executor="process", executor_workers=3)
+        )
+        assert executor.workers == 3
+        executor.close()
+
+
+class TestExecutorParity:
+    """Satellite/acceptance: inline vs thread vs process <= 1e-12."""
+
+    def test_thread_matches_inline(self, manager, workload, trained_sketch):
+        sketch, _ = trained_sketch
+        inline, _ = serve_with(
+            manager, workload, executor="inline", max_batch_size=8,
+            use_cache=False,
+        )
+        sketch.clear_cache()
+        threaded, stats = serve_with(
+            manager, workload, executor="thread", executor_workers=2,
+            max_batch_size=8, use_cache=False,
+        )
+        np.testing.assert_allclose(threaded, inline, rtol=PARITY_RTOL, atol=0.0)
+        assert stats.n_executor_fallbacks == 0
+
+    def test_process_matches_inline(self, manager, workload, trained_sketch):
+        sketch, _ = trained_sketch
+        inline, _ = serve_with(
+            manager, workload, executor="inline", max_batch_size=8,
+            use_cache=False,
+        )
+        sketch.clear_cache()
+        processed, stats = serve_with(
+            manager, workload, executor="process", executor_workers=2,
+            max_batch_size=8, use_cache=False,
+        )
+        np.testing.assert_allclose(processed, inline, rtol=PARITY_RTOL, atol=0.0)
+        # The pool really ran: no degraded-to-inline chunks.
+        assert stats.n_executor_fallbacks == 0
+        assert stats.n_forward_batches >= 4
+
+    def test_process_with_cache_and_duplicates(self, manager, workload, trained_sketch):
+        # Parent-side cache hits and duplicate collapsing around the
+        # worker round-trip: duplicates answer identically and the
+        # second flush is pure cache.
+        sketch, _ = trained_sketch
+        stream = list(workload[:6]) * 3
+        with SketchServer(
+            manager,
+            ServeConfig(executor="process", executor_workers=2, max_batch_size=6),
+        ) as server:
+            first = server.serve(stream)
+            second = server.serve(stream)
+            stats = server.stats
+        assert all(r.ok for r in first + second)
+        by_query = {}
+        for r in first + second:
+            by_query.setdefault(r.query, set()).add(r.estimate)
+        assert all(len(v) == 1 for v in by_query.values())
+        assert all(r.cached for r in second)
+        assert stats.n_cache_hits > 0
+        assert stats.n_executor_fallbacks == 0
+
+    def test_async_process_executor(self, manager, workload, trained_sketch):
+        sketch, _ = trained_sketch
+        inline, _ = serve_with(
+            manager, workload, executor="inline", max_batch_size=8,
+            use_cache=False,
+        )
+        sketch.clear_cache()
+        config = AsyncServeConfig(
+            executor="process", executor_workers=2, max_batch_size=8,
+            max_wait_ms=20.0, use_cache=False,
+        )
+        with AsyncSketchServer(manager, config) as server:
+            futures = server.submit_many(list(workload))
+            responses = [f.result(RESULT_TIMEOUT) for f in futures]
+        assert all(r.ok for r in responses)
+        np.testing.assert_allclose(
+            [r.estimate for r in responses], inline, rtol=PARITY_RTOL, atol=0.0
+        )
+        assert server.stats.n_executor_fallbacks == 0
+
+    def test_process_isolates_featurization_failures(self, manager, workload):
+        from repro.workload import Predicate, Query, TableRef
+
+        bad = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        with SketchServer(
+            manager,
+            ServeConfig(executor="process", executor_workers=2, use_cache=False),
+        ) as server:
+            responses = server.serve([workload[0], bad, workload[1]])
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+
+
+class TestSnapshotShipping:
+    def test_stale_snapshot_is_reshipped_after_clear_cache(
+        self, manager, workload, trained_sketch
+    ):
+        # A retrain (modeled by an in-place weight change + clear_cache)
+        # must reach the workers: the engine's answers through the pool
+        # track the *current* weights, never the shipped generation.
+        sketch, _ = trained_sketch
+        config = ServeConfig(
+            executor="process", executor_workers=2, max_batch_size=8,
+            use_cache=False,
+        )
+        with SketchServer(manager, config) as server:
+            before = [r.estimate for r in server.serve(workload[:8])]
+            token_before = sketch.snapshot_token
+            for p in sketch.model.parameters():
+                p.data += 0.05  # optimizer-style in-place mutation
+            sketch.clear_cache()
+            assert sketch.snapshot_token != token_before
+            after = [r.estimate for r in server.serve(workload[:8])]
+            sketch.clear_cache()
+            single = [sketch.estimate(q, use_cache=False) for q in workload[:8]]
+        assert before != after
+        np.testing.assert_allclose(after, single, rtol=PARITY_RTOL, atol=0.0)
+        # Restore the shared fixture's weights.
+        for p in sketch.model.parameters():
+            p.data -= 0.05
+        sketch.clear_cache()
+
+    def test_snapshot_pickle_roundtrip_parity(self, trained_sketch, workload):
+        sketch, _ = trained_sketch
+        sketch.clear_cache()
+        reference = sketch.estimate_many(list(workload[:10]), use_cache=False)
+        blob = pickle.dumps(sketch.snapshot())
+        replica = pickle.loads(blob).restore()
+        values = replica.estimate_many(list(workload[:10]), use_cache=False)
+        np.testing.assert_allclose(values, reference, rtol=PARITY_RTOL, atol=0.0)
+        assert replica.model is None
+        assert replica.tables == sketch.tables
+
+    def test_estimation_only_sketch_cannot_serialize_or_recompile(
+        self, trained_sketch
+    ):
+        from repro.errors import SketchError
+
+        sketch, _ = trained_sketch
+        replica = pickle.loads(pickle.dumps(sketch.snapshot())).restore()
+        with pytest.raises(SketchError):
+            replica.to_bytes()
+        # clear_cache keeps the shipped session (nothing to recompile
+        # from) — the replica still answers.
+        replica.clear_cache()
+        assert replica.inference_session is not None
+
+    def test_snapshot_tokens_are_unique_and_monotonic(self, trained_sketch):
+        sketch, _ = trained_sketch
+        first = sketch.snapshot_token
+        sketch.clear_cache()
+        second = sketch.snapshot_token
+        assert second > first
+
+    def test_manager_snapshot_payloads_selects_names(self, manager):
+        payloads = manager.snapshot_payloads()
+        assert set(payloads) == {"test-sketch"}
+        assert isinstance(payloads["test-sketch"], bytes)
+        from repro.errors import SketchError
+
+        with pytest.raises(SketchError):
+            manager.snapshot_payloads(["ghost"])
+
+
+class TestPoolResilience:
+    def test_killed_workers_degrade_inline_and_recover(self, manager, workload):
+        # Kill the pool's workers between rounds: the next flush must
+        # still answer every request (degrading to the inline path),
+        # discard the broken pool, and rebuild it for later flushes —
+        # never surface BrokenProcessPool through a response.
+        import os
+        import signal
+
+        config = ServeConfig(
+            executor="process", executor_workers=2, max_batch_size=8,
+            use_cache=False,
+        )
+        with SketchServer(manager, config) as server:
+            first = server.serve(list(workload[:8]))
+            assert all(r.ok for r in first)
+            pool = server.engine.executor._pool
+            assert pool is not None
+            for pid in list(pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            second = server.serve(list(workload[:8]))
+            assert all(r.ok for r in second), [
+                r.error for r in second if not r.ok
+            ][:3]
+            assert server.stats.n_executor_fallbacks >= 1
+            third = server.serve(list(workload[8:16]))
+            assert all(r.ok for r in third)

@@ -7,6 +7,10 @@ from hypothesis import given, strategies as st
 from repro.errors import ReproError
 from repro.metrics import (
     MIN_CARDINALITY,
+    Counter,
+    Gauge,
+    LatencySummary,
+    percentile,
     QErrorSummary,
     format_table,
     geometric_mean_qerror,
@@ -139,3 +143,71 @@ class TestAuxMetrics:
     def test_geometric_mean_empty_raises(self):
         with pytest.raises(ReproError):
             geometric_mean_qerror([])
+
+
+class TestServingTelemetry:
+    """The primitives the serving engine wires its stats() through."""
+
+    def test_counter_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_is_thread_safe(self):
+        import threading
+
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_gauge_set_and_adjust(self):
+        gauge = Gauge()
+        gauge.set(7)
+        assert gauge.value == 7
+        gauge.adjust(-3)
+        assert gauge.value == 4
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_latency_summary_shape_and_values(self):
+        summary = LatencySummary(window=16)
+        for v in (0.010, 0.020, 0.030, 0.040):
+            summary.observe(v)
+        s = summary.summary()
+        assert s["count"] == 4.0
+        assert s["p50"] == 0.020
+        assert s["max"] == 0.040
+        assert s["p99"] == 0.040
+        assert len(summary) == 4
+
+    def test_latency_summary_window_is_bounded(self):
+        summary = LatencySummary(window=4)
+        for v in range(10):
+            summary.observe(float(v))
+        s = summary.summary()
+        assert s["count"] == 4.0
+        assert s["p50"] == 7.0  # only the newest four remain
+
+    def test_latency_summary_empty(self):
+        s = LatencySummary().summary()
+        assert s == {"count": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_latency_summary_rejects_bad_window(self):
+        with pytest.raises(ReproError):
+            LatencySummary(window=0)
