@@ -19,7 +19,11 @@ workload, tiles it to a request stream, and measures:
 
 With ``--concurrent`` it additionally runs the async facade under
 concurrent client threads (throughput + p50/p99 latency vs three sync
-baselines, plus the low-load queueing bound).
+baselines, plus the low-load queueing bound).  With ``--http`` it
+measures the **HTTP front door** (`repro.serve.http`) against the
+in-process service on the same stream: per-request round-trip overhead
+(p50/p99) and the one-envelope batch amortization, parity-gated at
+1e-12 — the wire must not change numbers.
 
 Estimates from all paths must agree (max relative difference below
 1e-9 for batching, 1e-12 across executors; observed ~1e-15/0.0) — these
@@ -63,6 +67,7 @@ from repro.serve.bench import (  # noqa: E402
     apply_tiny_args,
     run_concurrent_benchmark,
     run_executor_benchmark,
+    run_http_benchmark,
     run_overload_benchmark,
 )
 from repro.workload import (  # noqa: E402
@@ -139,6 +144,16 @@ def run(args) -> int:
     )
     text += "\n" + overload.report()
 
+    http = None
+    if args.http:
+        print("running http front-door scenario...", file=sys.stderr)
+        http = run_http_benchmark(
+            manager, "bench", queries,
+            batch_size=min(args.batch, 256),
+            max_batch_size=suite_max_batch,
+        )
+        text += "\n" + http.report()
+
     concurrent = None
     if args.concurrent:
         print(
@@ -183,6 +198,13 @@ def run(args) -> int:
             gates["process_speedup"] = (
                 executor_suite.speedup("process") >= MIN_PROCESS_SPEEDUP
             )
+    if http is not None:
+        # Parity is the acceptance contract: the wire must not change
+        # numbers (≤ 1e-12 relative vs the in-process facade).  Timing
+        # is recorded but not gated — localhost round trips on shared
+        # CI runners are too noisy for hard ratios.
+        gates["http_parity"] = http.parity_ok
+        gates["http_served_all"] = http.n_errors == 0
     if concurrent is not None:
         gates["concurrent_any"] = not concurrent.all_failed
         gates["concurrent_parity"] = concurrent.identical
@@ -252,6 +274,33 @@ def run(args) -> int:
         "gates": gates,
         "pass": ok,
     }
+    if http is not None:
+        import math
+
+        # batch_amortization is inf when timing noise makes the batched
+        # HTTP pass no slower than in-process; JSON has no Infinity, so
+        # record null rather than emit a file strict parsers reject.
+        amortization = http.batch_amortization
+        payload["http"] = {
+            "n_requests": http.n_requests,
+            "inproc_request_seconds": http.inproc_request_seconds,
+            "inproc_request_p50_s": http.inproc_request_p50,
+            "inproc_request_p99_s": http.inproc_request_p99,
+            "inproc_batch_seconds": http.inproc_batch_seconds,
+            "http_request_seconds": http.http_request_seconds,
+            "http_request_p50_s": http.http_request_p50,
+            "http_request_p99_s": http.http_request_p99,
+            "http_batch_seconds": http.http_batch_seconds,
+            "overhead_p50_ms": http.overhead_p50_ms,
+            "overhead_p99_ms": http.overhead_p99_ms,
+            "batch_overhead_per_request_ms": http.batch_overhead_per_request_ms,
+            "batch_amortization": (
+                amortization if math.isfinite(amortization) else None
+            ),
+            "server_reported_p50_s": http.server_reported_p50,
+            "max_rel_diff": http.max_rel_diff,
+            "n_errors": http.n_errors,
+        }
     if concurrent is not None:
         payload["concurrent"] = {
             "n_clients": concurrent.n_clients,
@@ -301,6 +350,11 @@ def run(args) -> int:
             f"overload shed {overload.n_shed}/{overload.n_requests} bounded, "
             "estimates identical"
         )
+        if http is not None:
+            summary += (
+                f"; http overhead p50 {http.overhead_p50_ms:+.2f}ms/request "
+                f"({http.batch_amortization:.1f}x amortized when batched)"
+            )
         if concurrent is not None:
             summary += (
                 f"; async {concurrent.throughput_ratio:.2f}x sync with "
@@ -331,6 +385,10 @@ def main(argv=None) -> int:
                         "(the scale-out suite always runs all three)")
     parser.add_argument("--workers", type=int, default=2,
                         help="thread/process executor workers")
+    parser.add_argument("--http", action="store_true",
+                        help="also measure the HTTP front door: round-trip "
+                        "overhead vs in-process submit (p50/p99, batched "
+                        "vs per-request), parity-gated at 1e-12")
     parser.add_argument("--concurrent", action="store_true",
                         help="also run the async engine under concurrent "
                         "client threads (throughput + p50/p99 latency)")

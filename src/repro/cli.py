@@ -50,9 +50,18 @@ def _build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="describe a saved sketch")
     info.add_argument("sketch", help="path to a saved sketch")
 
-    estimate = commands.add_parser("estimate", help="estimate a SQL query")
-    estimate.add_argument("sketch", help="path to a saved sketch")
+    estimate = commands.add_parser(
+        "estimate",
+        help="estimate a SQL query (against a local sketch file, or a "
+        "remote serving endpoint via --url)",
+    )
+    estimate.add_argument("sketch", nargs="?", default=None,
+                          help="path to a saved sketch (omit with --url)")
     estimate.add_argument("sql", help="SELECT COUNT(*) query text")
+    estimate.add_argument("--url", default=None,
+                          help="estimate remotely against a running "
+                          "'repro serve --http' front door "
+                          "(e.g. http://127.0.0.1:8080)")
 
     compare = commands.add_parser(
         "compare",
@@ -65,13 +74,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="answer a stream of SQL queries with batched estimation",
+        help="answer a stream of SQL queries with batched estimation, "
+        "or run the HTTP front door (--http)",
     )
     serve.add_argument("sketches", nargs="+",
                        help="saved sketch file(s); queries are routed to "
                        "the narrowest covering sketch")
-    serve.add_argument("--sql", default="-",
-                       help="file with one SQL query per line ('-' = stdin)")
+    serve.add_argument("--sql", default=None,
+                       help="stream mode: file with one SQL query per line "
+                       "('-' = stdin, the default)")
+    serve.add_argument("--http", action="store_true",
+                       help="serve over HTTP instead of a SQL stream: "
+                       "POST /v1/estimate, POST /v1/estimate_batch, "
+                       "GET /v1/stats, GET /v1/healthz (versioned JSON "
+                       "wire protocol; stop with Ctrl-C)")
+    serve.add_argument("--host", default=None,
+                       help="--http only: bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="--http only: TCP port (default 8080; 0 picks "
+                       "an ephemeral port)")
     serve.add_argument("--max-batch", type=int, default=256,
                        help="micro-batch size per model forward pass")
     serve.add_argument("--no-cache", action="store_true",
@@ -81,7 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        "facade (background flush loop, request dedup, "
                        "shared feature cache)")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
-                       help="async only: max queueing delay before a "
+                       help="async/http only: max queueing delay before a "
                        "partial micro-batch is flushed")
     serve.add_argument("--executor", choices=("inline", "thread", "process"),
                        default="inline",
@@ -179,6 +200,16 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_estimate(args) -> int:
+    if args.url is not None:
+        from .serve import RemoteSketchServer
+
+        with RemoteSketchServer(args.url) as client:
+            response = client.estimate(args.sql)
+        if not response.ok:
+            print(f"error[{response.code}]: {response.error}", file=sys.stderr)
+            return 1
+        print(f"{response.estimate:.0f}")
+        return 0
     sketch = DeepSketch.load(args.sketch)
     estimate = sketch.estimate(args.sql)
     print(f"{estimate:.0f}")
@@ -216,6 +247,51 @@ def _read_sql_lines(path: str) -> list[str]:
     return [s for s in (line.strip() for line in lines) if s and not s.startswith("#")]
 
 
+def _print_stats_snapshot(summary: dict) -> None:
+    """The operator-facing shutdown snapshot: one JSON line on stderr.
+
+    Exactly the ``stats_summary()`` / ``GET /v1/stats`` shape, so shed
+    and deadline counters, queue depth, and latency percentiles are
+    visible without instrumenting code.
+    """
+    import json
+
+    print("stats_summary: " + json.dumps(summary, sort_keys=True),
+          file=sys.stderr)
+
+
+def _http_wait(server) -> None:
+    """Block until the front door stops (Ctrl-C).  Module-level so
+    tests can replace it with a driver that talks to ``server.url``."""
+    server.join()
+
+
+def _cmd_serve_http(args, manager, engine_knobs) -> int:
+    from .serve import ServeConfig, SketchHTTPServer
+
+    server = SketchHTTPServer(
+        manager,
+        ServeConfig(max_wait_ms=args.max_wait_ms, **engine_knobs),
+        host=args.host if args.host is not None else "127.0.0.1",
+        port=args.port if args.port is not None else 8080,
+    )
+    server.start()
+    print(
+        f"serving {len(args.sketches)} sketch(es) on {server.url} "
+        "(POST /v1/estimate, POST /v1/estimate_batch, GET /v1/stats, "
+        "GET /v1/healthz; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        _http_wait(server)
+    except KeyboardInterrupt:
+        print("shutting down (draining accepted requests)...", file=sys.stderr)
+    finally:
+        server.close()
+        _print_stats_snapshot(server.stats_summary())
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import time
 
@@ -230,7 +306,6 @@ def _cmd_serve(args) -> int:
     manager = SketchManager(db=None)
     for path in args.sketches:
         manager.register_sketch(DeepSketch.load(path))
-    requests = _read_sql_lines(args.sql)
     engine_knobs = dict(
         max_batch_size=args.max_batch,
         use_cache=not args.no_cache,
@@ -240,6 +315,9 @@ def _cmd_serve(args) -> int:
         shed_policy=args.shed_policy,
         deadline_ms=args.deadline_ms,
     )
+    if args.http:
+        return _cmd_serve_http(args, manager, engine_knobs)
+    requests = _read_sql_lines(args.sql if args.sql is not None else "-")
     if args.use_async:
         server = AsyncSketchServer(
             manager,
@@ -286,6 +364,7 @@ def _cmd_serve(args) -> int:
             f"{stats.n_fast_cache_hits} fast cache hits)",
             file=sys.stderr,
         )
+    _print_stats_snapshot(summary)
     return 0 if stats.n_errors == 0 else 1
 
 
@@ -351,9 +430,36 @@ _COMMANDS = {
 }
 
 
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Cross-flag validation argparse cannot express (exits with 2)."""
+    if args.command == "estimate":
+        if args.url is not None and args.sketch is not None:
+            parser.error(
+                "estimate takes a sketch path OR --url, not both "
+                "(remote mode estimates against the server's sketches)"
+            )
+        if args.url is None and args.sketch is None:
+            parser.error("estimate needs a sketch path (or --url for remote)")
+    elif args.command == "serve":
+        if args.http and args.use_async:
+            parser.error(
+                "--http and --async are mutually exclusive: the HTTP "
+                "front door already drives the background-loop engine"
+            )
+        if not args.http and (args.host is not None or args.port is not None):
+            parser.error("--host/--port only apply to --http mode")
+        if args.http and args.sql is not None:
+            parser.error(
+                "--sql only applies to stream mode: the HTTP front door "
+                "takes its queries from the network, not a file"
+            )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

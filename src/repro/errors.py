@@ -50,3 +50,14 @@ class SerializationError(ReproError):
 
 class EstimationError(ReproError):
     """An estimator could not produce an estimate for a query."""
+
+
+class ProtocolError(ReproError):
+    """A serving wire payload is malformed or from an unsupported
+    protocol version (see :mod:`repro.serve.protocol`)."""
+
+
+class RemoteServerError(ReproError):
+    """A remote estimation service could not be reached, or answered
+    with a transport-level failure (connection refused, non-2xx status
+    without a structured body, truncated payload, ...)."""

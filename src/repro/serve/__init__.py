@@ -1,41 +1,57 @@
-"""Sketch serving: one estimation engine, two facades, pluggable executors.
+"""Sketch serving: one estimation API everywhere, local or remote.
 
 The paper's pitch is that a Deep Sketch is "fast to query (within
 milliseconds)"; this package turns the one-query-at-a-time estimation
-path into a throughput-oriented serving subsystem.  Since the engine
-refactor it is layered as:
+path into a throughput-oriented serving subsystem.  The public surface
+is the :class:`SketchService` protocol — ``submit`` / ``submit_many`` /
+``estimate`` / ``serve`` / ``stats_summary`` / ``close`` — with three
+interchangeable implementations, so swapping in-process serving for a
+network round trip is a one-line change:
 
-* :class:`EstimationEngine` — the single, transport-agnostic request
-  lifecycle: parse, route, dedup, result-cache fast path, **admission
-  control** (bounded queue with structured shed responses and
-  per-request deadlines), per-sketch micro-batching, execution, and
-  scatter.  One implementation, shared by both front doors.
-* :class:`SketchServer` — the synchronous facade: caller-driven
+* :class:`SketchServer` — in-process, synchronous: caller-driven
   flushes over an explicit queue (``submit``/``flush``) or a stream
   (``serve``).  Right for offline streams and benchmarks.
-* :class:`AsyncSketchServer` — the concurrent facade: thread-safe
+* :class:`AsyncSketchServer` — in-process, concurrent: thread-safe
   ``submit()`` returning futures (``submit_async()`` for ``asyncio``),
   with a background loop flushing under full/timed/idle/drain
   triggers, bounding tail latency while sharing one flush across all
   waiting clients.
-* Executors (:mod:`repro.serve.executor`) — where micro-batches run:
-  ``inline`` (calling thread; bit-identical to the pre-engine paths),
-  ``thread`` (overlapping chunks on a thread pool), or ``process``
-  (true multi-core scale-out over shipped
-  :class:`~repro.core.sketch.SketchSnapshot` weight replicas).
+* :class:`RemoteSketchServer` — the client SDK: the same surface over
+  the versioned wire protocol (:mod:`repro.serve.protocol`) to a
+  :class:`SketchHTTPServer` front door.
 
-Both facades produce estimates numerically identical to the
+Underneath the facades sits one transport-agnostic
+:class:`EstimationEngine` — parse, route, dedup, result-cache fast
+path, **admission control** (bounded queue with structured shed
+responses and per-request deadlines), per-sketch micro-batching,
+execution, scatter — and pluggable executors
+(:mod:`repro.serve.executor`): ``inline`` (calling thread;
+bit-identical to the pre-engine paths), ``thread``, or ``process``
+(true multi-core scale-out over shipped
+:class:`~repro.core.sketch.SketchSnapshot` weight replicas).  The HTTP
+front door (:mod:`repro.serve.http`) is pure request/response
+marshalling over that engine, so concurrent HTTP clients batch, dedup,
+and cache-hit together exactly like in-process submitters.
+
+All implementations produce estimates numerically identical to the
 single-query path (see :mod:`repro.serve.bench` for the parity caveat
 and the measurement harness) and share one telemetry snapshot —
-``server.stats_summary()`` / ``EstimationEngine.stats()`` — wired
-into :mod:`repro.metrics` gauges, counters, and latency summaries.
+``service.stats_summary()`` / ``EstimationEngine.stats()`` /
+``GET /v1/stats`` — wired into :mod:`repro.metrics` gauges, counters,
+and latency summaries.
 """
 
 from .async_server import AsyncServeConfig, AsyncServerStats, AsyncSketchServer
 from .bench import ServingBenchResult, run_serving_benchmark, tile_workload
+from .client import RemoteSketchServer
 from .engine import (
     CODE_DEADLINE,
+    CODE_INTERNAL,
+    CODE_PARSE,
+    CODE_ROUTE,
     CODE_SHED,
+    CODE_VOCAB,
+    RESPONSE_CODES,
     EstimateResponse,
     EstimationEngine,
     ServeConfig,
@@ -51,18 +67,30 @@ from .executor import (
     make_executor,
 )
 from .feature_cache import FeatureCache
+from .http import SketchHTTPServer
+from .protocol import PROTOCOL_VERSION
 from .server import SketchServer
+from .service import SketchService
 
 __all__ = [
     "EstimationEngine",
     "SketchServer",
+    "SketchService",
     "ServeConfig",
     "ServerStats",
     "AsyncSketchServer",
     "AsyncServeConfig",
     "AsyncServerStats",
+    "RemoteSketchServer",
+    "SketchHTTPServer",
+    "PROTOCOL_VERSION",
     "CODE_DEADLINE",
+    "CODE_INTERNAL",
+    "CODE_PARSE",
+    "CODE_ROUTE",
     "CODE_SHED",
+    "CODE_VOCAB",
+    "RESPONSE_CODES",
     "EXECUTOR_NAMES",
     "FeatureCache",
     "EstimateResponse",

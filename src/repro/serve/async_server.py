@@ -1,5 +1,8 @@
 """Asynchronous, latency-bounded serving facade over the estimation engine.
 
+One of the three :class:`~repro.serve.service.SketchService`
+implementations (with the sync facade and the
+:class:`~repro.serve.client.RemoteSketchServer` SDK).
 :class:`~repro.serve.server.SketchServer` batches well but only flushes
 when a caller asks — fine for offline streams, wrong for live traffic
 where many independent clients each hold one request and nobody sees
@@ -192,6 +195,11 @@ class AsyncSketchServer:
     async def submit_async(self, request: Query | str, sketch: str | None = None):
         """``asyncio`` front-end: await one request from an event loop."""
         return await asyncio.wrap_future(self.submit(request, sketch))
+
+    def estimate(self, request: Query | str, sketch: str | None = None):
+        """Blocking one-shot convenience: submit and wait for the
+        response (resolves within ~``max_wait_ms`` + model time)."""
+        return self.submit(request, sketch).result()
 
     def serve(
         self, requests: Iterable[Query | str], sketch: str | None = None

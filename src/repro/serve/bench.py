@@ -819,3 +819,207 @@ def run_overload_benchmark(
         n_unresolved=n_unresolved,
         max_depth_seen=max_depth_seen,
     )
+
+
+# ----------------------------------------------------------------------
+# HTTP front-door scenario (wire overhead)
+# ----------------------------------------------------------------------
+
+@dataclass
+class HttpBenchResult:
+    """HTTP round-trip cost vs the in-process service on one stream.
+
+    Four passes over the same uncached workload, through the same
+    engine configuration: in-process per-request (closed-loop
+    ``submit().result()``), in-process batched (one ``submit_many``),
+    HTTP per-request (``RemoteSketchServer.estimate`` round trips), and
+    HTTP batched (one ``POST /v1/estimate_batch``).  The per-request
+    deltas are the wire+marshalling overhead the front door adds; the
+    batched pair shows how one-envelope batching amortizes it.
+    ``max_rel_diff`` compares every pass's estimates against the
+    in-process per-request reference (bound: 1e-12, the executor-parity
+    bar — the wire must not change numbers).
+    """
+
+    n_requests: int
+    inproc_request_seconds: float
+    inproc_request_p50: float
+    inproc_request_p99: float
+    inproc_batch_seconds: float
+    http_request_seconds: float
+    http_request_p50: float
+    http_request_p99: float
+    http_batch_seconds: float
+    server_reported_p50: float
+    max_rel_diff: float
+    n_errors: int
+
+    @property
+    def overhead_p50_ms(self) -> float:
+        """Per-request wire overhead at the median (milliseconds)."""
+        return (self.http_request_p50 - self.inproc_request_p50) * 1000.0
+
+    @property
+    def overhead_p99_ms(self) -> float:
+        return (self.http_request_p99 - self.inproc_request_p99) * 1000.0
+
+    @property
+    def batch_overhead_per_request_ms(self) -> float:
+        """Amortized wire overhead per request when batched (ms)."""
+        return (
+            (self.http_batch_seconds - self.inproc_batch_seconds)
+            / self.n_requests
+            * 1000.0
+        )
+
+    @property
+    def batch_amortization(self) -> float:
+        """How much batching shrinks the per-request wire overhead."""
+        per_request = self.http_request_seconds - self.inproc_request_seconds
+        batched = self.http_batch_seconds - self.inproc_batch_seconds
+        if batched <= 0:
+            return float("inf")
+        return per_request / batched
+
+    @property
+    def parity_ok(self) -> bool:
+        return self.max_rel_diff <= EXECUTOR_PARITY_RTOL
+
+    @property
+    def ok(self) -> bool:
+        return self.parity_ok and self.n_errors == 0
+
+    def report(self) -> str:
+        return "\n".join([
+            f"http front door   : {self.n_requests} uncached requests",
+            f"  per-request     : in-process p50 "
+            f"{self.inproc_request_p50 * 1000:7.2f}ms / p99 "
+            f"{self.inproc_request_p99 * 1000:7.2f}ms; http p50 "
+            f"{self.http_request_p50 * 1000:7.2f}ms / p99 "
+            f"{self.http_request_p99 * 1000:7.2f}ms "
+            f"(overhead p50 {self.overhead_p50_ms:+.2f}ms)",
+            f"  batched stream  : in-process {self.inproc_batch_seconds:7.3f}s; "
+            f"http {self.http_batch_seconds:7.3f}s "
+            f"({self.batch_overhead_per_request_ms:+.3f}ms/request, "
+            f"{self.batch_amortization:.1f}x overhead amortization)",
+            f"  server-side p50 : {self.server_reported_p50 * 1000:7.2f}ms "
+            f"(from response envelopes)",
+            f"  parity          : max rel diff {self.max_rel_diff:.2e} "
+            f"({self.n_errors} errors) "
+            f"[{'OK' if self.ok else 'FAILED'}]",
+        ])
+
+
+def run_http_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    batch_size: int = 256,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 2.0,
+) -> HttpBenchResult:
+    """Measure the HTTP front door against the in-process service.
+
+    Caching and dedup are off so every request performs real model
+    work in *every* pass (a warm cache would measure dict lookups over
+    the wire); the same ``ServeConfig`` drives both the in-process
+    :class:`~repro.serve.async_server.AsyncSketchServer` and the
+    :class:`~repro.serve.http.SketchHTTPServer`, so the only variable
+    is the transport.  One untimed warmup request per service settles
+    buffer pools.  Note the SDK's transport is stdlib ``urllib``: each
+    round trip opens a fresh TCP connection, so the measured HTTP
+    overhead includes loopback connection setup — representative of
+    simple clients; a connection-pooling client would sit between the
+    two curves.
+    """
+    from .async_server import AsyncServeConfig, AsyncSketchServer
+    from .client import RemoteSketchServer
+    from .http import SketchHTTPServer
+
+    manager.get_sketch(sketch_name)  # raise early on an unknown name
+    workload = tile_workload(list(queries), batch_size)
+    config_kwargs = dict(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        use_cache=False,
+        dedup=False,
+    )
+    results: dict[str, np.ndarray] = {}
+    n_errors = 0
+
+    # -- in-process passes ---------------------------------------------
+    with AsyncSketchServer(
+        manager, AsyncServeConfig(**config_kwargs)
+    ) as inproc:
+        inproc.estimate(workload[0], sketch=sketch_name)  # warmup
+        latencies = []
+        t0 = time.perf_counter()
+        estimates = []
+        for query in workload:
+            t1 = time.perf_counter()
+            response = inproc.estimate(query, sketch=sketch_name)
+            latencies.append(time.perf_counter() - t1)
+            estimates.append(response.estimate if response.ok else np.nan)
+            n_errors += 0 if response.ok else 1
+        inproc_request_seconds = time.perf_counter() - t0
+        results["inproc_request"] = np.array(estimates)
+        inproc_lat = np.array(latencies)
+
+        t0 = time.perf_counter()
+        responses = [
+            f.result() for f in inproc.submit_many(workload, sketch=sketch_name)
+        ]
+        inproc_batch_seconds = time.perf_counter() - t0
+        n_errors += sum(0 if r.ok else 1 for r in responses)
+        results["inproc_batch"] = np.array(
+            [r.estimate if r.ok else np.nan for r in responses]
+        )
+
+    # -- HTTP passes ----------------------------------------------------
+    with SketchHTTPServer(
+        manager, ServeConfig(**config_kwargs), port=0
+    ) as front_door:
+        with RemoteSketchServer(front_door.url) as client:
+            client.estimate(workload[0], sketch=sketch_name)  # warmup
+            latencies = []
+            t0 = time.perf_counter()
+            estimates = []
+            for query in workload:
+                t1 = time.perf_counter()
+                response = client.estimate(query, sketch=sketch_name)
+                latencies.append(time.perf_counter() - t1)
+                estimates.append(response.estimate if response.ok else np.nan)
+                n_errors += 0 if response.ok else 1
+            http_request_seconds = time.perf_counter() - t0
+            results["http_request"] = np.array(estimates)
+            http_lat = np.array(latencies)
+            server_reported_p50 = client.server_latency.summary()["p50"]
+
+            t0 = time.perf_counter()
+            responses = client.estimate_many(workload, sketch=sketch_name)
+            http_batch_seconds = time.perf_counter() - t0
+            n_errors += sum(0 if r.ok else 1 for r in responses)
+            results["http_batch"] = np.array(
+                [r.estimate if r.ok else np.nan for r in responses]
+            )
+
+    reference = results["inproc_request"]
+    max_rel_diff = max(
+        _max_rel_diff(estimates, reference)
+        for name, estimates in results.items()
+        if name != "inproc_request"
+    )
+    return HttpBenchResult(
+        n_requests=len(workload),
+        inproc_request_seconds=inproc_request_seconds,
+        inproc_request_p50=float(np.percentile(inproc_lat, 50)),
+        inproc_request_p99=float(np.percentile(inproc_lat, 99)),
+        inproc_batch_seconds=inproc_batch_seconds,
+        http_request_seconds=http_request_seconds,
+        http_request_p50=float(np.percentile(http_lat, 50)),
+        http_request_p99=float(np.percentile(http_lat, 99)),
+        http_batch_seconds=http_batch_seconds,
+        server_reported_p50=server_reported_p50,
+        max_rel_diff=max_rel_diff,
+        n_errors=n_errors,
+    )

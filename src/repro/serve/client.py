@@ -1,0 +1,318 @@
+"""`RemoteSketchServer` — the client SDK of the estimation service.
+
+The third :class:`~repro.serve.service.SketchService` implementation:
+the same ``submit`` / ``submit_many`` / ``estimate`` / ``serve`` /
+``stats_summary`` / ``close`` surface as the in-process facades, spoken
+over the versioned wire protocol (:mod:`repro.serve.protocol`) to a
+:class:`~repro.serve.http.SketchHTTPServer`.  Swapping a local facade
+for remote serving is a one-line change::
+
+    service = SketchServer(manager)                    # before
+    service = RemoteSketchServer("http://host:8080")   # after
+    with service:
+        response = service.estimate(sql)               # unchanged
+
+Stdlib-only (``urllib.request``), deliberately: the SDK must import
+anywhere the library does.
+
+Semantics worth knowing:
+
+* **Responses are values, never exceptions.**  Request-level failures
+  (parse/route/vocab/shed/deadline) arrive as ``ok=False``
+  :class:`~repro.serve.engine.EstimateResponse` objects with the same
+  structured ``code`` a local caller would see — identical dispatch
+  code on both sides of the wire.  Only *transport* failures
+  (connection refused, truncated body, version skew) raise —
+  :class:`~repro.errors.RemoteServerError` or
+  :class:`~repro.errors.ProtocolError`.
+* **submit() is non-blocking.**  A small thread pool issues the round
+  trip and resolves the returned future; ``submit_many`` sends the
+  whole batch as **one** ``POST /v1/estimate_batch`` (one round trip,
+  one server-side amortized intake) and fans the batch response out to
+  per-request futures.
+* **Batching still happens server-side.**  Concurrent ``submit`` calls
+  from many client processes coalesce in the server's engine exactly
+  like concurrent in-process submitters; the SDK adds no client-side
+  waiting.
+* ``server_ms`` timings from response envelopes are accumulated into
+  :meth:`timings` so callers can split wire overhead from serving time
+  (the ``--http`` benchmark does).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..errors import ProtocolError, RemoteServerError
+from ..metrics import LatencySummary
+from ..workload.query import Query
+from .engine import EstimateResponse
+from . import protocol
+
+
+class RemoteSketchServer:
+    """Estimation over the wire, behind the one `SketchService` surface.
+
+    ``url`` is the front door's base address (``http://host:port``);
+    ``timeout`` bounds each HTTP round trip (seconds);
+    ``connection_workers`` sizes the thread pool that makes
+    :meth:`submit` non-blocking (it does not limit the server's
+    concurrency, only this client's in-flight round trips).
+
+    The client is thread-safe: any number of caller threads may
+    submit/estimate concurrently.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        connection_workers: int = 4,
+    ):
+        if not url.startswith(("http://", "https://")):
+            raise RemoteServerError(
+                f"url must start with http:// or https://, got {url!r}"
+            )
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+        if self.timeout <= 0:
+            raise RemoteServerError(
+                f"timeout must be positive, got {timeout!r}"
+            )
+        if connection_workers <= 0:
+            raise RemoteServerError(
+                f"connection_workers must be positive, got {connection_workers!r}"
+            )
+        self._workers = int(connection_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Client-observed round-trip latency (seconds) per request.
+        self.wire_latency = LatencySummary(window=8192)
+        #: Server-reported handling time (seconds) per round trip.
+        self.server_latency = LatencySummary(window=8192)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _http(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One JSON round trip; structured 4xx/5xx bodies raise typed
+        errors, transport faults raise RemoteServerError."""
+        if self._closed:
+            raise RemoteServerError("client is closed")
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read()
+        except urllib.error.HTTPError as exc:
+            # The front door answers errors with a structured JSON body;
+            # surface its message (and 400s as protocol errors).
+            detail = ""
+            try:
+                wire = json.loads(exc.read())
+                detail = wire.get("error") or ""
+            except Exception:
+                pass
+            message = (
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            )
+            if exc.code == 400:
+                raise ProtocolError(message) from exc
+            raise RemoteServerError(message) from exc
+        except OSError as exc:  # URLError, timeouts, refused connections
+            raise RemoteServerError(
+                f"cannot reach estimation service at {self.url}: {exc}"
+            ) from exc
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"{method} {path} answered non-JSON payload"
+            ) from exc
+
+    def _observe(self, payload: dict, elapsed: float, n: int = 1) -> None:
+        for _ in range(n):
+            self.wire_latency.observe(elapsed / max(n, 1))
+        server_ms = payload.get("server_ms")
+        if isinstance(server_ms, (int, float)):
+            for _ in range(n):
+                self.server_latency.observe(server_ms / 1000.0 / max(n, 1))
+
+    # ------------------------------------------------------------------
+    # the SketchService surface
+    # ------------------------------------------------------------------
+    def estimate(
+        self, request: Query | str, sketch: str | None = None
+    ) -> EstimateResponse:
+        """One blocking round trip: ``POST /v1/estimate``."""
+        import time
+
+        t0 = time.perf_counter()
+        payload = self._http(
+            "POST",
+            "/v1/estimate",
+            protocol.estimate_request_to_wire(request, sketch),
+        )
+        response = protocol.response_from_wire(payload)
+        self._observe(payload, time.perf_counter() - t0)
+        return self._restore_request(response, request)
+
+    def estimate_many(
+        self, requests: Sequence[Query | str], sketch: str | None = None
+    ) -> list[EstimateResponse]:
+        """One round trip for a whole batch: ``POST /v1/estimate_batch``."""
+        import time
+
+        requests = list(requests)
+        if not requests:
+            return []
+        t0 = time.perf_counter()
+        payload = self._http(
+            "POST",
+            "/v1/estimate_batch",
+            protocol.batch_request_to_wire(requests, sketch),
+        )
+        responses = protocol.batch_response_from_wire(payload)
+        if len(responses) != len(requests):
+            raise ProtocolError(
+                f"batch answered {len(responses)} responses "
+                f"for {len(requests)} requests"
+            )
+        self._observe(payload, time.perf_counter() - t0, n=len(requests))
+        return [
+            self._restore_request(response, request)
+            for response, request in zip(responses, requests)
+        ]
+
+    def submit(self, request: Query | str, sketch: str | None = None):
+        """Non-blocking enqueue; the future resolves when the round
+        trip completes (a structured response, never an exception, for
+        request-level failures — transport faults do surface through
+        the future as :class:`~repro.errors.RemoteServerError`)."""
+        return self._ensure_pool().submit(self.estimate, request, sketch)
+
+    def submit_many(
+        self, requests: Sequence[Query | str], sketch: str | None = None
+    ):
+        """Amortized intake: one wire round trip for the whole batch,
+        fanned out to one future per request."""
+        requests = list(requests)
+        futures: list[Future[EstimateResponse]] = [Future() for _ in requests]
+        for future in futures:
+            future.set_running_or_notify_cancel()
+        if not requests:
+            return futures
+
+        def round_trip() -> None:
+            try:
+                responses = self.estimate_many(requests, sketch)
+            except BaseException as exc:
+                for future in futures:
+                    future.set_exception(exc)
+                return
+            for future, response in zip(futures, responses):
+                future.set_result(response)
+
+        self._ensure_pool().submit(round_trip)
+        return futures
+
+    def serve(
+        self, requests: Iterable[Query | str], sketch: str | None = None
+    ) -> list[EstimateResponse]:
+        """Submit a stream and block for all responses (submission order)."""
+        return self.estimate_many(list(requests), sketch)
+
+    def stats_summary(self) -> dict:
+        """The server engine's telemetry snapshot: ``GET /v1/stats``
+        (byte-for-byte the shape in-process ``stats_summary()`` returns)."""
+        return self._http("GET", "/v1/stats")
+
+    def healthz(self) -> dict:
+        """Liveness probe: ``GET /v1/healthz``."""
+        return self._http("GET", "/v1/healthz")
+
+    def timings(self) -> dict:
+        """Client-side latency split: wire round trip vs server time.
+
+        ``wire`` percentiles are client-observed per-request latency
+        (batch round trips amortized across their requests); ``server``
+        percentiles are the service's self-reported handling time from
+        the response envelopes.  The gap is marshalling + network.
+        """
+        return {
+            "wire": self.wire_latency.summary(),
+            "server": self.server_latency.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RemoteServerError("client is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="sketch-remote",
+                )
+            return self._pool
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the connection pool (idempotent).  In-flight
+        ``submit`` round trips complete first; the remote server is
+        not affected."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RemoteSketchServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RemoteSketchServer(url={self.url!r}, {state})"
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restore_request(
+        response: EstimateResponse, original: Query | str
+    ) -> EstimateResponse:
+        """Hand back the caller's own request object.
+
+        The wire round-trips requests losslessly (``parse_sql(to_sql(q))
+        == q``), but handing back the *identical* object the caller
+        passed matches the in-process facades exactly — response.request
+        is their request, not an equal reconstruction.
+        """
+        response.request = original
+        return response
+
+
+__all__ = ["RemoteSketchServer"]

@@ -59,7 +59,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..errors import ReproError, SketchError
+from ..errors import FeaturizationError, ReproError, SketchError
 from ..metrics import Counter, Gauge, LatencySummary
 from ..workload.query import Query
 from ..demo.manager import SketchManager
@@ -72,6 +72,29 @@ CODE_SHED = "shed"
 #: ``EstimateResponse.code`` for a request that outlived its
 #: ``deadline_ms`` in the queue.
 CODE_DEADLINE = "deadline"
+#: ``EstimateResponse.code`` for SQL the parser rejected.
+CODE_PARSE = "parse"
+#: ``EstimateResponse.code`` for a request no registered sketch can
+#: serve: uncovered tables, an unknown pinned sketch name, or a sketch
+#: dropped between routing and its flush.
+CODE_ROUTE = "route"
+#: ``EstimateResponse.code`` for a query outside the routed sketch's
+#: featurization vocabulary (unknown column/operator/value encoding).
+CODE_VOCAB = "vocab"
+#: ``EstimateResponse.code`` for an unexpected server-side failure (a
+#: bug surfaced by the never-strand-a-future safety nets).
+CODE_INTERNAL = "internal"
+
+#: Every ``EstimateResponse.code`` the engine can produce — the wire
+#: protocol (:mod:`repro.serve.protocol`) serializes exactly these.
+RESPONSE_CODES = (
+    CODE_PARSE,
+    CODE_ROUTE,
+    CODE_VOCAB,
+    CODE_SHED,
+    CODE_DEADLINE,
+    CODE_INTERNAL,
+)
 
 #: Valid ``ServeConfig.shed_policy`` values.
 SHED_POLICIES = ("reject", "oldest")
@@ -184,11 +207,15 @@ class ServeConfig:
 class EstimateResponse:
     """Outcome of one served request (exactly one of estimate/error set).
 
-    ``code`` structures the non-estimate outcomes the engine itself
-    produces: ``"shed"`` (admission control refused or evicted the
-    request) and ``"deadline"`` (it expired in the queue).  Parse,
-    routing, and featurization failures keep ``code=None`` and carry
-    the underlying error text.
+    ``code`` structures *every* failure class so callers (local or over
+    the wire) can dispatch without string-matching messages:
+    ``"parse"`` (malformed SQL), ``"route"`` (no covering sketch /
+    unknown pin / sketch dropped before its flush), ``"vocab"`` (the
+    query is outside the routed sketch's featurization vocabulary),
+    ``"shed"`` (admission control refused or evicted the request),
+    ``"deadline"`` (it expired in the queue), and ``"internal"`` (an
+    unexpected server-side fault).  ``error`` still carries the
+    human-readable message; successful responses keep ``code=None``.
     """
 
     request: Query | str
@@ -260,12 +287,18 @@ def prepare_request(
             response.query = parse_sql(request)
         else:
             response.query = request
+    except ReproError as exc:
+        response.error = str(exc)
+        response.code = CODE_PARSE
+        return response
+    try:
         if pinned is None:
             response.sketch = manager.route_name(response.query)
         else:
             manager.get_sketch(pinned)  # raise early if unknown
     except ReproError as exc:
         response.error = str(exc)
+        response.code = CODE_ROUTE
     return response
 
 
@@ -310,6 +343,14 @@ def answer_chunk(
             except ReproError as exc:
                 r.cached = False
                 r.error = str(exc)
+                # Featurization failures are the vocabulary class; any
+                # other ReproError out of a single-query estimate means
+                # this sketch cannot serve this (already-routed) query.
+                r.code = (
+                    CODE_VOCAB
+                    if isinstance(exc, FeaturizationError)
+                    else CODE_ROUTE
+                )
         return
     if any(not r.cached for r in chunk):
         stats.n_forward_batches += 1
@@ -783,6 +824,7 @@ class EstimationEngine:
             for response in responses:
                 if response.ok and response.estimate is None:
                     response.error = str(exc)
+                    response.code = CODE_ROUTE
         else:
             try:
                 answer_chunk(
@@ -796,6 +838,7 @@ class EstimationEngine:
                 for response in responses:
                     if response.ok and response.estimate is None:
                         response.error = f"internal serving error: {exc!r}"
+                        response.code = CODE_INTERNAL
         self.merge_chunk_stats(local.n_forward_batches, local.n_cache_hits)
         self.record_flush_latency(time.perf_counter() - t0)
 
@@ -1048,6 +1091,7 @@ class EstimationEngine:
                 for response in job.responses:
                     if response.ok and response.estimate is None:
                         response.error = f"internal serving error: {exc!r}"
+                        response.code = CODE_INTERNAL
         # Safety net: an executor must complete every job, but a buggy
         # or interrupted one must not cost a caller their future.
         for job in jobs:
@@ -1121,7 +1165,12 @@ class EstimationEngine:
 
 __all__ = [
     "CODE_DEADLINE",
+    "CODE_INTERNAL",
+    "CODE_PARSE",
+    "CODE_ROUTE",
     "CODE_SHED",
+    "CODE_VOCAB",
+    "RESPONSE_CODES",
     "SHED_POLICIES",
     "EstimateResponse",
     "EstimationEngine",

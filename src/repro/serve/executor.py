@@ -155,12 +155,12 @@ def _worker_answer(sketch_name: str, queries: list) -> tuple[list, int]:
     """Answer distinct uncached queries in a worker process.
 
     Returns ``(results, n_forwards)`` where ``results[i]`` is
-    ``(estimate, None)`` or ``(None, error message)`` for
-    ``queries[i]``.  Mirrors the inline path's error isolation: a
-    batch-level featurization failure falls back to per-query retries
-    so only the offending queries fail.
+    ``(estimate, None, None)`` or ``(None, error message, error code)``
+    for ``queries[i]``.  Mirrors the inline path's error isolation and
+    error-code classification: a batch-level featurization failure
+    falls back to per-query retries so only the offending queries fail.
     """
-    from ..errors import ReproError
+    from ..errors import FeaturizationError, ReproError
 
     sketch = _WORKER_SKETCHES.get(sketch_name)
     if sketch is None:
@@ -171,16 +171,25 @@ def _worker_answer(sketch_name: str, queries: list) -> tuple[list, int]:
     try:
         values = sketch.estimate_many(queries, use_cache=False)
     except ReproError:
+        from .engine import CODE_ROUTE, CODE_VOCAB
+
         results: list = []
         n_forwards = 0
         for query in queries:
             try:
-                results.append((float(sketch.estimate(query, use_cache=False)), None))
+                results.append(
+                    (float(sketch.estimate(query, use_cache=False)), None, None)
+                )
                 n_forwards += 1
             except ReproError as exc:
-                results.append((None, str(exc)))
+                code = (
+                    CODE_VOCAB
+                    if isinstance(exc, FeaturizationError)
+                    else CODE_ROUTE
+                )
+                results.append((None, str(exc), code))
         return results, n_forwards
-    return [(float(v), None) for v in values], 1
+    return [(float(v), None, None) for v in values], 1
 
 
 class ProcessExecutor(ChunkExecutor):
@@ -270,8 +279,11 @@ class ProcessExecutor(ChunkExecutor):
             except SketchError as exc:
                 # Dropped between routing and flushing: same isolation
                 # as the inline path.
+                from .engine import CODE_ROUTE
+
                 for response in job.responses:
                     response.error = str(exc)
+                    response.code = CODE_ROUTE
                 engine.complete_job(job)
                 continue
             needed[job.sketch] = sketch.snapshot_token
@@ -376,9 +388,10 @@ class ProcessExecutor(ChunkExecutor):
             for response, slot in zip(job.responses, slots):
                 if slot is None:
                     continue
-                value, error = results[slot]
+                value, error, code = results[slot]
                 if error is not None:
                     response.error = error
+                    response.code = code
                 else:
                     response.estimate = value
                     if use_cache:

@@ -1,0 +1,281 @@
+"""The stdlib-only HTTP front door over the estimation engine.
+
+:class:`SketchHTTPServer` binds the versioned wire protocol
+(:mod:`repro.serve.protocol`) to a ``ThreadingHTTPServer``.  The
+ROADMAP promised that "a server binding is mostly request/response
+marshalling" once the engine was transport-agnostic — this module is
+that binding, and nothing more: every request is marshalled onto an
+in-process :class:`~repro.serve.async_server.AsyncSketchServer`
+(engine + background flush loop) and the response marshalled back.
+
+Because ``ThreadingHTTPServer`` handles each connection on its own
+thread and the engine's ``submit`` is thread-safe, **concurrent HTTP
+clients batch together**: their requests land in the same per-sketch
+buffers, flush as shared micro-batches under the engine's triggers,
+dedup onto shared computations, and hit the same result cache.  The
+network front door therefore inherits every serving property of the
+in-process facades — admission control, deadlines, executors,
+telemetry — with zero engine changes.
+
+Endpoints (all JSON, schemas in :mod:`repro.serve.protocol`):
+
+=====================  ====================================================
+``POST /v1/estimate``        one request envelope -> one response envelope
+``POST /v1/estimate_batch``  batch envelope -> batch response envelope
+``GET /v1/stats``            the engine's ``stats_summary()`` snapshot,
+                             byte-for-byte the shape local callers get
+``GET /v1/healthz``          liveness + protocol version + sketch names
+=====================  ====================================================
+
+Transport-level failures (malformed JSON, bad envelope, unknown path,
+closed server) answer with 4xx/5xx and a minimal
+:func:`~repro.serve.protocol.error_to_wire` body; *request-level*
+failures (parse/route/vocab/shed/deadline) are **HTTP 200** with
+``ok=false`` and a structured ``code`` — the wire mirrors the
+in-process contract, where a response is always a value, never an
+exception.
+
+Typical use::
+
+    with SketchHTTPServer(manager, host="0.0.0.0", port=8080) as server:
+        print("serving on", server.url)
+        server.join()            # until another thread close()s it
+
+or from the CLI: ``repro serve sketch.bin --http --port 8080``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ProtocolError, SketchError
+from ..demo.manager import SketchManager
+from .async_server import AsyncSketchServer
+from .engine import ServeConfig
+from .feature_cache import FeatureCache
+from . import protocol
+
+#: Largest accepted request body, in bytes.  A batch of several
+#: thousand SQL strings fits comfortably; a runaway client does not.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request/response marshalling pass; no serving logic here."""
+
+    # Set by SketchHTTPServer on the server class it instantiates.
+    service: AsyncSketchServer
+    quiet: bool = True
+
+    # HTTP/1.1 keep-alive for clients that reuse connections (curl with
+    # several URLs, requests.Session, http.client).  The stdlib-urllib
+    # SDK opens one connection per request and is unaffected.
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Closing without announcing it would leave an HTTP/1.1
+            # client waiting on a connection it believes is reusable.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, code: str) -> None:
+        # Error paths may leave an unread request body on the socket (an
+        # unknown POST path, an oversized body we refused to read);
+        # answering keep-alive with those bytes pending would desync the
+        # connection and misparse the client's *next* request.  Closing
+        # is always safe, and errors are rare enough not to optimize.
+        self.close_connection = True
+        self._send_json(status, protocol.error_to_wire(message, code))
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ProtocolError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- endpoints ------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/v1/estimate":
+                payload = self._read_json()
+                sql, sketch = protocol.estimate_request_from_wire(payload)
+                t0 = time.perf_counter()
+                response = self.service.submit(sql, sketch).result()
+                server_ms = (time.perf_counter() - t0) * 1000.0
+                self._send_json(
+                    200, protocol.response_to_wire(response, server_ms)
+                )
+            elif self.path == "/v1/estimate_batch":
+                payload = self._read_json()
+                sqls, sketch = protocol.batch_request_from_wire(payload)
+                t0 = time.perf_counter()
+                futures = self.service.submit_many(sqls, sketch)
+                responses = [future.result() for future in futures]
+                server_ms = (time.perf_counter() - t0) * 1000.0
+                self._send_json(
+                    200, protocol.batch_response_to_wire(responses, server_ms)
+                )
+            else:
+                self._send_error_json(
+                    404, f"unknown endpoint {self.path!r}", "not_found"
+                )
+        except ProtocolError as exc:
+            self._send_error_json(400, str(exc), "protocol")
+        except Exception as exc:  # pragma: no cover - defensive
+            # submit() raising (closed service) or a marshalling bug:
+            # the transport must answer something structured.
+            self._send_error_json(503, f"service unavailable: {exc}", "internal")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/v1/stats":
+                # Exactly stats_summary()'s shape — operators and the
+                # SDK read the same JSON local callers get.
+                self._send_json(200, self.service.stats_summary())
+            elif self.path == "/v1/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "protocol_version": protocol.PROTOCOL_VERSION,
+                        "sketches": sorted(self.service.manager.list_sketches()),
+                        "pending": self.service.pending,
+                    },
+                )
+            else:
+                self._send_error_json(
+                    404, f"unknown endpoint {self.path!r}", "not_found"
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(503, f"service unavailable: {exc}", "internal")
+
+
+class SketchHTTPServer:
+    """The network front door: a threaded HTTP server over the engine.
+
+    Construction binds the socket (``port=0`` picks an ephemeral port —
+    read :attr:`url` / :attr:`port` for the bound address) but does not
+    serve; :meth:`start` (or entering the context manager) launches the
+    acceptor thread.  All serving behavior is the wrapped
+    :class:`AsyncSketchServer`'s, configured by the same
+    :class:`~repro.serve.engine.ServeConfig` as the in-process facades
+    — executors, admission control, and deadlines apply to HTTP traffic
+    unchanged.
+
+    :meth:`close` is idempotent and drains: the HTTP acceptor stops
+    first (no new requests), then the inner service drains every
+    accepted request, so no in-flight HTTP client is ever dropped
+    without a response.
+    """
+
+    def __init__(
+        self,
+        manager: SketchManager,
+        config: ServeConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        feature_cache: FeatureCache | None = None,
+        quiet: bool = True,
+    ):
+        self.service = AsyncSketchServer(manager, config, feature_cache)
+
+        # A per-instance handler subclass so several servers (tests,
+        # shards) never share service state through class attributes.
+        handler = type(
+            "_BoundHandler", (_Handler,), {"service": self.service, "quiet": quiet}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- address --------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "SketchHTTPServer":
+        """Start the acceptor thread and the flush loop (idempotent)."""
+        if self._closed:
+            raise SketchError("server is closed")
+        self.service.start()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="sketch-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the acceptor thread exits (a ``close()`` from
+        another thread, typically a signal handler)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def close(self) -> None:
+        """Stop accepting, drain the engine, release everything.
+
+        Safe in every lifecycle state: ``shutdown()`` blocks on an event
+        only ``serve_forever()`` sets, so it must be skipped when the
+        acceptor thread never started (a constructed-but-unstarted
+        server would deadlock here forever).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(5.0)
+        self._httpd.server_close()
+        self.service.close()
+
+    def stats_summary(self) -> dict:
+        return self.service.stats_summary()
+
+    def __enter__(self) -> "SketchHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"SketchHTTPServer(url={self.url!r}, {state})"
+
+
+__all__ = ["MAX_BODY_BYTES", "SketchHTTPServer"]

@@ -1,0 +1,283 @@
+"""The versioned wire protocol of the estimation service.
+
+Every remote transport — the stdlib HTTP front door
+(:mod:`repro.serve.http`), the client SDK
+(:mod:`repro.serve.client`), and whatever gRPC/shard fan-out comes
+later — speaks the JSON schemas defined **here and only here**.  Both
+sides import the same ``to_wire``/``from_wire`` pairs, so the schema
+exists exactly once and a round trip is an identity:
+``response_from_wire(response_to_wire(r)) == r`` for every response
+class the engine produces (ok, ``parse``, ``route``, ``vocab``,
+``shed``, ``deadline``, ``internal``).
+
+Envelopes
+---------
+
+Every payload carries ``protocol_version`` (currently ``1``).  A
+receiver rejects other versions with
+:class:`~repro.errors.ProtocolError` — explicit version skew beats
+silent misparses when client and server are deployed independently.
+
+Request envelope (``POST /v1/estimate``)::
+
+    {"protocol_version": 1, "sql": "SELECT COUNT(*) ...", "sketch": null}
+
+Batch request envelope (``POST /v1/estimate_batch``)::
+
+    {"protocol_version": 1, "queries": ["SELECT ...", ...], "sketch": null}
+
+``sketch`` pins a named sketch (``null`` routes to the narrowest
+covering one) — the same semantics as the in-process facades.
+
+Response envelope: the structured
+:class:`~repro.serve.engine.EstimateResponse` serialization plus
+server-side timing::
+
+    {"protocol_version": 1, "ok": true, "request": "SELECT ...",
+     "request_kind": "sql", "query": "SELECT ...", "sketch": "imdb",
+     "estimate": 1234.0, "cached": false, "error": null, "code": null,
+     "server_ms": 1.7}
+
+``request_kind`` records whether the in-process response carried raw
+SQL text (``"sql"``) or a canonical :class:`~repro.workload.query.Query`
+object (``"query"``); because ``parse_sql(to_sql(q)) == q`` holds for
+every valid query, ``from_wire`` reconstructs the exact original
+request object either way.  ``query`` is the canonical query's SQL
+text (``null`` when parsing failed).  ``server_ms`` is informational
+timing (not an ``EstimateResponse`` field): the server's measured
+handling time for the request or batch.
+
+Batch response envelope::
+
+    {"protocol_version": 1, "responses": [<response envelope>, ...],
+     "server_ms": 3.2}
+
+Error codes travel verbatim (``code`` is one of
+:data:`repro.serve.engine.RESPONSE_CODES` or ``null``), so a remote
+caller dispatches on the same constants a local caller does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ProtocolError
+from ..workload.query import Query
+from .engine import EstimateResponse, RESPONSE_CODES
+
+#: The wire schema version this build speaks.  Bump on any breaking
+#: change to the envelopes below; receivers reject mismatches.
+PROTOCOL_VERSION = 1
+
+#: ``request_kind`` values: what the in-process ``request`` field held.
+_KIND_SQL = "sql"
+_KIND_QUERY = "query"
+
+
+def _require(payload: dict, field: str, types, what: str):
+    """One validated field access; missing/mistyped raises ProtocolError."""
+    if field not in payload:
+        raise ProtocolError(f"{what} is missing required field {field!r}")
+    value = payload[field]
+    if not isinstance(value, types):
+        raise ProtocolError(
+            f"{what} field {field!r} has invalid type "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def check_version(payload: dict, what: str) -> None:
+    """Reject payloads that are not dicts or speak another version."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    version = _require(payload, "protocol_version", int, what)
+    if isinstance(version, bool) or version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{what} speaks protocol version {version!r}; "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+def _sql_text(request: Query | str) -> str:
+    return request.to_sql() if isinstance(request, Query) else request
+
+
+# ----------------------------------------------------------------------
+# request envelopes
+# ----------------------------------------------------------------------
+def estimate_request_to_wire(
+    request: Query | str, sketch: str | None = None
+) -> dict:
+    """Envelope for one estimation request (``POST /v1/estimate``)."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "sql": _sql_text(request),
+        "sketch": sketch,
+    }
+
+
+def estimate_request_from_wire(payload: dict) -> tuple[str, str | None]:
+    """Validate a request envelope; returns ``(sql, pinned sketch)``."""
+    what = "estimate request"
+    check_version(payload, what)
+    sql = _require(payload, "sql", str, what)
+    sketch = payload.get("sketch")
+    if sketch is not None and not isinstance(sketch, str):
+        raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    return sql, sketch
+
+
+def batch_request_to_wire(
+    requests: Sequence[Query | str], sketch: str | None = None
+) -> dict:
+    """Envelope for a batch request (``POST /v1/estimate_batch``)."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "queries": [_sql_text(r) for r in requests],
+        "sketch": sketch,
+    }
+
+
+def batch_request_from_wire(payload: dict) -> tuple[list[str], str | None]:
+    """Validate a batch envelope; returns ``(sql list, pinned sketch)``."""
+    what = "estimate_batch request"
+    check_version(payload, what)
+    queries = _require(payload, "queries", list, what)
+    for i, sql in enumerate(queries):
+        if not isinstance(sql, str):
+            raise ProtocolError(
+                f"{what} queries[{i}] must be a string, "
+                f"got {type(sql).__name__}"
+            )
+    sketch = payload.get("sketch")
+    if sketch is not None and not isinstance(sketch, str):
+        raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    return list(queries), sketch
+
+
+# ----------------------------------------------------------------------
+# response envelopes
+# ----------------------------------------------------------------------
+def response_to_wire(
+    response: EstimateResponse, server_ms: float | None = None
+) -> dict:
+    """Serialize one :class:`EstimateResponse` (all outcome classes)."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "ok": response.ok,
+        "request": _sql_text(response.request),
+        "request_kind": (
+            _KIND_QUERY if isinstance(response.request, Query) else _KIND_SQL
+        ),
+        "query": None if response.query is None else response.query.to_sql(),
+        "sketch": response.sketch,
+        "estimate": response.estimate,
+        "cached": response.cached,
+        "error": response.error,
+        "code": response.code,
+        "server_ms": server_ms,
+    }
+
+
+def response_from_wire(payload: dict) -> EstimateResponse:
+    """Reconstruct the exact :class:`EstimateResponse` a server produced.
+
+    ``parse_sql(to_sql(q)) == q`` makes the query fields lossless; the
+    ``server_ms`` timing is envelope metadata, not a response field
+    (read it from the payload directly if you need it).
+    """
+    from ..db.sql import parse_sql
+
+    what = "estimate response"
+    check_version(payload, what)
+    kind = _require(payload, "request_kind", str, what)
+    if kind not in (_KIND_SQL, _KIND_QUERY):
+        raise ProtocolError(f"{what} has unknown request_kind {kind!r}")
+    request_sql = _require(payload, "request", str, what)
+    query_sql = payload.get("query")
+    if query_sql is not None and not isinstance(query_sql, str):
+        raise ProtocolError(f"{what} field 'query' must be a string or null")
+    estimate = payload.get("estimate")
+    if estimate is not None and not isinstance(estimate, (int, float)):
+        raise ProtocolError(f"{what} field 'estimate' must be a number or null")
+    error = payload.get("error")
+    if error is not None and not isinstance(error, str):
+        raise ProtocolError(f"{what} field 'error' must be a string or null")
+    code = payload.get("code")
+    if code is not None and code not in RESPONSE_CODES:
+        raise ProtocolError(f"{what} has unknown error code {code!r}")
+    if error is None and code is not None:
+        raise ProtocolError(f"{what} carries code {code!r} without an error")
+    sketch = payload.get("sketch")
+    if sketch is not None and not isinstance(sketch, str):
+        raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    try:
+        query = None if query_sql is None else parse_sql(query_sql)
+        request: Query | str = (
+            parse_sql(request_sql) if kind == _KIND_QUERY else request_sql
+        )
+    except Exception as exc:
+        raise ProtocolError(f"{what} carries unparseable SQL: {exc}") from exc
+    return EstimateResponse(
+        request=request,
+        query=query,
+        sketch=sketch,
+        estimate=None if estimate is None else float(estimate),
+        cached=bool(payload.get("cached", False)),
+        error=error,
+        code=code,
+    )
+
+
+def batch_response_to_wire(
+    responses: Sequence[EstimateResponse], server_ms: float | None = None
+) -> dict:
+    """Envelope for a batch of responses (one ``server_ms`` for all)."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "responses": [response_to_wire(r) for r in responses],
+        "server_ms": server_ms,
+    }
+
+
+def batch_response_from_wire(payload: dict) -> list[EstimateResponse]:
+    what = "estimate_batch response"
+    check_version(payload, what)
+    responses = _require(payload, "responses", list, what)
+    return [response_from_wire(item) for item in responses]
+
+
+# ----------------------------------------------------------------------
+# transport-level errors (HTTP 4xx/5xx bodies)
+# ----------------------------------------------------------------------
+def error_to_wire(message: str, code: str = "protocol") -> dict:
+    """Body of a non-2xx HTTP answer (bad envelope, unknown path, ...).
+
+    Distinct from a *request* failure: a malformed payload has no
+    request to attach an :class:`EstimateResponse` to, so the transport
+    itself answers with this minimal envelope.
+    """
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "ok": False,
+        "error": message,
+        "code": code,
+    }
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "batch_request_from_wire",
+    "batch_request_to_wire",
+    "batch_response_from_wire",
+    "batch_response_to_wire",
+    "check_version",
+    "error_to_wire",
+    "estimate_request_from_wire",
+    "estimate_request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
+]

@@ -1,8 +1,13 @@
 """The synchronous serving facade over the estimation engine.
 
-Request lifecycle::
+One of the three :class:`~repro.serve.service.SketchService`
+implementations (with :class:`~repro.serve.async_server.AsyncSketchServer`
+and :class:`~repro.serve.client.RemoteSketchServer`): ``submit`` returns
+a future, ``estimate`` blocks for one response, ``serve`` handles a
+whole stream — swapping this facade for a remote client is a one-line
+change.  Request lifecycle::
 
-    submit(sql | Query [, sketch])   # enqueue, cheap
+    submit(sql | Query [, sketch])   # enqueue, cheap -> Future
         -> flush()                   # one caller-driven engine flush
             -> list[EstimateResponse]  # in submission order
 
@@ -34,7 +39,7 @@ process executors agree within the few-ULP BLAS rounding documented in
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..workload.query import Query
 from ..demo.manager import SketchManager
@@ -107,18 +112,46 @@ class SketchServer:
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
-    def submit(self, request: Query | str, sketch: str | None = None) -> int:
-        """Enqueue one request; returns its position in the next flush.
+    def submit(self, request: Query | str, sketch: str | None = None):
+        """Enqueue one request; returns its ``Future[EstimateResponse]``.
 
-        ``sketch`` pins the request to a named sketch; otherwise the
-        request is routed to the narrowest registered sketch covering
-        its tables.  Parse/routing failures — and admission-control
-        sheds, when ``max_queue_depth`` is set — are recorded
-        immediately and surface as error responses at the next flush.
+        The future resolves at the next caller-driven :meth:`flush`
+        (this facade has no background loop).  ``sketch`` pins the
+        request to a named sketch; otherwise the request is routed to
+        the narrowest registered sketch covering its tables.
+        Parse/routing failures — and admission-control sheds, when
+        ``max_queue_depth`` is set — resolve the future immediately
+        with a structured error response; nothing raises through it.
         """
         future = self.engine.submit(request, sketch, coalesce=False)
         self._futures.append(future)
-        return len(self._futures) - 1
+        return future
+
+    def submit_many(
+        self, requests: Sequence[Query | str], sketch: str | None = None
+    ):
+        """Amortized intake: enqueue a whole batch under one engine lock.
+
+        Semantically identical to calling :meth:`submit` per request;
+        returns the futures in submission order (resolved by the next
+        :meth:`flush`).
+        """
+        futures = self.engine.submit_many(list(requests), sketch, coalesce=False)
+        self._futures.extend(futures)
+        return futures
+
+    def estimate(
+        self, request: Query | str, sketch: str | None = None
+    ) -> EstimateResponse:
+        """Blocking one-shot convenience: submit, flush, return.
+
+        Note the facade semantics: the flush answers *everything*
+        pending on this server, exactly as an explicit :meth:`flush`
+        would (previously submitted futures resolve too).
+        """
+        future = self.submit(request, sketch)
+        self.flush()
+        return future.result()
 
     @property
     def pending(self) -> int:
@@ -128,10 +161,7 @@ class SketchServer:
         self, requests: Iterable[Query | str], sketch: str | None = None
     ) -> list[EstimateResponse]:
         """Submit a whole stream and flush it: the one-call batch API."""
-        for future in self.engine.submit_many(
-            list(requests), sketch, coalesce=False
-        ):
-            self._futures.append(future)
+        self.submit_many(list(requests), sketch)
         return self.flush()
 
     # ------------------------------------------------------------------

@@ -377,13 +377,19 @@ class TestEngineViews:
         assert sync_server.manager is manager
         assert async_server.manager is manager
 
-    def test_future_based_sync_submit_positions(self, manager, workload):
+    def test_sync_submit_returns_future_resolved_by_flush(self, manager, workload):
+        # The SketchService surface: submit returns a future on every
+        # implementation; on the sync facade it resolves at flush time.
         server = SketchServer(manager)
-        assert server.submit(workload[0]) == 0
-        assert server.submit(workload[1]) == 1
+        first = server.submit(workload[0])
+        second = server.submit(workload[1])
+        assert isinstance(first, Future) and isinstance(second, Future)
+        assert not first.done() and not second.done()
         assert server.pending == 2
-        server.flush()
+        responses = server.flush()
         assert server.pending == 0
+        assert first.done() and second.done()
+        assert [first.result(), second.result()] == responses
         server.close()
 
     def test_resolved_futures_are_futures(self, manager):

@@ -1,0 +1,354 @@
+"""The HTTP front door + client SDK: one estimation API over the wire.
+
+The acceptance contract: a ``RemoteSketchServer`` pointed at a
+``SketchHTTPServer`` returns estimates identical (<= 1e-12 relative)
+to the in-process facade on the same query stream, failures arrive
+with the same structured codes, and all three implementations satisfy
+the ``SketchService`` protocol.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.demo import SketchManager
+from repro.errors import ProtocolError, RemoteServerError
+from repro.serve import (
+    CODE_PARSE,
+    CODE_ROUTE,
+    CODE_VOCAB,
+    PROTOCOL_VERSION,
+    AsyncSketchServer,
+    RemoteSketchServer,
+    ServeConfig,
+    SketchHTTPServer,
+    SketchServer,
+    SketchService,
+)
+from repro.workload import Predicate, Query, TableRef, spec_for_imdb
+from repro.workload.generator import TrainingQueryGenerator
+
+PARITY_RTOL = 1e-12
+RESULT_TIMEOUT = 30
+
+
+@pytest.fixture(scope="module")
+def served(imdb_small, trained_sketch):
+    """One live front door + SDK client for the whole module."""
+    sketch, _ = trained_sketch
+    sketch.clear_cache()
+    manager = SketchManager(imdb_small)
+    manager.register_sketch(sketch)
+    with SketchHTTPServer(manager, ServeConfig(), port=0) as server:
+        with RemoteSketchServer(server.url) as client:
+            yield manager, server, client
+    sketch.clear_cache()
+
+
+@pytest.fixture(scope="module")
+def workload(imdb_small):
+    gen = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=97)
+    return gen.draw_many(30)
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as reply:
+        return json.loads(reply.read())
+
+
+def _post_json(url: str, payload) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServiceProtocol:
+    def test_all_three_implementations_conform(self, served, imdb_small):
+        manager, _server, client = served
+        assert isinstance(client, SketchService)
+        sync_server = SketchServer(manager)
+        async_server = AsyncSketchServer(manager)
+        assert isinstance(sync_server, SketchService)
+        assert isinstance(async_server, SketchService)
+        sync_server.close()
+        async_server.close()
+
+    def test_a_random_object_does_not_conform(self):
+        assert not isinstance(object(), SketchService)
+
+
+class TestRemoteParity:
+    def test_stream_parity_with_in_process_facade(self, served, workload, trained_sketch):
+        manager, _server, client = served
+        sketch, _ = trained_sketch
+        remote = client.serve(workload)
+        assert all(r.ok for r in remote)
+        # fresh cache state for the in-process reference
+        sketch.clear_cache()
+        with SketchServer(manager) as local_server:
+            local = local_server.serve(workload)
+        assert all(r.ok for r in local)
+        remote_estimates = np.array([r.estimate for r in remote])
+        local_estimates = np.array([r.estimate for r in local])
+        np.testing.assert_allclose(
+            remote_estimates, local_estimates, rtol=PARITY_RTOL, atol=0.0
+        )
+        assert [r.sketch for r in remote] == [r.sketch for r in local]
+
+    def test_estimate_single_round_trip(self, served, workload):
+        _manager, _server, client = served
+        response = client.estimate(workload[0])
+        assert response.ok and response.estimate > 0
+        assert response.request is workload[0]  # caller's own object
+        assert response.query == workload[0]
+
+    def test_submit_returns_live_future(self, served, workload):
+        _manager, _server, client = served
+        future = client.submit(workload[1])
+        response = future.result(RESULT_TIMEOUT)
+        assert response.ok and response.estimate > 0
+
+    def test_submit_many_is_one_round_trip(self, served, workload):
+        _manager, server, client = served
+        before = server.stats_summary()["requests"]
+        futures = client.submit_many(workload[:6])
+        responses = [f.result(RESULT_TIMEOUT) for f in futures]
+        assert all(r.ok for r in responses)
+        after = server.stats_summary()["requests"]
+        assert after - before == 6  # engine saw the batch, not 6 trips
+
+    def test_sql_strings_accepted(self, served):
+        _manager, _server, client = served
+        response = client.estimate(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000;"
+        )
+        assert response.ok
+        assert isinstance(response.query, Query)
+
+
+class TestStructuredErrorsOverTheWire:
+    def test_parse_error_code(self, served):
+        _manager, _server, client = served
+        response = client.estimate("SELECT nonsense;")
+        assert not response.ok and response.code == CODE_PARSE
+
+    def test_route_error_code(self, served):
+        _manager, _server, client = served
+        response = client.estimate("SELECT COUNT(*) FROM keyword k;")
+        assert not response.ok and response.code == CODE_ROUTE
+
+    def test_unknown_pinned_sketch_is_route(self, served, workload):
+        _manager, _server, client = served
+        response = client.estimate(workload[0], sketch="ghost")
+        assert not response.ok and response.code == CODE_ROUTE
+        assert "ghost" in response.error
+
+    def test_vocab_error_code(self, served):
+        _manager, _server, client = served
+        bad = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        response = client.estimate(bad)
+        assert not response.ok and response.code == CODE_VOCAB
+
+    def test_error_isolation_in_batches(self, served, workload):
+        _manager, _server, client = served
+        responses = client.serve(
+            [workload[0], "SELECT nonsense;", workload[1]]
+        )
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok and responses[1].code == CODE_PARSE
+
+
+class TestEndpoints:
+    def test_stats_shape_matches_stats_summary(self, served):
+        _manager, server, client = served
+        wire = client.stats_summary()
+        local = server.stats_summary()
+        assert wire.keys() == local.keys()
+        assert wire["executor"] == local["executor"]
+        assert wire["flushes"].keys() == local["flushes"].keys()
+
+    def test_healthz(self, served, trained_sketch):
+        _manager, server, client = served
+        sketch, _ = trained_sketch
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["protocol_version"] == PROTOCOL_VERSION
+        assert sketch.name in health["sketches"]
+
+    def test_raw_estimate_envelope(self, served, workload):
+        _manager, server, _client = served
+        status, payload = _post_json(
+            server.url + "/v1/estimate",
+            {"protocol_version": PROTOCOL_VERSION,
+             "sql": workload[0].to_sql(), "sketch": None},
+        )
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["protocol_version"] == PROTOCOL_VERSION
+        assert payload["estimate"] > 0
+        assert payload["server_ms"] >= 0.0
+
+    def test_unknown_path_is_404(self, served):
+        _manager, server, _client = served
+        status, payload = _post_json(
+            server.url + "/v1/nope", {"protocol_version": PROTOCOL_VERSION}
+        )
+        assert status == 404 and payload["code"] == "not_found"
+
+    def test_error_paths_close_keepalive_connections(self, served, workload):
+        # A 404 POST never reads its body; answering keep-alive would
+        # leave those bytes to be misparsed as the client's next
+        # request line.  The server must signal Connection: close, and
+        # a well-behaved keep-alive client then reconnects cleanly.
+        import http.client
+
+        _manager, server, _client = served
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+        try:
+            body = json.dumps(
+                {"protocol_version": PROTOCOL_VERSION, "sql": "x"}
+            )
+            connection.request(
+                "POST", "/v1/typo", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            reply = connection.getresponse()
+            assert reply.status == 404
+            reply.read()
+            assert reply.headers.get("Connection", "").lower() == "close"
+        finally:
+            connection.close()
+        # and the front door still answers a fresh connection
+        status, payload = _post_json(
+            server.url + "/v1/estimate",
+            {"protocol_version": PROTOCOL_VERSION,
+             "sql": workload[0].to_sql()},
+        )
+        assert status == 200 and payload["ok"] is True
+
+    def test_bad_json_is_400(self, served):
+        _manager, server, _client = served
+        request = urllib.request.Request(
+            server.url + "/v1/estimate",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert json.loads(exc.read())["code"] == "protocol"
+
+    def test_version_skew_is_400(self, served, workload):
+        _manager, server, _client = served
+        status, payload = _post_json(
+            server.url + "/v1/estimate",
+            {"protocol_version": PROTOCOL_VERSION + 1,
+             "sql": workload[0].to_sql()},
+        )
+        assert status == 400 and payload["code"] == "protocol"
+
+    def test_concurrent_http_clients_share_the_engine(self, served, workload):
+        # Many client threads, one engine: every request is answered
+        # and the engine counters account for all of them.
+        _manager, server, client = served
+        before = server.stats_summary()["requests"]
+        n_threads, per_thread = 4, 5
+        failures = []
+
+        def hammer(tid):
+            try:
+                for i in range(per_thread):
+                    r = client.estimate(workload[(tid + i) % len(workload)])
+                    assert r.ok
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        after = server.stats_summary()["requests"]
+        assert after - before == n_threads * per_thread
+
+
+class TestClientLifecycle:
+    def test_unreachable_server_raises_remote_error(self):
+        client = RemoteSketchServer("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(RemoteServerError, match="cannot reach"):
+            client.estimate("SELECT COUNT(*) FROM title t;")
+        client.close()
+
+    def test_bad_url_rejected_at_construction(self):
+        with pytest.raises(RemoteServerError, match="http"):
+            RemoteSketchServer("ftp://example.com")
+
+    def test_closed_client_refuses_work(self, served, workload):
+        _manager, server, _client = served
+        client = RemoteSketchServer(server.url)
+        client.close()
+        with pytest.raises(RemoteServerError, match="closed"):
+            client.estimate(workload[0])
+        client.close()  # idempotent
+
+    def test_timings_split_wire_and_server(self, served, workload):
+        _manager, _server, client = served
+        client.estimate(workload[0])
+        timings = client.timings()
+        assert timings["wire"]["count"] >= 1
+        assert timings["server"]["count"] >= 1
+        # client-observed latency includes the server's handling time
+        assert timings["wire"]["max"] >= 0.0
+
+    def test_close_without_start_returns_promptly(self, imdb_small, trained_sketch):
+        # shutdown() blocks on an event only serve_forever() sets; a
+        # constructed-but-unstarted server must still close cleanly.
+        sketch, _ = trained_sketch
+        manager = SketchManager(imdb_small)
+        manager.register_sketch(sketch)
+        server = SketchHTTPServer(manager, ServeConfig(), port=0)
+        done = threading.Event()
+
+        def closer():
+            server.close()
+            server.close()  # idempotent
+            done.set()
+
+        thread = threading.Thread(target=closer, daemon=True)
+        thread.start()
+        assert done.wait(10.0), "close() deadlocked on an unstarted server"
+        sketch.clear_cache()
+
+    def test_server_close_drains_then_refuses(self, imdb_small, trained_sketch, workload):
+        sketch, _ = trained_sketch
+        manager = SketchManager(imdb_small)
+        manager.register_sketch(sketch)
+        server = SketchHTTPServer(manager, ServeConfig(), port=0).start()
+        client = RemoteSketchServer(server.url, timeout=2.0)
+        assert client.estimate(workload[0]).ok
+        server.close()
+        with pytest.raises((RemoteServerError, ProtocolError)):
+            client.estimate(workload[1])
+        client.close()
+        sketch.clear_cache()

@@ -1,0 +1,227 @@
+"""The wire protocol: round-trip identity and envelope validation.
+
+The acceptance contract: for **every** response class the engine
+produces (ok, parse, route, vocab, shed, deadline, internal),
+``response_from_wire(response_to_wire(r))`` reproduces the
+:class:`EstimateResponse` fields exactly — the schema exists once, and
+both ends of the wire agree on it byte for byte.
+"""
+
+import json
+
+import pytest
+
+from repro.db.sql import parse_sql
+from repro.errors import ProtocolError
+from repro.serve import (
+    CODE_DEADLINE,
+    CODE_INTERNAL,
+    CODE_PARSE,
+    CODE_ROUTE,
+    CODE_SHED,
+    CODE_VOCAB,
+    RESPONSE_CODES,
+    EstimateResponse,
+)
+from repro.serve import protocol
+
+SQL = "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000;"
+JOIN_SQL = (
+    "SELECT COUNT(*) FROM title t, movie_keyword mk "
+    "WHERE mk.movie_id = t.id AND t.production_year > 2000;"
+)
+
+
+def _query():
+    return parse_sql(SQL)
+
+
+def _response_of_every_class() -> dict[str, EstimateResponse]:
+    """One representative EstimateResponse per outcome class."""
+    query = _query()
+    join_query = parse_sql(JOIN_SQL)
+    return {
+        "ok_sql_request": EstimateResponse(
+            request=SQL, query=query, sketch="imdb",
+            estimate=1234.567891011, cached=False,
+        ),
+        "ok_query_request": EstimateResponse(
+            request=join_query, query=join_query, sketch="imdb",
+            estimate=0.3333333333333333, cached=True,
+        ),
+        CODE_PARSE: EstimateResponse(
+            request="SELECT nonsense;", query=None, sketch=None,
+            estimate=None, error="expected 'COUNT', found 'nonsense'",
+            code=CODE_PARSE,
+        ),
+        CODE_ROUTE: EstimateResponse(
+            request=SQL, query=query, sketch=None, estimate=None,
+            error="no registered sketch covers tables ['title']",
+            code=CODE_ROUTE,
+        ),
+        CODE_VOCAB: EstimateResponse(
+            request=query, query=query, sketch="imdb", estimate=None,
+            error="column 'episode_nr' is outside the vocabulary",
+            code=CODE_VOCAB,
+        ),
+        CODE_SHED: EstimateResponse(
+            request=SQL, query=query, sketch="imdb", estimate=None,
+            error="request shed: queue depth 64 >= max_queue_depth 64",
+            code=CODE_SHED,
+        ),
+        CODE_DEADLINE: EstimateResponse(
+            request=query, query=query, sketch="imdb", estimate=None,
+            error="deadline of 50ms exceeded before the request "
+            "could be served",
+            code=CODE_DEADLINE,
+        ),
+        CODE_INTERNAL: EstimateResponse(
+            request=SQL, query=query, sketch="imdb", estimate=None,
+            error="internal serving error: RuntimeError('boom')",
+            code=CODE_INTERNAL,
+        ),
+    }
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(_response_of_every_class()))
+    def test_round_trip_is_identity(self, kind):
+        response = _response_of_every_class()[kind]
+        wire = protocol.response_to_wire(response, server_ms=1.25)
+        back = protocol.response_from_wire(wire)
+        assert back == response  # dataclass equality: every field exact
+        assert type(back.request) is type(response.request)
+
+    @pytest.mark.parametrize("kind", sorted(_response_of_every_class()))
+    def test_wire_payload_is_plain_json(self, kind):
+        response = _response_of_every_class()[kind]
+        wire = protocol.response_to_wire(response)
+        assert wire["protocol_version"] == protocol.PROTOCOL_VERSION
+        # the full envelope must survive an actual JSON round trip
+        back = protocol.response_from_wire(json.loads(json.dumps(wire)))
+        assert back == response
+
+    def test_ok_flag_matches_error_field(self):
+        for response in _response_of_every_class().values():
+            wire = protocol.response_to_wire(response)
+            assert wire["ok"] is response.ok
+            assert (wire["error"] is None) is response.ok
+
+    def test_estimate_round_trips_at_full_precision(self):
+        response = EstimateResponse(
+            request=SQL, query=_query(), sketch="s",
+            estimate=1.2345678901234567e17, cached=False,
+        )
+        wire = json.loads(json.dumps(protocol.response_to_wire(response)))
+        assert protocol.response_from_wire(wire).estimate == response.estimate
+
+    def test_batch_round_trip(self):
+        responses = list(_response_of_every_class().values())
+        wire = protocol.batch_response_to_wire(responses, server_ms=9.5)
+        assert wire["server_ms"] == 9.5
+        back = protocol.batch_response_from_wire(json.loads(json.dumps(wire)))
+        assert back == responses
+
+    def test_every_engine_code_is_serializable(self):
+        # RESPONSE_CODES is the protocol's closed set; a new engine code
+        # must be added there (and to this test module's class map).
+        assert set(RESPONSE_CODES) == {
+            CODE_PARSE, CODE_ROUTE, CODE_VOCAB,
+            CODE_SHED, CODE_DEADLINE, CODE_INTERNAL,
+        }
+        covered = set(_response_of_every_class()) - {
+            "ok_sql_request", "ok_query_request"
+        }
+        assert covered == set(RESPONSE_CODES)
+
+
+class TestRequestEnvelopes:
+    def test_estimate_request_round_trip(self):
+        wire = protocol.estimate_request_to_wire(_query(), sketch="pin")
+        sql, sketch = protocol.estimate_request_from_wire(
+            json.loads(json.dumps(wire))
+        )
+        assert parse_sql(sql) == _query()
+        assert sketch == "pin"
+
+    def test_estimate_request_accepts_raw_sql(self):
+        sql, sketch = protocol.estimate_request_from_wire(
+            protocol.estimate_request_to_wire("SELECT nonsense;")
+        )
+        assert sql == "SELECT nonsense;"  # not parsed client-side
+        assert sketch is None
+
+    def test_batch_request_round_trip(self):
+        requests = [SQL, _query(), JOIN_SQL]
+        wire = protocol.batch_request_to_wire(requests)
+        sqls, sketch = protocol.batch_request_from_wire(
+            json.loads(json.dumps(wire))
+        )
+        assert len(sqls) == 3 and sketch is None
+        assert parse_sql(sqls[1]) == _query()
+
+
+class TestValidation:
+    def test_version_skew_is_rejected(self):
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        wire["protocol_version"] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="protocol version"):
+            protocol.response_from_wire(wire)
+
+    def test_missing_version_is_rejected(self):
+        with pytest.raises(ProtocolError, match="protocol_version"):
+            protocol.estimate_request_from_wire({"sql": SQL})
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.estimate_request_from_wire([1, 2, 3])
+
+    def test_missing_sql_is_rejected(self):
+        with pytest.raises(ProtocolError, match="sql"):
+            protocol.estimate_request_from_wire(
+                {"protocol_version": protocol.PROTOCOL_VERSION}
+            )
+
+    def test_non_string_batch_entry_is_rejected(self):
+        with pytest.raises(ProtocolError, match=r"queries\[1\]"):
+            protocol.batch_request_from_wire(
+                {
+                    "protocol_version": protocol.PROTOCOL_VERSION,
+                    "queries": [SQL, 42],
+                }
+            )
+
+    def test_unknown_code_is_rejected(self):
+        wire = protocol.response_to_wire(
+            _response_of_every_class()[CODE_SHED]
+        )
+        wire["code"] = "totally-new-code"
+        with pytest.raises(ProtocolError, match="unknown error code"):
+            protocol.response_from_wire(wire)
+
+    def test_code_without_error_is_rejected(self):
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        wire["code"] = CODE_SHED
+        with pytest.raises(ProtocolError, match="without an error"):
+            protocol.response_from_wire(wire)
+
+    def test_unparseable_query_sql_is_rejected(self):
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        wire["query"] = "SELECT nonsense;"
+        with pytest.raises(ProtocolError, match="unparseable"):
+            protocol.response_from_wire(wire)
+
+    def test_transport_error_envelope_shape(self):
+        wire = protocol.error_to_wire("boom", "not_found")
+        assert wire == {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "ok": False,
+            "error": "boom",
+            "code": "not_found",
+        }

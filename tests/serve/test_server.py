@@ -90,6 +90,37 @@ class TestErrors:
         assert server.stats.n_errors == 1
         assert server.stats.n_answered == 1
 
+    def test_every_failure_class_has_a_structured_code(self, manager, workload):
+        # The satellite contract: parse/route/vocab failures carry
+        # dispatchable codes (shed/deadline covered in test_engine.py),
+        # successes stay code=None, messages are unchanged.
+        from repro.serve import CODE_PARSE, CODE_ROUTE, CODE_VOCAB
+
+        vocab_query = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "episode_nr", "=", 1),),
+        )
+        server = SketchServer(manager)
+        ok, parse, route, vocab = server.serve(
+            [
+                workload[0],
+                "SELECT nonsense;",
+                Query(tables=(TableRef("no_such_table", "x"),)),
+                vocab_query,
+            ]
+        )
+        assert ok.ok and ok.code is None
+        assert parse.code == CODE_PARSE and "nonsense" in parse.error
+        assert route.code == CODE_ROUTE
+        assert "no registered sketch covers" in route.error
+        assert vocab.code == CODE_VOCAB and vocab.error
+
+    def test_unknown_pinned_sketch_has_route_code(self, manager, workload):
+        from repro.serve import CODE_ROUTE
+
+        responses = SketchServer(manager).serve([workload[0]], sketch="ghost")
+        assert responses[0].code == CODE_ROUTE
+
     def test_uncovered_tables_are_isolated(self, manager, workload):
         outside = Query(tables=(TableRef("no_such_table", "x"),))
         responses = SketchServer(manager).serve([outside, workload[0]])

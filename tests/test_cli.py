@@ -177,6 +177,182 @@ class TestServe:
         assert served == single
 
 
+class TestServeFlags:
+    """The engine knobs exposed by `repro serve` (PR-4) actually bind."""
+
+    @pytest.fixture()
+    def sql_file(self, tmp_path):
+        path = tmp_path / "queries.sql"
+        path.write_text(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>1990;\n"
+            "SELECT COUNT(*) FROM title t WHERE t.production_year>1995;\n"
+        )
+        return str(path)
+
+    def _snapshot(self, err: str) -> dict:
+        import json
+
+        lines = [l for l in err.splitlines() if l.startswith("stats_summary: ")]
+        assert len(lines) == 1, err
+        return json.loads(lines[0].removeprefix("stats_summary: "))
+
+    def test_executor_and_workers_flags(self, sketch_path, sql_file, capsys):
+        code = main(
+            ["serve", sketch_path, "--sql", sql_file,
+             "--executor", "thread", "--workers", "3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        snapshot = self._snapshot(captured.err)
+        assert snapshot["executor"] == "thread"
+        assert snapshot["executor_workers"] == 3
+        assert "executor=thread" in captured.err
+
+    def test_max_queue_depth_and_shed_policy_flags(
+        self, sketch_path, sql_file, capsys
+    ):
+        # Sync facade buffers the whole stream, so a depth bound below
+        # the stream length sheds — under "oldest", the head is evicted.
+        code = main(
+            ["serve", sketch_path, "--sql", sql_file,
+             "--max-queue-depth", "1", "--shed-policy", "oldest"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1  # sheds are errors
+        snapshot = self._snapshot(captured.err)
+        assert snapshot["max_queue_depth"] == 1
+        assert snapshot["shed"] == 2
+        lines = captured.out.strip().splitlines()
+        assert sum(1 for l in lines if l.startswith("error:shed")) == 2
+        assert not lines[2].startswith("error")  # the newest survived
+
+    def test_deadline_flag(self, sketch_path, sql_file, capsys):
+        # A generous deadline: everything must still be served, and the
+        # knob must reach the engine config (visible via deadline
+        # counter staying zero rather than the flag being dropped).
+        code = main(
+            ["serve", sketch_path, "--sql", sql_file,
+             "--async", "--deadline-ms", "60000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        snapshot = self._snapshot(captured.err)
+        assert snapshot["deadline_missed"] == 0
+        assert snapshot["answered"] == 3
+
+    def test_stats_snapshot_printed_on_shutdown(
+        self, sketch_path, sql_file, capsys
+    ):
+        assert main(["serve", sketch_path, "--sql", sql_file]) == 0
+        snapshot = self._snapshot(capsys.readouterr().err)
+        # The same shape stats_summary()/GET /v1/stats return.
+        for key in ("requests", "answered", "errors", "shed",
+                    "deadline_missed", "flushes", "queue_wait",
+                    "flush_latency", "executor", "sketch_requests"):
+            assert key in snapshot
+        assert snapshot["requests"] == 3
+
+
+class TestServeHttp:
+    def test_http_mode_serves_real_requests(
+        self, sketch_path, capsys, monkeypatch
+    ):
+        """`repro serve --http` binds a live front door; drive it with
+        the SDK from the wait hook (what Ctrl-C-bound operators get)."""
+        import repro.cli as cli
+        from repro.serve import RemoteSketchServer
+
+        seen = {}
+
+        def driver(server):
+            with RemoteSketchServer(server.url) as client:
+                health = client.healthz()
+                ok = client.estimate(
+                    "SELECT COUNT(*) FROM title t "
+                    "WHERE t.production_year>2000;"
+                )
+                bad = client.estimate("SELECT nonsense;")
+                seen.update(health=health, ok=ok, bad=bad,
+                            stats=client.stats_summary())
+
+        monkeypatch.setattr(cli, "_http_wait", driver)
+        code = main(["serve", sketch_path, "--http", "--port", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert seen["health"]["status"] == "ok"
+        assert seen["ok"].ok and seen["ok"].estimate > 0
+        assert not seen["bad"].ok and seen["bad"].code == "parse"
+        assert seen["stats"]["requests"] == 2
+        assert "serving 1 sketch(es) on http://127.0.0.1:" in captured.err
+        assert "stats_summary: " in captured.err
+
+    def test_remote_estimate_cli_against_http_cli(
+        self, sketch_path, capsys, monkeypatch
+    ):
+        """`repro estimate --url` against `repro serve --http` matches
+        the local `repro estimate` output exactly (both print rounded)."""
+        import repro.cli as cli
+
+        sql = "SELECT COUNT(*) FROM title t WHERE t.production_year>2000;"
+        assert main(["estimate", sketch_path, sql]) == 0
+        local_out = capsys.readouterr().out.strip()
+
+        remote = {}
+
+        def driver(server):
+            remote["code"] = main(["estimate", "--url", server.url, sql])
+            remote["out"] = capsys.readouterr().out.strip()
+
+        monkeypatch.setattr(cli, "_http_wait", driver)
+        assert main(["serve", sketch_path, "--http", "--port", "0"]) == 0
+        capsys.readouterr()
+        assert remote["code"] == 0
+        assert remote["out"] == local_out
+
+
+class TestBadFlagCombinations:
+    def test_estimate_sketch_and_url_conflict(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["estimate", sketch_path, "SELECT COUNT(*) FROM title t;",
+                  "--url", "http://127.0.0.1:1"])
+        assert excinfo.value.code == 2
+
+    def test_estimate_needs_sketch_or_url(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["estimate", "SELECT COUNT(*) FROM title t;"])
+        assert excinfo.value.code == 2
+
+    def test_serve_http_excludes_async(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", sketch_path, "--http", "--async"])
+        assert excinfo.value.code == 2
+
+    def test_serve_port_requires_http(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", sketch_path, "--port", "8080"])
+        assert excinfo.value.code == 2
+
+    def test_serve_host_requires_http(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", sketch_path, "--host", "0.0.0.0"])
+        assert excinfo.value.code == 2
+
+    def test_serve_http_excludes_sql_stream(self, sketch_path, tmp_path):
+        # --sql would be silently ignored by the front door; reject it
+        # instead of dropping the user's query file on the floor.
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text("SELECT COUNT(*) FROM title t;\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", sketch_path, "--http", "--sql", str(sql_file)])
+        assert excinfo.value.code == 2
+
+    def test_serve_rejects_unknown_executor(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", sketch_path, "--executor", "gpu"])
+        assert excinfo.value.code == 2
+
+
 class TestBenchServe:
     def test_tiny_benchmark_runs_and_passes(self, capsys):
         code = main(["bench-serve", "--tiny"])
