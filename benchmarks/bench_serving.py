@@ -15,7 +15,13 @@ workload, tiles it to a request stream, and measures:
   default: the CI smoke), with estimates cross-checked to 1e-12;
 * the **overload scenario** — a burst far beyond ``max_queue_depth``,
   auditing that the queue stays bounded, the overflow is shed with
-  structured ``code="shed"`` responses, and zero futures are abandoned.
+  structured ``code="shed"`` responses, and zero futures are abandoned;
+* the **gateway scenario** — the ``SketchGateway`` over 1, 2, and 4
+  live in-process backend front doors replicating one sketch (the
+  scale-out curve, parity-gated at 1e-12), plus a kill-a-backend audit:
+  one of two replicas dies mid-stream and the degradation must be
+  structured — zero hung futures, failures only as ``route``/``shed``
+  codes, survivors exact.
 
 With ``--concurrent`` it additionally runs the async facade under
 concurrent client threads (throughput + p50/p99 latency vs three sync
@@ -67,6 +73,7 @@ from repro.serve.bench import (  # noqa: E402
     apply_tiny_args,
     run_concurrent_benchmark,
     run_executor_benchmark,
+    run_gateway_benchmark,
     run_http_benchmark,
     run_overload_benchmark,
 )
@@ -144,6 +151,22 @@ def run(args) -> int:
     )
     text += "\n" + overload.report()
 
+    # The gateway scenario runs in every configuration (tiny included):
+    # the scale-out curve and the kill audit are acceptance artifacts
+    # recorded in BENCH_serving.json, not optional timing extras.
+    print(
+        "running gateway scale-out scenario (1 -> 4 backends + kill "
+        "audit)...",
+        file=sys.stderr,
+    )
+    gateway = run_gateway_benchmark(
+        manager, "bench", queries,
+        batch_size=min(args.batch, 256),
+        max_batch_size=suite_max_batch,
+        backend_counts=(1, 2, 4),
+    )
+    text += "\n" + gateway.report()
+
     http = None
     if args.http:
         print("running http front-door scenario...", file=sys.stderr)
@@ -186,6 +209,13 @@ def run(args) -> int:
         "executor_parity": executor_suite.parity_ok,
         "process_pool_ran": process_clean,
         "overload_bounded_shed": overload.ok,
+        # The fleet must not change numbers, the kill must hang nothing,
+        # and failures must stay inside the structured route/shed codes.
+        "gateway_parity": gateway.parity_ok,
+        "gateway_kill_no_hangs": gateway.kill_n_unresolved == 0,
+        "gateway_kill_structured_codes": (
+            gateway.kill_n_unstructured == 0 and gateway.kill_n_ok > 0
+        ),
     }
     if not args.tiny:
         if args.executor == "inline":
@@ -245,6 +275,31 @@ def run(args) -> int:
                 "max_rel_diff_vs_inline": r.max_rel_diff,
             }
             for r in executor_suite.results
+        },
+        "gateway": {
+            "n_requests": gateway.n_requests,
+            "n_clients": gateway.n_clients,
+            "scaleout": {
+                str(point.n_backends): {
+                    "seconds": point.seconds,
+                    "qps": point.qps,
+                    "speedup_vs_one_backend": gateway.speedup(
+                        point.n_backends
+                    ),
+                    "max_rel_diff": point.max_rel_diff,
+                    "n_errors": point.n_errors,
+                }
+                for point in gateway.scaleout
+            },
+            "kill": {
+                "n_requests": gateway.kill_n_requests,
+                "n_ok": gateway.kill_n_ok,
+                "n_structured_route_shed": gateway.kill_n_structured,
+                "n_unstructured": gateway.kill_n_unstructured,
+                "n_hung_futures": gateway.kill_n_unresolved,
+                "n_failovers": gateway.kill_n_failovers,
+                "survivor_max_rel_diff": gateway.kill_max_rel_diff,
+            },
         },
         "overload": {
             "n_requests": overload.n_requests,
@@ -348,6 +403,8 @@ def run(args) -> int:
             f"process executor {executor_suite.speedup('process'):.2f}x inline "
             f"({args.workers} workers, {os.cpu_count()} cores), "
             f"overload shed {overload.n_shed}/{overload.n_requests} bounded, "
+            f"gateway {gateway.speedup(4):.2f}x at 4 backends with "
+            f"{gateway.kill_n_unresolved} hung futures on kill, "
             "estimates identical"
         )
         if http is not None:

@@ -130,6 +130,54 @@ def _build_parser() -> argparse.ArgumentParser:
                        "so a deadline shorter than that buffering window "
                        "expires the stream's head)")
 
+    gateway = commands.add_parser(
+        "gateway",
+        help="run the sharded multi-node serving gateway: one wire-v1 "
+        "front door fanning out over N backend servers with "
+        "replication, health-checked failover, and merged fleet stats",
+    )
+    gateway.add_argument("sketches", nargs="*",
+                         help="local-fleet mode: saved sketch file(s); "
+                         "spawns --shards local backend servers on "
+                         "ephemeral ports and shards the sketches "
+                         "across them (omit when using --backend)")
+    gateway.add_argument("--backend", action="append", default=None,
+                         metavar="URL",
+                         help="existing backend front door to fan out "
+                         "over (repeatable); mutually exclusive with "
+                         "sketch files")
+    gateway.add_argument("--shards", type=int, default=None,
+                         help="local-fleet mode: number of backend "
+                         "servers to spawn (default: one per sketch)")
+    gateway.add_argument("--replicas", type=int, default=1,
+                         help="local-fleet mode: register each sketch "
+                         "on this many shards (replicating a hot "
+                         "sketch scales its throughput and survives "
+                         "backend loss)")
+    gateway.add_argument("--host", default=None,
+                         help="gateway bind address (default 127.0.0.1)")
+    gateway.add_argument("--port", type=int, default=None,
+                         help="gateway TCP port (default 8080; 0 picks "
+                         "an ephemeral port)")
+    gateway.add_argument("--retries", type=int, default=2,
+                         help="extra attempts per request after the "
+                         "first, each against the next live replica")
+    gateway.add_argument("--backoff-ms", type=float, default=50.0,
+                         help="initial failover backoff (doubles per "
+                         "retry, capped at 1s; connection loss fails "
+                         "over without waiting)")
+    gateway.add_argument("--health-interval", type=float, default=1.0,
+                         help="seconds between backend health probes "
+                         "(<= 0 disables the probe thread)")
+    gateway.add_argument("--timeout", type=float, default=30.0,
+                         help="per-round-trip timeout to a backend")
+    gateway.add_argument("--max-batch", type=int, default=256,
+                         help="local-fleet mode: micro-batch size on "
+                         "the spawned backends")
+    gateway.add_argument("--no-cache", action="store_true",
+                         help="local-fleet mode: disable the spawned "
+                         "backends' estimate caches")
+
     bench = commands.add_parser(
         "bench-serve",
         help="measure single-query vs batched serving throughput",
@@ -368,6 +416,90 @@ def _cmd_serve(args) -> int:
     return 0 if stats.n_errors == 0 else 1
 
 
+def _shard_assignments(
+    n_sketches: int, n_shards: int, replicas: int
+) -> list[list[int]]:
+    """Round-robin shard map: sketch ``i`` lives on shards
+    ``(i + r) % n_shards`` for ``r`` in ``range(replicas)``."""
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    for i in range(n_sketches):
+        for r in range(replicas):
+            shards[(i + r) % n_shards].append(i)
+    return shards
+
+
+def _cmd_gateway(args) -> int:
+    from .demo import SketchManager
+    from .serve import ServeConfig, SketchGateway, SketchHTTPServer
+
+    local_backends: list = []
+    if args.backend:
+        urls = list(args.backend)
+    else:
+        # Local-fleet mode: spawn the backends ourselves and shard the
+        # sketch files across them with --replicas-way replication.
+        sketches = [DeepSketch.load(path) for path in args.sketches]
+        n_shards = args.shards if args.shards is not None else len(sketches)
+        config = ServeConfig(
+            max_batch_size=args.max_batch, use_cache=not args.no_cache
+        )
+        assignments = _shard_assignments(
+            len(sketches), n_shards, args.replicas
+        )
+        for members in assignments:
+            manager = SketchManager(db=None)
+            for i in sorted(set(members)):
+                manager.register_sketch(sketches[i])
+            server = SketchHTTPServer(manager, config, port=0).start()
+            local_backends.append(server)
+            names = ", ".join(sketches[i].name for i in sorted(set(members)))
+            print(
+                f"  shard {server.url}: {names or '(empty)'}",
+                file=sys.stderr,
+            )
+        urls = [server.url for server in local_backends]
+
+    health = args.health_interval if args.health_interval > 0 else None
+    door = None
+    try:
+        gateway = SketchGateway(
+            urls,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff_ms / 1000.0,
+            health_interval_s=health,
+        )
+        door = SketchHTTPServer(
+            service=gateway,
+            host=args.host if args.host is not None else "127.0.0.1",
+            port=args.port if args.port is not None else 8080,
+        )
+        door.start()
+        live = sum(
+            1 for status in gateway.backend_status().values()
+            if status["alive"]
+        )
+        print(
+            f"gateway on {door.url} over {len(urls)} backend(s) "
+            f"({live} live; sketches: "
+            f"{', '.join(gateway.list_sketches()) or '(none)'}; "
+            "Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            _http_wait(door)
+        except KeyboardInterrupt:
+            print("shutting down the gateway...", file=sys.stderr)
+    finally:
+        if door is not None:
+            summary = door.stats_summary()
+            door.close()  # closes the gateway with it
+            _print_stats_snapshot(summary)
+        for server in local_backends:
+            server.close()
+    return 0
+
+
 def _cmd_bench_serve(args) -> int:
     from .demo import SketchManager
     from .serve import run_serving_benchmark
@@ -426,6 +558,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
+    "gateway": _cmd_gateway,
     "bench-serve": _cmd_bench_serve,
 }
 
@@ -453,6 +586,30 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 "--sql only applies to stream mode: the HTTP front door "
                 "takes its queries from the network, not a file"
             )
+    elif args.command == "gateway":
+        if bool(args.backend) == bool(args.sketches):
+            parser.error(
+                "gateway takes sketch files (local-fleet mode) OR "
+                "--backend URLs (existing fleet), not both and not "
+                "neither"
+            )
+        if args.backend and (args.shards is not None or args.replicas != 1):
+            parser.error(
+                "--shards/--replicas only apply to local-fleet mode: "
+                "an existing fleet's sharding is decided by what each "
+                "backend serves"
+            )
+        if args.sketches:
+            n_shards = (
+                args.shards if args.shards is not None else len(args.sketches)
+            )
+            if n_shards < 1:
+                parser.error("--shards must be >= 1")
+            if not 1 <= args.replicas <= n_shards:
+                parser.error(
+                    "--replicas must be between 1 and the shard count "
+                    f"({n_shards})"
+                )
 
 
 def main(argv: list[str] | None = None) -> int:

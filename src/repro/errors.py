@@ -60,4 +60,34 @@ class ProtocolError(ReproError):
 class RemoteServerError(ReproError):
     """A remote estimation service could not be reached, or answered
     with a transport-level failure (connection refused, non-2xx status
-    without a structured body, truncated payload, ...)."""
+    without a structured body, truncated payload, ...).
+
+    Subclasses distinguish the transport fault classes a failover layer
+    treats differently: :class:`RemoteTimeoutError` (request may or may
+    not have executed — retry only idempotent work),
+    :class:`RemoteConnectionError` (request never reached the service —
+    always safe to retry elsewhere), and :class:`RemoteHTTPError`
+    (the service answered, with a non-2xx status)."""
+
+
+class RemoteTimeoutError(RemoteServerError):
+    """A remote round trip exceeded the client's timeout.  The request
+    may still be executing server-side; estimates are idempotent, so
+    retrying is safe, but the timeout says nothing about liveness."""
+
+
+class RemoteConnectionError(RemoteServerError):
+    """The remote service could not be reached at all (connection
+    refused or reset, DNS failure, socket closed mid-handshake).  The
+    request never executed — always safe to retry on a replica."""
+
+
+class RemoteHTTPError(RemoteServerError):
+    """The remote service answered with a non-2xx HTTP status outside
+    the structured-protocol 400 class.  ``status`` carries the code so
+    a failover layer can retry 5xx (server-side fault) but not 4xx
+    (the request itself is wrong and will fail everywhere)."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = int(status)

@@ -27,6 +27,7 @@ import math
 import threading
 from collections import deque
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -89,24 +90,44 @@ class QErrorSummary:
         return f"{cells}  (n={self.count})"
 
 
+def _contained_mean(arr: np.ndarray, lo: float, hi: float) -> float:
+    """Arithmetic mean of ``arr``, guaranteed inside ``[lo, hi]``.
+
+    ``np.mean``'s pairwise summation can land 1 ULP outside the sample
+    range (e.g. ``[1.1] * 3``).  When the fast path escapes the bounds,
+    recompute the mean exactly over the same float64 values as
+    rationals; the single final ``float()`` conversion is correctly
+    rounded and monotone, and ``lo``/``hi`` are members of the sample
+    (hence exactly representable), so the result cannot escape.
+    """
+    mean = float(np.mean(arr))
+    if lo <= mean <= hi:
+        return mean
+    total = sum(map(Fraction, arr.tolist()), Fraction(0))
+    return float(total / arr.size)
+
+
 def summarize_qerrors(errors: Iterable[float]) -> QErrorSummary:
-    """Summarize a q-error sample into the paper's Table 1 statistics."""
+    """Summarize a q-error sample into the paper's Table 1 statistics.
+
+    ``min``/``max``/``mean`` come from one pass over the same float64
+    values, and the mean provably lies in ``[min, max]`` (see
+    :func:`_contained_mean` — no clamping involved).
+    """
     arr = np.asarray(list(errors), dtype=np.float64)
     if arr.size == 0:
         raise ReproError("cannot summarize an empty q-error sample")
     if np.any(arr < 1.0 - 1e-9):
         raise ReproError("q-errors must be >= 1; got a smaller value")
-    # The arithmetic mean of a sample lies in [min, max] mathematically,
-    # but np.mean's pairwise summation can land 1 ULP outside; clamp so
-    # the summary always satisfies the invariant.
-    mean = float(np.clip(np.mean(arr), np.min(arr), np.max(arr)))
+    lo = float(np.min(arr))
+    hi = float(np.max(arr))
     return QErrorSummary(
         median=float(np.median(arr)),
         p90=float(np.percentile(arr, 90)),
         p95=float(np.percentile(arr, 95)),
         p99=float(np.percentile(arr, 99)),
-        max=float(np.max(arr)),
-        mean=mean,
+        max=hi,
+        mean=_contained_mean(arr, lo, hi),
         count=int(arr.size),
     )
 

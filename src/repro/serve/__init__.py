@@ -19,6 +19,12 @@ network round trip is a one-line change:
 * :class:`RemoteSketchServer` — the client SDK: the same surface over
   the versioned wire protocol (:mod:`repro.serve.protocol`) to a
   :class:`SketchHTTPServer` front door.
+* :class:`SketchGateway` — the multi-node tier: the same surface over
+  N backend front doors, with fleet-wide routing, sharding +
+  replication, health-checked failover, and merged telemetry
+  (:mod:`repro.serve.gateway`).  Front it with
+  ``SketchHTTPServer(service=gateway)`` and it speaks wire v1 on both
+  sides.
 
 Underneath the facades sits one transport-agnostic
 :class:`EstimationEngine` — parse, route, dedup, result-cache fast
@@ -67,7 +73,8 @@ from .executor import (
     make_executor,
 )
 from .feature_cache import FeatureCache
-from .http import SketchHTTPServer
+from .gateway import SketchGateway
+from .http import SketchHTTPServer, healthz_payload
 from .protocol import PROTOCOL_VERSION
 from .server import SketchServer
 from .service import SketchService
@@ -82,7 +89,9 @@ __all__ = [
     "AsyncServeConfig",
     "AsyncServerStats",
     "RemoteSketchServer",
+    "SketchGateway",
     "SketchHTTPServer",
+    "healthz_payload",
     "PROTOCOL_VERSION",
     "CODE_DEADLINE",
     "CODE_INTERNAL",

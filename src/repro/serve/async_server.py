@@ -174,10 +174,12 @@ class AsyncSketchServer:
         """Enqueue one request; resolves within ~``max_wait_ms`` + model time.
 
         Parsing and routing happen on the calling thread, so malformed
-        SQL and uncoverable table sets resolve immediately with an error
-        response (never an exception through the future), as do cache
-        hits (no batching wait) and admission-control sheds (structured
-        ``code="shed"`` responses instead of unbounded queueing).
+        SQL resolves immediately with an error response (never an
+        exception through the future), as do cache hits (no batching
+        wait) and admission-control sheds (structured ``code="shed"``
+        responses instead of unbounded queueing).  A parseable request
+        with no covering sketch yet is deferred and re-routed at flush
+        time (route-at-flush), so late registrations still win.
         """
         return self.engine.submit(request, sketch, ensure_loop=True)
 

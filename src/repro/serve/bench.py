@@ -822,6 +822,253 @@ def run_overload_benchmark(
 
 
 # ----------------------------------------------------------------------
+# gateway scenario (multi-node scale-out + kill-a-backend audit)
+# ----------------------------------------------------------------------
+
+@dataclass
+class GatewayScaleoutPoint:
+    """Throughput of one fleet size on the closed-loop client stream."""
+
+    n_backends: int
+    seconds: float
+    qps: float
+    max_rel_diff: float
+    n_errors: int
+
+
+@dataclass
+class GatewayBenchResult:
+    """Gateway scale-out curve + the kill-a-backend degradation audit.
+
+    ``scaleout`` holds one point per fleet size (each backend a live
+    in-process :class:`~repro.serve.http.SketchHTTPServer` replicating
+    the same sketch): closed-loop client threads drive the gateway, so
+    round-robin replica selection turns added backends into added
+    throughput.  Parity is gated at ``EXECUTOR_PARITY_RTOL`` (1e-12)
+    against the single-query path — the fleet must not change numbers.
+
+    The kill audit runs a 2-replica fleet, closes one backend while the
+    stream is in flight, and verifies the degradation contract: every
+    future resolves (zero hung), failures carry only structured
+    ``route``/``shed`` codes, and the survivors stay exact.
+    """
+
+    n_requests: int
+    n_clients: int
+    scaleout: list  # [GatewayScaleoutPoint], 1 backend first
+    kill_n_requests: int
+    kill_n_ok: int
+    kill_n_structured: int
+    kill_n_unstructured: int
+    kill_n_unresolved: int
+    kill_max_rel_diff: float
+    kill_n_failovers: int
+
+    def point_for(self, n_backends: int) -> GatewayScaleoutPoint | None:
+        for point in self.scaleout:
+            if point.n_backends == n_backends:
+                return point
+        return None
+
+    def speedup(self, n_backends: int) -> float:
+        """Throughput of an ``n_backends`` fleet relative to one backend."""
+        one = self.point_for(1)
+        many = self.point_for(n_backends)
+        if one is None or many is None or many.seconds <= 0:
+            return float("nan")
+        return one.seconds / many.seconds
+
+    @property
+    def parity_ok(self) -> bool:
+        return (
+            all(p.max_rel_diff <= EXECUTOR_PARITY_RTOL for p in self.scaleout)
+            and self.kill_max_rel_diff <= EXECUTOR_PARITY_RTOL
+        )
+
+    @property
+    def kill_ok(self) -> bool:
+        """Zero hung futures, only structured failures, survivors exist."""
+        return (
+            self.kill_n_unresolved == 0
+            and self.kill_n_unstructured == 0
+            and self.kill_n_ok > 0
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"gateway scale-out : {self.n_requests} uncached requests, "
+            f"{self.n_clients} closed-loop clients"
+        ]
+        for point in self.scaleout:
+            lines.append(
+                f"  {point.n_backends} backend(s): {point.seconds:8.3f}s "
+                f"({point.qps:10.0f} q/s, "
+                f"{self.speedup(point.n_backends):5.2f}x one backend; "
+                f"{point.n_errors} errors, "
+                f"max rel diff {point.max_rel_diff:.2e})"
+            )
+        lines.append(
+            f"  kill-a-backend  : {self.kill_n_ok}/{self.kill_n_requests} "
+            f"served, {self.kill_n_structured} structured route/shed, "
+            f"{self.kill_n_unstructured} unstructured, "
+            f"{self.kill_n_unresolved} hung futures, "
+            f"{self.kill_n_failovers} failovers, survivors max rel diff "
+            f"{self.kill_max_rel_diff:.2e} "
+            f"[{'OK' if self.kill_ok else 'FAILED'}]"
+        )
+        return "\n".join(lines)
+
+
+def _spawn_fleet(sketch, n_backends: int, max_batch_size: int):
+    """``n_backends`` live front doors, each replicating ``sketch``."""
+    from ..demo.manager import SketchManager
+    from .http import SketchHTTPServer
+
+    servers = []
+    for _ in range(n_backends):
+        manager = SketchManager(db=None)
+        manager.register_sketch(sketch)
+        servers.append(
+            SketchHTTPServer(
+                manager,
+                ServeConfig(
+                    max_batch_size=max_batch_size,
+                    use_cache=False,
+                    dedup=False,
+                ),
+                port=0,
+            ).start()
+        )
+    return servers
+
+
+def run_gateway_benchmark(
+    manager,
+    sketch_name: str,
+    queries: Sequence[Query],
+    batch_size: int = 256,
+    max_batch_size: int = 64,
+    backend_counts: Sequence[int] = (1, 2, 4),
+    n_clients: int = 8,
+) -> GatewayBenchResult:
+    """Measure gateway scale-out (1 -> N backends) and the kill audit.
+
+    Every fleet size serves the same uncached stream through the same
+    gateway configuration, driven by ``n_clients`` closed-loop threads
+    (one request in flight per client — live traffic, the shape
+    replication actually helps).  Caching and dedup are off on the
+    backends so added replicas add real model work, not dict lookups.
+
+    The kill audit then runs the stream against a 2-replica fleet and
+    closes one backend after the first half has been submitted,
+    auditing the structured-degradation contract.
+    """
+    from .gateway import SketchGateway
+
+    sketch = manager.get_sketch(sketch_name)
+    workload = tile_workload(list(queries), batch_size)
+    shares = [
+        [workload[i] for i in range(c, len(workload), n_clients)]
+        for c in range(n_clients)
+    ]
+
+    sketch.clear_cache()
+    reference = np.array([_estimate_or_nan(sketch, q) for q in workload])
+    reference_by_query = {q: e for q, e in zip(workload, reference)}
+
+    # -- scale-out curve ------------------------------------------------
+    points: list[GatewayScaleoutPoint] = []
+    for n_backends in backend_counts:
+        sketch.clear_cache()
+        servers = _spawn_fleet(sketch, n_backends, max_batch_size)
+        estimates = np.full(len(workload), np.nan)
+        n_errors = [0] * n_clients
+        try:
+            with SketchGateway(
+                [server.url for server in servers],
+                health_interval_s=None,
+                connection_workers=n_clients,
+            ) as gateway:
+
+                def client_body(client_id: int) -> None:
+                    indices = range(client_id, len(workload), n_clients)
+                    for i, query in zip(indices, shares[client_id]):
+                        response = gateway.estimate(query)
+                        if response.ok:
+                            estimates[i] = response.estimate
+                        else:
+                            n_errors[client_id] += 1
+
+                seconds = _run_client_threads(n_clients, client_body)
+        finally:
+            for server in servers:
+                server.close()
+        points.append(
+            GatewayScaleoutPoint(
+                n_backends=n_backends,
+                seconds=seconds,
+                qps=len(workload) / seconds,
+                max_rel_diff=_max_rel_diff(estimates, reference),
+                n_errors=sum(n_errors),
+            )
+        )
+
+    # -- kill-a-backend audit ------------------------------------------
+    sketch.clear_cache()
+    servers = _spawn_fleet(sketch, 2, max_batch_size)
+    kill_at = len(workload) // 2
+    futures = []
+    try:
+        with SketchGateway(
+            [server.url for server in servers],
+            health_interval_s=None,
+            connection_workers=n_clients,
+        ) as gateway:
+            for i, query in enumerate(workload):
+                futures.append(gateway.submit(query))
+                if i == kill_at:
+                    servers[1].close()  # one replica dies mid-stream
+            n_ok = n_structured = n_unstructured = n_unresolved = 0
+            survivor_diff = 0.0
+            for query, future in zip(workload, futures):
+                try:
+                    response = future.result(timeout=60.0)
+                except Exception:
+                    n_unresolved += 1
+                    continue
+                if response.ok:
+                    n_ok += 1
+                    expected = reference_by_query[query]
+                    if np.isfinite(expected):
+                        survivor_diff = max(
+                            survivor_diff,
+                            abs(response.estimate - expected)
+                            / max(abs(expected), 1e-300),
+                        )
+                elif response.code in ("route", "shed"):
+                    n_structured += 1
+                else:
+                    n_unstructured += 1
+            n_failovers = gateway.stats_summary()["gateway"]["failovers"]
+    finally:
+        for server in servers:
+            server.close()
+
+    return GatewayBenchResult(
+        n_requests=len(workload),
+        n_clients=n_clients,
+        scaleout=points,
+        kill_n_requests=len(workload),
+        kill_n_ok=n_ok,
+        kill_n_structured=n_structured,
+        kill_n_unstructured=n_unstructured,
+        kill_n_unresolved=n_unresolved,
+        kill_max_rel_diff=survivor_diff,
+        kill_n_failovers=n_failovers,
+    )
+
+
+# ----------------------------------------------------------------------
 # HTTP front-door scenario (wire overhead)
 # ----------------------------------------------------------------------
 

@@ -48,7 +48,13 @@ import urllib.request
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
-from ..errors import ProtocolError, RemoteServerError
+from ..errors import (
+    ProtocolError,
+    RemoteConnectionError,
+    RemoteHTTPError,
+    RemoteServerError,
+    RemoteTimeoutError,
+)
 from ..metrics import LatencySummary
 from ..workload.query import Query
 from .engine import EstimateResponse
@@ -131,17 +137,46 @@ class RemoteSketchServer:
             )
             if exc.code == 400:
                 raise ProtocolError(message) from exc
-            raise RemoteServerError(message) from exc
+            raise RemoteHTTPError(message, exc.code) from exc
         except OSError as exc:  # URLError, timeouts, refused connections
-            raise RemoteServerError(
-                f"cannot reach estimation service at {self.url}: {exc}"
-            ) from exc
+            raise self._classify_transport_fault(exc, method, path) from exc
         try:
             return json.loads(raw)
         except ValueError as exc:
             raise ProtocolError(
                 f"{method} {path} answered non-JSON payload"
             ) from exc
+
+    def _classify_transport_fault(
+        self, exc: OSError, method: str, path: str
+    ) -> RemoteServerError:
+        """Map an OSError from ``urlopen`` onto the typed taxonomy.
+
+        ``urllib`` wraps most socket faults in ``URLError`` with the
+        real exception on ``.reason``, but timeouts and resets can also
+        surface bare — classify the innermost cause.  A failover layer
+        keys retry policy on the type: connection faults never executed
+        (retry anywhere), timeouts may have (retry because estimates
+        are idempotent), anything else stays a plain
+        :class:`~repro.errors.RemoteServerError`.
+        """
+        cause = exc
+        if isinstance(exc, urllib.error.URLError) and isinstance(
+            exc.reason, BaseException
+        ):
+            cause = exc.reason
+        if isinstance(cause, TimeoutError):  # socket.timeout is an alias
+            return RemoteTimeoutError(
+                f"{method} {path} to {self.url} timed out "
+                f"after {self.timeout:g}s: {cause}"
+            )
+        if isinstance(cause, ConnectionError):  # refused/reset/aborted
+            return RemoteConnectionError(
+                f"cannot reach estimation service at {self.url}: {cause}"
+            )
+        return RemoteServerError(
+            f"cannot reach estimation service at {self.url}: {exc}"
+        )
 
     def _observe(self, payload: dict, elapsed: float, n: int = 1) -> None:
         for _ in range(n):

@@ -13,7 +13,10 @@ future).
 
 The lifecycle, in engine terms::
 
-    submit ──> prepare (parse + route, on the calling thread)
+    submit ──> prepare (parse + route, on the calling thread; a query
+               that parses but has no covering sketch *yet* is not
+               failed — it waits unrouted and is re-routed at flush
+               time, so registrations racing the queue still win)
           ──> fast path (result-cache peek answers repeats instantly)
           ──> dedup (identical in-flight queries share one computation)
           ──> admission (bounded queue: shed or evict per shed_policy)
@@ -98,6 +101,13 @@ RESPONSE_CODES = (
 
 #: Valid ``ServeConfig.shed_policy`` values.
 SHED_POLICIES = ("reject", "oldest")
+
+#: Reserved buffer key for requests that parsed cleanly but could not
+#: be routed at submit time.  They wait in this bucket and are
+#: re-routed when their flush fires — so a covering sketch registered
+#: between submit and flush still serves them (route-at-flush).  The
+#: NUL byte keeps the key out of any legal sketch-name space.
+_UNROUTED = "\x00unrouted"
 
 
 @dataclass(frozen=True)
@@ -275,7 +285,9 @@ def prepare_request(
 
     Returns a response with ``query`` and ``sketch`` resolved, or with
     ``error`` set when the SQL is malformed, no registered sketch covers
-    the tables, or the pinned sketch name is unknown.
+    the tables, or the pinned sketch name is unknown.  A ``code="route"``
+    outcome here is *provisional*: the engine's intake converts it into
+    a deferred, unrouted pending and retries routing at flush time.
     """
     response = EstimateResponse(
         request=request, query=None, sketch=pinned, estimate=None
@@ -539,9 +551,12 @@ class EstimationEngine:
         """Enqueue one request; returns a future for its response.
 
         Parsing and routing happen on the calling thread, so malformed
-        SQL and uncoverable table sets resolve immediately with an
-        error response (never an exception through the future), as do
-        cache hits and admission-control sheds.  ``coalesce=False``
+        SQL resolves immediately with an error response (never an
+        exception through the future), as do cache hits and
+        admission-control sheds.  A parseable request with no covering
+        sketch is *deferred*, not failed: it buffers unrouted and is
+        re-routed when its flush fires, so a sketch registered before
+        the flush serves it (route-at-flush).  ``coalesce=False``
         (the sync facade) disables the submit-time cache fast path and
         dedup so a caller-driven flush sees exactly one response object
         per request; ``ensure_loop`` lazily starts the background loop
@@ -625,12 +640,25 @@ class EstimationEngine:
         """
         stats = self.counters
         stats.n_requests += 1
+        deferred = (
+            not response.ok
+            and response.code == CODE_ROUTE
+            and response.query is not None
+        )
+        if deferred:
+            # Route-at-flush: the query is well-formed, nothing covers
+            # it *yet*.  Clear the provisional error and buffer it under
+            # the reserved key; _answer_round re-routes when the flush
+            # fires, so a covering sketch registered in the meantime
+            # still serves the request.
+            response.error = None
+            response.code = None
         if not response.ok:
             stats.n_errors += 1
             future: Future[EstimateResponse] = Future()
             gather["resolved"].append((future, response))
             return future
-        if hit is not None:
+        if not deferred and hit is not None:
             response.estimate = float(hit)
             response.cached = True
             stats.n_answered += 1
@@ -642,7 +670,7 @@ class EstimationEngine:
             future = Future()
             gather["resolved"].append((future, response))
             return future
-        if coalesce and self.config.dedup:
+        if not deferred and coalesce and self.config.dedup:
             twin = self._inflight.get((response.sketch, response.query))
             if twin is not None and (
                 twin.deadline_at is None or now < twin.deadline_at
@@ -669,11 +697,12 @@ class EstimationEngine:
             else now + self.config.deadline_ms / 1000.0
         )
         pending = _Pending(response, now, deadline_at)
-        buffer = self._buffers.setdefault(response.sketch, deque())
+        buffer_key = _UNROUTED if deferred else response.sketch
+        buffer = self._buffers.setdefault(buffer_key, deque())
         buffer.append(pending)
-        if coalesce and self.config.dedup:
+        if not deferred and coalesce and self.config.dedup:
             self._inflight[(response.sketch, response.query)] = pending
-        self._last_enqueue[response.sketch] = now
+        self._last_enqueue[buffer_key] = now
         self._depth += 1
         if self._depth > self._depth_high_water:
             self._depth_high_water = self._depth
@@ -1050,6 +1079,25 @@ class EstimationEngine:
             self.queue_depth_gauge.set(self._depth)
         return taken
 
+    def _reroute(self, response: EstimateResponse) -> str | None:
+        """Second routing attempt, at flush time, for a deferred request.
+
+        Returns the serving sketch's name, or marks the response with
+        ``code="route"`` and returns None when routing still fails.  A
+        pinned request (``response.sketch`` already set) re-checks the
+        pin; an unpinned one re-runs narrowest-cover routing.
+        """
+        try:
+            if response.sketch is not None:
+                self.manager.get_sketch(response.sketch)  # pin now known?
+                return response.sketch
+            response.sketch = self.manager.route_name(response.query)
+            return response.sketch
+        except ReproError as exc:
+            response.error = str(exc)
+            response.code = CODE_ROUTE
+            return None
+
     def _answer_round(
         self, taken: list[tuple[str, str, list[_Pending]]]
     ) -> None:
@@ -1059,6 +1107,7 @@ class EstimationEngine:
         now = time.monotonic()
         jobs: list[FlushJob] = []
         expired: list[tuple[str, _Pending]] = []
+        unroutable: list[_Pending] = []
         for name, _trigger, chunk in taken:
             live = []
             for pending in chunk:
@@ -1066,8 +1115,29 @@ class EstimationEngine:
                     expired.append((name, pending))
                 else:
                     live.append(pending)
-            if live:
+            if not live:
+                continue
+            if name == _UNROUTED:
+                # Route-at-flush: requests that had no covering sketch
+                # at submit time get their route decided *now*, so a
+                # sketch registered since then serves them.
+                routed: dict[str, list[_Pending]] = {}
+                for pending in live:
+                    target = self._reroute(pending.response)
+                    if target is None:
+                        unroutable.append(pending)
+                    else:
+                        routed.setdefault(target, []).append(pending)
+                for target, group in routed.items():
+                    jobs.append(FlushJob(target, group))
+            else:
                 jobs.append(FlushJob(name, live))
+        if unroutable:
+            with self._lock:
+                for pending in unroutable:
+                    self.counters.n_errors += pending.waiters
+            for pending in unroutable:
+                pending.future.set_result(pending.response)
         if expired:
             with self._lock:
                 for _name, pending in expired:

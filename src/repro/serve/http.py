@@ -63,11 +63,44 @@ from . import protocol
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
+def healthz_payload(service) -> dict:
+    """The ``GET /v1/healthz`` body for any served ``SketchService``.
+
+    ``sketches`` (sorted names) and ``pending`` are the liveness core;
+    ``tables`` maps each sketch to the tables it covers — the additive
+    v1 extension a :class:`~repro.serve.gateway.SketchGateway` reads to
+    route without holding the models.  Services that are not
+    manager-backed (the gateway itself) provide ``describe_sketches()``
+    returning the same name -> tables map.
+    """
+    describe = getattr(service, "describe_sketches", None)
+    if describe is not None:
+        tables = {name: sorted(t) for name, t in describe().items()}
+    else:
+        manager = service.manager
+        tables = {}
+        for name in manager.list_sketches():
+            try:
+                tables[name] = sorted(manager.get_sketch(name).tables)
+            except SketchError:
+                continue  # dropped between list and get; not served
+
+    return {
+        "status": "ok",
+        "protocol_version": protocol.PROTOCOL_VERSION,
+        "sketches": sorted(tables),
+        "tables": tables,
+        "pending": service.pending,
+    }
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request/response marshalling pass; no serving logic here."""
 
-    # Set by SketchHTTPServer on the server class it instantiates.
-    service: AsyncSketchServer
+    # Set by SketchHTTPServer on the server class it instantiates.  Any
+    # SketchService works; the classic single-node front door binds an
+    # AsyncSketchServer, a gateway node binds a SketchGateway.
+    service: "AsyncSketchServer"
     quiet: bool = True
 
     # HTTP/1.1 keep-alive for clients that reuse connections (curl with
@@ -156,15 +189,7 @@ class _Handler(BaseHTTPRequestHandler):
                 # SDK read the same JSON local callers get.
                 self._send_json(200, self.service.stats_summary())
             elif self.path == "/v1/healthz":
-                self._send_json(
-                    200,
-                    {
-                        "status": "ok",
-                        "protocol_version": protocol.PROTOCOL_VERSION,
-                        "sketches": sorted(self.service.manager.list_sketches()),
-                        "pending": self.service.pending,
-                    },
-                )
+                self._send_json(200, healthz_payload(self.service))
             else:
                 self._send_error_json(
                     404, f"unknown endpoint {self.path!r}", "not_found"
@@ -193,15 +218,33 @@ class SketchHTTPServer:
 
     def __init__(
         self,
-        manager: SketchManager,
+        manager: SketchManager | None = None,
         config: ServeConfig | None = None,
         *,
+        service=None,
         host: str = "127.0.0.1",
         port: int = 8080,
         feature_cache: FeatureCache | None = None,
         quiet: bool = True,
     ):
-        self.service = AsyncSketchServer(manager, config, feature_cache)
+        # Two construction modes: a manager (the front door builds and
+        # owns an AsyncSketchServer over it — the classic single-node
+        # path) or a ready-made ``service`` (any SketchService, e.g. a
+        # SketchGateway — the front door only marshals for it).  Either
+        # way the service is closed with the server.
+        if (manager is None) == (service is None):
+            raise SketchError(
+                "pass exactly one of a SketchManager or service="
+            )
+        if service is None:
+            self.service = AsyncSketchServer(manager, config, feature_cache)
+        else:
+            if config is not None or feature_cache is not None:
+                raise SketchError(
+                    "config/feature_cache belong to the wrapped service "
+                    "when service= is given"
+                )
+            self.service = service
 
         # A per-instance handler subclass so several servers (tests,
         # shards) never share service state through class attributes.
@@ -231,7 +274,9 @@ class SketchHTTPServer:
         """Start the acceptor thread and the flush loop (idempotent)."""
         if self._closed:
             raise SketchError("server is closed")
-        self.service.start()
+        start = getattr(self.service, "start", None)
+        if start is not None:  # gateways and remote clients have no loop
+            start()
         if self._thread is None or not self._thread.is_alive():
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -278,4 +323,4 @@ class SketchHTTPServer:
         return f"SketchHTTPServer(url={self.url!r}, {state})"
 
 
-__all__ = ["MAX_BODY_BYTES", "SketchHTTPServer"]
+__all__ = ["MAX_BODY_BYTES", "SketchHTTPServer", "healthz_payload"]

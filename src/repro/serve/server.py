@@ -58,11 +58,13 @@ class SketchServer:
 
     The server holds no model state of its own; it is a facade over an
     :class:`~repro.serve.engine.EstimationEngine`.  Requests are parsed
-    and **routed at submit time** (the engine buffers per sketch), and
-    the model is consulted at flush time — so sketches may be dropped
-    or rebuilt between submit and flush (already-routed requests to a
-    dropped sketch resolve as per-request errors), and a sketch
-    registered mid-stream serves every *subsequent* submit.
+    at submit time and routed **at the latest possible moment**: a
+    request with a covering sketch buffers under it immediately, one
+    without defers and is re-routed at flush time (route-at-flush) —
+    so sketches may be dropped or rebuilt between submit and flush
+    (already-routed requests to a dropped sketch resolve as
+    per-request errors), and a sketch registered mid-stream serves
+    every not-yet-flushed submit, not just subsequent ones.
     ``feature_cache`` (a
     :class:`repro.serve.feature_cache.FeatureCache`) is optional and may
     be shared with other servers; it persists template structure rows
@@ -118,8 +120,9 @@ class SketchServer:
         The future resolves at the next caller-driven :meth:`flush`
         (this facade has no background loop).  ``sketch`` pins the
         request to a named sketch; otherwise the request is routed to
-        the narrowest registered sketch covering its tables.
-        Parse/routing failures — and admission-control sheds, when
+        the narrowest registered sketch covering its tables (decided at
+        flush time when nothing covers it yet — route-at-flush).
+        Parse failures — and admission-control sheds, when
         ``max_queue_depth`` is set — resolve the future immediately
         with a structured error response; nothing raises through it.
         """

@@ -308,10 +308,13 @@ class TestParityAndErrors:
         assert not response.ok
         assert server.stats.n_errors == 1
 
-    def test_uncovered_tables_resolve_immediately(self, manager):
+    def test_uncovered_tables_resolve_at_flush(self, manager):
+        # Route-at-flush: an uncoverable request defers (the route may
+        # still appear) and resolves with a structured route error at
+        # its flush — bounded by ~max_wait_ms, never a hung future.
         outside = Query(tables=(TableRef("no_such_table", "x"),))
         with AsyncSketchServer(manager) as server:
-            response = server.submit(outside).result(0)
+            response = server.submit(outside).result(RESULT_TIMEOUT)
         assert not response.ok
         assert "no registered sketch covers" in response.error
 

@@ -398,17 +398,9 @@ class TestEngineViews:
             assert isinstance(future, Future)
             assert future.done()
 
-    def test_routing_happens_at_submit_not_flush(self, imdb_small, workload):
-        # Engine semantics (changed from the pre-engine sync server,
-        # which routed at flush time): a request submitted before any
-        # covering sketch exists resolves as a routing error even if a
-        # sketch is registered before the flush; submits after the
-        # registration are served.
+    def _build_late_sketch(self, imdb_small):
         from repro.core import SketchConfig, build_sketch
 
-        empty = SketchManager(imdb_small)
-        server = SketchServer(empty)
-        server.submit(workload[0])
         sketch, _ = build_sketch(
             imdb_small,
             spec_for_imdb(),
@@ -418,9 +410,60 @@ class TestEngineViews:
                 hidden_units=16, seed=3,
             ),
         )
-        empty.register_sketch(sketch)
+        return sketch
+
+    def test_route_at_flush_on_sync_facade(self, imdb_small, workload):
+        # Regression (PR 4 routed at submit): a request submitted
+        # before any covering sketch exists must still succeed if a
+        # covering sketch is registered before the flush — the route
+        # decision is deferred, not failed.
+        empty = SketchManager(imdb_small)
+        server = SketchServer(empty)
+        early_future = server.submit(workload[0])
+        assert not early_future.done()  # deferred, not failed
+        empty.register_sketch(self._build_late_sketch(imdb_small))
         server.submit(workload[0])
         early, late = server.flush()
         server.close()
-        assert not early.ok and "no registered sketch covers" in early.error
+        assert early.ok and early.sketch == "late"
+        assert early.estimate is not None and early.estimate > 0
         assert late.ok and late.sketch == "late"
+
+    def test_route_at_flush_on_async_facade(self, imdb_small, workload):
+        # Same contract through the background-loop facade: a long
+        # max_wait keeps the flush from firing before the registration
+        # lands; leaving the context drains, which is the flush.
+        empty = SketchManager(imdb_small)
+        with AsyncSketchServer(
+            empty, AsyncServeConfig(max_wait_ms=60_000.0, min_idle_ms=None)
+        ) as server:
+            future = server.submit(workload[0])
+            assert not future.done()
+            empty.register_sketch(self._build_late_sketch(imdb_small))
+        response = future.result(RESULT_TIMEOUT)
+        assert response.ok and response.sketch == "late"
+        assert response.estimate is not None and response.estimate > 0
+
+    def test_unroutable_at_flush_is_still_a_route_error(self, imdb_small, workload):
+        # With no covering sketch by flush time, the deferred request
+        # resolves with the same structured route error as before.
+        empty = SketchManager(imdb_small)
+        server = SketchServer(empty)
+        future = server.submit(workload[0])
+        (response,) = server.flush()
+        server.close()
+        assert future.done()
+        assert not response.ok and response.code == "route"
+        assert "no registered sketch covers" in response.error
+
+    def test_unknown_pin_reroutes_at_flush(self, imdb_small, workload):
+        # A pinned request whose sketch name is unknown at submit time
+        # defers too — and succeeds when the pin appears before flush.
+        empty = SketchManager(imdb_small)
+        server = SketchServer(empty)
+        future = server.submit(workload[0], sketch="late")
+        assert not future.done()
+        empty.register_sketch(self._build_late_sketch(imdb_small))
+        (response,) = server.flush()
+        server.close()
+        assert response.ok and response.sketch == "late"

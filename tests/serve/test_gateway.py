@@ -1,0 +1,541 @@
+"""SketchGateway: sharded multi-node serving with failover.
+
+Two layers of coverage.  The stub layer drives the gateway with
+scripted fake clients (via ``client_factory``) so routing, round-robin
+replication, the per-fault-class failover policy, health revival, and
+fleet stats merging are tested deterministically with no sockets.  The
+integration layer runs two real ``SketchHTTPServer`` backends sharing
+one trained sketch and proves the fleet-level acceptance contract:
+parity <= 1e-12 with the in-process facade, kill-a-backend degradation
+with only structured codes and zero hung futures, and wire v1 on both
+sides (a front door over the gateway).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.demo import SketchManager
+from repro.errors import (
+    ProtocolError,
+    RemoteConnectionError,
+    RemoteHTTPError,
+    RemoteServerError,
+    RemoteTimeoutError,
+    SketchError,
+)
+from repro.serve import (
+    CODE_PARSE,
+    CODE_ROUTE,
+    CODE_SHED,
+    PROTOCOL_VERSION,
+    EstimateResponse,
+    RemoteSketchServer,
+    ServeConfig,
+    SketchGateway,
+    SketchHTTPServer,
+    SketchServer,
+    SketchService,
+)
+from repro.workload import spec_for_imdb
+from repro.workload.generator import TrainingQueryGenerator
+
+PARITY_RTOL = 1e-12
+RESULT_TIMEOUT = 30
+
+TITLE_SQL = "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000;"
+
+
+# ---------------------------------------------------------------------------
+# stub layer
+# ---------------------------------------------------------------------------
+
+class _StubClient:
+    """A scripted RemoteSketchServer stand-in for one fake backend.
+
+    ``tables`` is the name -> covered-tables map its healthz
+    advertises; ``fail`` (an exception instance or a callable returning
+    one) injects a fault into every estimate call until cleared.
+    """
+
+    def __init__(self, url, tables, registry):
+        self.url = url
+        self.tables = dict(tables)
+        self.fail = None
+        self.fail_healthz = False
+        self.estimate_calls = 0
+        self.batch_calls = 0
+        self.closed = False
+        registry[url] = self
+
+    def _maybe_fail(self):
+        if self.fail is not None:
+            exc = self.fail() if callable(self.fail) else self.fail
+            raise exc
+
+    def healthz(self):
+        if self.fail_healthz:
+            raise RemoteConnectionError(f"cannot reach {self.url}")
+        return {
+            "status": "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "sketches": sorted(self.tables),
+            "tables": {k: sorted(v) for k, v in self.tables.items()},
+            "pending": 0,
+        }
+
+    def estimate(self, request, sketch=None):
+        self._maybe_fail()
+        self.estimate_calls += 1
+        return EstimateResponse(
+            request=request, query=None, sketch=sketch, estimate=42.0
+        )
+
+    def estimate_many(self, requests, sketch=None):
+        self._maybe_fail()
+        self.batch_calls += 1
+        return [
+            EstimateResponse(
+                request=r, query=None, sketch=sketch, estimate=42.0
+            )
+            for r in requests
+        ]
+
+    def stats_summary(self):
+        return {
+            "requests": 10,
+            "answered": 9,
+            "errors": 1,
+            "shed": 0,
+            "deadline_missed": 0,
+            "cache_hits": 3,
+            "fast_cache_hits": 1,
+            "deduped": 2,
+            "forward_batches": 4,
+            "executor_fallbacks": 0,
+            "flushes": {"full": 2, "timed": 1},
+            "sketch_requests": {name: 5 for name in self.tables},
+        }
+
+    def close(self):
+        self.closed = True
+
+
+def _stub_gateway(topology, **kwargs):
+    """A gateway over fake backends; returns (gateway, url -> stub)."""
+    registry = {}
+    urls = list(topology)
+
+    def factory(url):
+        return _StubClient(url, topology[url], registry)
+
+    kwargs.setdefault("health_interval_s", None)
+    kwargs.setdefault("backoff_s", 0.0)
+    gateway = SketchGateway(urls, client_factory=factory, **kwargs)
+    return gateway, registry
+
+
+URL_A = "http://a:1"
+URL_B = "http://b:1"
+
+
+class TestConstruction:
+    def test_no_backends_rejected(self):
+        with pytest.raises(SketchError, match="at least one backend"):
+            SketchGateway([])
+
+    def test_duplicate_urls_rejected(self):
+        with pytest.raises(SketchError, match="duplicate"):
+            SketchGateway(
+                [URL_A, URL_A + "/"],  # same after rstrip("/")
+                client_factory=lambda url: _StubClient(url, {}, {}),
+                health_interval_s=None,
+            )
+
+    def test_bad_knobs_rejected(self):
+        factory = lambda url: _StubClient(url, {}, {})  # noqa: E731
+        with pytest.raises(SketchError, match="retries"):
+            SketchGateway([URL_A], retries=-1, client_factory=factory,
+                          health_interval_s=None)
+        with pytest.raises(SketchError, match="backoff"):
+            SketchGateway([URL_A], backoff_s=-0.1, client_factory=factory,
+                          health_interval_s=None)
+        with pytest.raises(SketchError, match="health_interval_s"):
+            SketchGateway([URL_A], health_interval_s=0.0,
+                          client_factory=factory)
+
+    def test_conforms_to_sketch_service(self):
+        gateway, _stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            assert isinstance(gateway, SketchService)
+
+    def test_close_is_idempotent_and_closes_clients(self):
+        gateway, stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        gateway.close()
+        gateway.close()
+        assert stubs[URL_A].closed
+        with pytest.raises(RemoteServerError, match="closed"):
+            gateway.estimate(TITLE_SQL)
+        with pytest.raises(RemoteServerError, match="closed"):
+            gateway.submit_many([TITLE_SQL])
+
+
+class TestRouting:
+    def test_routes_to_the_covering_sketch(self):
+        gateway, stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            response = gateway.estimate(TITLE_SQL)
+            assert response.ok and response.estimate == 42.0
+            assert response.sketch == "s"
+            assert stubs[URL_A].estimate_calls == 1
+
+    def test_narrowest_cover_wins(self):
+        # "narrow" covers exactly the query's table; "wide" covers more.
+        gateway, stubs = _stub_gateway({
+            URL_A: {"wide": ("title", "movie_keyword", "movie_info")},
+            URL_B: {"narrow": ("title",)},
+        })
+        with gateway:
+            response = gateway.estimate(TITLE_SQL)
+            assert response.ok and response.sketch == "narrow"
+            assert stubs[URL_B].estimate_calls == 1
+            assert stubs[URL_A].estimate_calls == 0
+
+    def test_parse_failure_is_structured(self):
+        gateway, _stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            response = gateway.estimate("SELECT nonsense;")
+            assert not response.ok and response.code == CODE_PARSE
+
+    def test_unroutable_is_structured(self):
+        gateway, _stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            response = gateway.estimate(
+                "SELECT COUNT(*) FROM keyword k;"
+            )
+            assert not response.ok and response.code == CODE_ROUTE
+            assert "keyword" in response.error
+
+    def test_unknown_pin_is_structured(self):
+        gateway, _stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            response = gateway.estimate(TITLE_SQL, sketch="ghost")
+            assert not response.ok and response.code == CODE_ROUTE
+            assert "ghost" in response.error
+
+    def test_describe_and_list(self):
+        gateway, _stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",), "other": ("movie_keyword",)},
+        })
+        with gateway:
+            assert gateway.list_sketches() == ["other", "s"]
+            assert gateway.describe_sketches()["s"] == ("title",)
+            health = gateway.healthz()
+            assert health["status"] == "ok"
+            assert health["tables"]["other"] == ["movie_keyword"]
+
+
+class TestReplication:
+    def test_round_robin_across_replicas(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            for _ in range(10):
+                assert gateway.estimate(TITLE_SQL).ok
+            # both replicas share the load evenly
+            assert stubs[URL_A].estimate_calls == 5
+            assert stubs[URL_B].estimate_calls == 5
+
+    def test_submit_many_is_one_round_trip_per_group(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"other": ("movie_keyword",)},
+        })
+        with gateway:
+            futures = gateway.submit_many([
+                TITLE_SQL,
+                "SELECT COUNT(*) FROM movie_keyword mk;",
+                TITLE_SQL,
+            ])
+            responses = [f.result(RESULT_TIMEOUT) for f in futures]
+        assert [r.sketch for r in responses] == ["s", "other", "s"]
+        assert all(r.ok for r in responses)
+        assert stubs[URL_A].batch_calls == 1  # both title queries, one trip
+        assert stubs[URL_B].batch_calls == 1
+
+
+class TestFailover:
+    def test_connection_loss_fails_over_immediately(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            stubs[URL_A].fail = RemoteConnectionError("cannot reach a")
+            stubs[URL_B].fail = None
+            for _ in range(4):
+                assert gateway.estimate(TITLE_SQL).ok
+            stats = gateway.stats_summary()["gateway"]
+            assert stats["failovers"] >= 1
+            # the dead replica is marked down and stops receiving traffic
+            assert gateway.backend_status()[URL_A]["alive"] is False
+            before = stubs[URL_B].estimate_calls
+            assert gateway.estimate(TITLE_SQL).ok
+            assert stubs[URL_B].estimate_calls == before + 1
+
+    @pytest.mark.parametrize("fault", [
+        RemoteTimeoutError("timed out"),
+        RemoteHTTPError("boom", 503),
+        RemoteHTTPError("boom", 500),
+    ])
+    def test_retryable_faults_fail_over(self, fault):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            stubs[URL_A].fail = fault
+            response = gateway.estimate(TITLE_SQL)
+            assert response.ok and response.estimate == 42.0
+            assert gateway.stats_summary()["gateway"]["failovers"] >= 1
+
+    def test_http_4xx_propagates(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            stubs[URL_A].fail = RemoteHTTPError("bad request", 404)
+            stubs[URL_B].fail = RemoteHTTPError("bad request", 404)
+            with pytest.raises(RemoteHTTPError):
+                gateway.estimate(TITLE_SQL)
+            # the backends are not blamed for the caller's fault
+            assert gateway.backend_status()[URL_A]["alive"] is True
+
+    def test_protocol_error_propagates(self):
+        gateway, stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            stubs[URL_A].fail = ProtocolError("version skew")
+            with pytest.raises(ProtocolError):
+                gateway.estimate(TITLE_SQL)
+
+    def test_whole_fleet_down_sheds_structured(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            for stub in stubs.values():
+                stub.fail = RemoteConnectionError("cannot reach")
+            response = gateway.estimate(TITLE_SQL)
+            assert not response.ok and response.code == CODE_SHED
+            assert response.shed
+            assert "no live replica" in response.error
+            stats = gateway.stats_summary()["gateway"]
+            assert stats["shed"] >= 1
+
+    def test_no_hung_futures_when_fleet_dies(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            for stub in stubs.values():
+                stub.fail = RemoteConnectionError("cannot reach")
+            futures = gateway.submit_many([TITLE_SQL] * 8)
+            responses = [f.result(RESULT_TIMEOUT) for f in futures]
+        assert len(responses) == 8
+        assert all(r.code == CODE_SHED for r in responses)
+
+    def test_health_probe_revives_a_backend(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            stubs[URL_A].fail_healthz = True
+            gateway.refresh()
+            assert gateway.backend_status()[URL_A]["alive"] is False
+            # only the live replica is routable
+            assert gateway.estimate(TITLE_SQL).ok
+            stubs[URL_A].fail_healthz = False
+            gateway.refresh()
+            assert gateway.backend_status()[URL_A]["alive"] is True
+
+    def test_sketch_vanishing_from_fleet_becomes_route_error(self):
+        gateway, stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            stubs[URL_A].fail_healthz = True
+            gateway.refresh()
+            response = gateway.estimate(TITLE_SQL)
+            assert not response.ok and response.code == CODE_ROUTE
+
+
+class TestFleetStats:
+    def test_fleet_view_sums_live_backends(self):
+        gateway, _stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            gateway.estimate(TITLE_SQL)
+            summary = gateway.stats_summary()
+        assert set(summary) == {"gateway", "backends", "fleet"}
+        fleet = summary["fleet"]
+        # each stub reports requests=10/answered=9; two live backends
+        assert fleet["requests"] == 20
+        assert fleet["answered"] == 18
+        assert fleet["cache_hits"] == 6
+        assert fleet["flushes"] == {"full": 4, "timed": 2}
+        assert fleet["sketch_requests"] == {"s": 10}
+        assert fleet["backends_live"] == 2
+        assert fleet["backends_total"] == 2
+        assert set(summary["backends"]) == {URL_A, URL_B}
+        g = summary["gateway"]
+        assert g["requests"] >= 1 and g["answered"] >= 1
+        assert g["sketches"]["s"] == [URL_A, URL_B]
+
+    def test_dead_backend_reports_none(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        with gateway:
+            stubs[URL_A].fail_healthz = True
+            gateway.refresh()
+            summary = gateway.stats_summary()
+        assert summary["backends"][URL_A] is None
+        assert summary["backends"][URL_B] is not None
+        assert summary["fleet"]["backends_live"] == 1
+        assert summary["fleet"]["backends_total"] == 2
+
+
+# ---------------------------------------------------------------------------
+# integration layer: real backends, real sockets
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def workload(imdb_small):
+    gen = TrainingQueryGenerator(imdb_small, spec_for_imdb(), seed=131)
+    return gen.draw_many(24)
+
+
+@pytest.fixture()
+def fleet(imdb_small, trained_sketch):
+    """Two live front doors replicating one trained sketch + a gateway."""
+    sketch, _ = trained_sketch
+    sketch.clear_cache()
+    managers = [SketchManager(imdb_small) for _ in range(2)]
+    for manager in managers:
+        manager.register_sketch(sketch)
+    servers = [
+        SketchHTTPServer(manager, ServeConfig(), port=0).start()
+        for manager in managers
+    ]
+    gateway = SketchGateway(
+        [server.url for server in servers], health_interval_s=None
+    )
+    try:
+        yield gateway, servers
+    finally:
+        gateway.close()
+        for server in servers:
+            server.close()
+        sketch.clear_cache()
+
+
+class TestFleetIntegration:
+    def test_parity_with_in_process_facade(
+        self, fleet, workload, imdb_small, trained_sketch
+    ):
+        gateway, _servers = fleet
+        sketch, _ = trained_sketch
+        remote = gateway.serve(workload)
+        assert all(r.ok for r in remote)
+        sketch.clear_cache()
+        manager = SketchManager(imdb_small)
+        manager.register_sketch(sketch)
+        with SketchServer(manager) as local_server:
+            local = local_server.serve(workload)
+        np.testing.assert_allclose(
+            np.array([r.estimate for r in remote]),
+            np.array([r.estimate for r in local]),
+            rtol=PARITY_RTOL,
+            atol=0.0,
+        )
+
+    def test_kill_a_backend_mid_stream(self, fleet, workload):
+        """The acceptance audit in miniature: one replica dies while a
+        stream is in flight; every future resolves, failures (if any)
+        carry only structured route/shed codes, survivors stay exact."""
+        gateway, servers = fleet
+        reference = {
+            q.to_sql(): gateway.estimate(q).estimate for q in workload[:6]
+        }
+
+        killed = threading.Event()
+
+        def kill_backend():
+            servers[1].close()
+            killed.set()
+
+        futures = []
+        killer = threading.Thread(target=kill_backend)
+        for i, query in enumerate(workload):
+            futures.append(gateway.submit(query))
+            if i == len(workload) // 2:
+                killer.start()
+        killer.join(RESULT_TIMEOUT)
+        assert killed.is_set()
+
+        responses = [f.result(RESULT_TIMEOUT) for f in futures]
+        assert len(responses) == len(workload)  # zero hung futures
+        for response in responses:
+            if not response.ok:
+                assert response.code in (CODE_ROUTE, CODE_SHED)
+        survivors = [r for r in responses if r.ok]
+        assert survivors, "the surviving replica answered nothing"
+        for response in survivors:
+            sql = (
+                response.request.to_sql()
+                if not isinstance(response.request, str)
+                else response.request
+            )
+            if sql in reference:
+                assert response.estimate == pytest.approx(
+                    reference[sql], rel=PARITY_RTOL
+                )
+        # the gateway keeps serving on the surviving replica
+        assert gateway.estimate(workload[0]).ok
+        status = gateway.backend_status()
+        assert status[servers[1].url]["alive"] is False
+
+    def test_front_door_over_gateway_speaks_wire_v1(
+        self, fleet, workload
+    ):
+        """SketchHTTPServer(service=gateway): wire v1 on both sides."""
+        gateway, _servers = fleet
+        door = SketchHTTPServer(service=gateway, port=0)
+        try:
+            door.start()
+            with RemoteSketchServer(door.url) as client:
+                direct = gateway.estimate(workload[0])
+                via_wire = client.estimate(workload[0])
+                assert via_wire.ok
+                assert via_wire.estimate == pytest.approx(
+                    direct.estimate, rel=PARITY_RTOL
+                )
+                health = client.healthz()
+                assert health["protocol_version"] == PROTOCOL_VERSION
+                assert "test-sketch" in health["tables"]
+                stats = client.stats_summary()
+                assert set(stats) == {"gateway", "backends", "fleet"}
+        finally:
+            # closing the door would close the module gateway; the
+            # fixture owns that, so only stop the acceptor here
+            door._httpd.shutdown()
+            door._httpd.server_close()

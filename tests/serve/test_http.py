@@ -352,3 +352,74 @@ class TestClientLifecycle:
             client.estimate(workload[1])
         client.close()
         sketch.clear_cache()
+
+    def test_close_answers_every_inflight_request(
+        self, imdb_small, trained_sketch, workload
+    ):
+        """close() while requests sit buffered in the engine: the drain
+        flush answers all of them, none is dropped, none is accepted
+        after close, and the stats reflect the drained count."""
+        sketch, _ = trained_sketch
+        sketch.clear_cache()
+        manager = SketchManager(imdb_small)
+        manager.register_sketch(sketch)
+        # a flush horizon far beyond the test: only close() can flush
+        config = ServeConfig(
+            max_wait_ms=60_000.0, min_idle_ms=None, use_cache=False
+        )
+        server = SketchHTTPServer(manager, config, port=0).start()
+        n = 6
+        responses: list = [None] * n
+        failures: list = []
+        started = threading.Barrier(n + 1)
+
+        def inflight_client(i):
+            client = RemoteSketchServer(server.url, timeout=RESULT_TIMEOUT)
+            try:
+                started.wait(RESULT_TIMEOUT)
+                responses[i] = client.estimate(workload[i])
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=inflight_client, args=(i,), daemon=True)
+            for i in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait(RESULT_TIMEOUT)
+        # wait for every request to be buffered inside the engine
+        import time as _time
+
+        deadline = _time.monotonic() + RESULT_TIMEOUT
+        while (
+            server.service.pending < n and _time.monotonic() < deadline
+        ):
+            _time.sleep(0.01)
+        assert server.service.pending == n
+
+        server.close()  # acceptor stops, then the engine drains
+        for thread in threads:
+            thread.join(RESULT_TIMEOUT)
+        assert not any(thread.is_alive() for thread in threads)
+
+        # every in-flight client got a real answer
+        assert not failures
+        assert all(r is not None and r.ok for r in responses)
+        estimates = [r.estimate for r in responses]
+        assert all(e > 0 for e in estimates)
+
+        # the stats reflect exactly the drained requests
+        stats = server.stats_summary()
+        assert stats["requests"] == n
+        assert stats["answered"] == n
+        assert stats["flushes"].get("drain", 0) >= 1
+
+        # and nothing is answered after close
+        late = RemoteSketchServer(server.url, timeout=2.0)
+        with pytest.raises((RemoteServerError, ProtocolError)):
+            late.estimate(workload[0])
+        late.close()
+        sketch.clear_cache()

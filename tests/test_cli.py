@@ -311,6 +311,92 @@ class TestServeHttp:
         assert remote["out"] == local_out
 
 
+class TestGateway:
+    def test_local_fleet_mode_shards_and_serves(
+        self, sketch_path, capsys, monkeypatch
+    ):
+        """`repro gateway sketch --shards 2 --replicas 2`: two spawned
+        backends replicate the sketch; the gateway front door answers
+        wire-v1 requests and merges fleet stats."""
+        import repro.cli as cli
+        from repro.serve import RemoteSketchServer
+
+        seen = {}
+
+        def driver(door):
+            with RemoteSketchServer(door.url) as client:
+                seen["health"] = client.healthz()
+                seen["ok"] = client.estimate(
+                    "SELECT COUNT(*) FROM title t "
+                    "WHERE t.production_year>2000;"
+                )
+                seen["bad"] = client.estimate("SELECT nonsense;")
+                seen["stats"] = client.stats_summary()
+
+        monkeypatch.setattr(cli, "_http_wait", driver)
+        code = main(
+            ["gateway", sketch_path, "--shards", "2", "--replicas", "2",
+             "--port", "0", "--health-interval", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert seen["health"]["status"] == "ok"
+        assert seen["health"]["tables"]  # routing map advertised
+        assert seen["ok"].ok and seen["ok"].estimate > 0
+        assert not seen["bad"].ok and seen["bad"].code == "parse"
+        stats = seen["stats"]
+        assert set(stats) == {"gateway", "backends", "fleet"}
+        assert stats["fleet"]["backends_total"] == 2
+        assert stats["fleet"]["backends_live"] == 2
+        assert "gateway on http://127.0.0.1:" in captured.err
+        assert "over 2 backend(s) (2 live" in captured.err
+        assert captured.err.count("  shard http://") == 2
+        assert "stats_summary: " in captured.err
+
+    def test_backend_mode_fronts_an_existing_server(
+        self, sketch_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.core import DeepSketch
+        from repro.demo import SketchManager
+        from repro.serve import (
+            RemoteSketchServer,
+            ServeConfig,
+            SketchHTTPServer,
+        )
+
+        manager = SketchManager(db=None)
+        manager.register_sketch(DeepSketch.load(sketch_path))
+        seen = {}
+
+        def driver(door):
+            with RemoteSketchServer(door.url) as client:
+                seen["ok"] = client.estimate(
+                    "SELECT COUNT(*) FROM title t "
+                    "WHERE t.production_year>2000;"
+                )
+
+        monkeypatch.setattr(cli, "_http_wait", driver)
+        with SketchHTTPServer(manager, ServeConfig(), port=0) as backend:
+            code = main(
+                ["gateway", "--backend", backend.url, "--port", "0",
+                 "--health-interval", "0"]
+            )
+        capsys.readouterr()
+        assert code == 0
+        assert seen["ok"].ok and seen["ok"].estimate > 0
+
+    def test_shard_assignment_round_robin(self):
+        from repro.cli import _shard_assignments
+
+        # 3 sketches over 3 shards, 2-way replication: every shard gets
+        # exactly 2 sketches and every sketch lands on exactly 2 shards
+        shards = _shard_assignments(3, 3, 2)
+        assert shards == [[0, 2], [0, 1], [1, 2]]
+        # no replication: one sketch per shard
+        assert _shard_assignments(2, 2, 1) == [[0], [1]]
+
+
 class TestBadFlagCombinations:
     def test_estimate_sketch_and_url_conflict(self, sketch_path):
         with pytest.raises(SystemExit) as excinfo:
@@ -350,6 +436,27 @@ class TestBadFlagCombinations:
     def test_serve_rejects_unknown_executor(self, sketch_path):
         with pytest.raises(SystemExit) as excinfo:
             main(["serve", sketch_path, "--executor", "gpu"])
+        assert excinfo.value.code == 2
+
+    def test_gateway_needs_sketches_or_backends(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway"])
+        assert excinfo.value.code == 2
+
+    def test_gateway_rejects_sketches_plus_backends(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", sketch_path, "--backend", "http://127.0.0.1:1"])
+        assert excinfo.value.code == 2
+
+    def test_gateway_rejects_replicas_beyond_shards(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", sketch_path, "--shards", "2", "--replicas", "3"])
+        assert excinfo.value.code == 2
+
+    def test_gateway_backend_mode_rejects_shard_flags(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gateway", "--backend", "http://127.0.0.1:1",
+                  "--replicas", "2"])
         assert excinfo.value.code == 2
 
 

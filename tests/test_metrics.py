@@ -116,6 +116,23 @@ class TestSummary:
         assert summary.p90 <= summary.p95 <= summary.p99 <= summary.max + 1e-9
         assert summary.mean <= summary.max + 1e-9
 
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=50))
+    def test_mean_is_strictly_contained_in_sample_range(self, errors):
+        # Strict containment, zero tolerance: np.mean's pairwise
+        # summation can land 1 ULP outside [min, max] (the old code
+        # clamped to hide it); the exact-fallback mean cannot.
+        summary = summarize_qerrors(errors)
+        assert min(errors) <= summary.mean <= summary.max
+
+    def test_mean_containment_ulp_regression(self):
+        # np.mean([3.3] * 6) lands one ULP above the sample max, so
+        # this exact input failed strict containment before the
+        # exact-mean fix (the old code clamped it instead).
+        assert float(np.mean(np.array([3.3] * 6))) > 3.3  # the trap exists
+        summary = summarize_qerrors([3.3] * 6)
+        assert summary.mean == 3.3
+        assert summary.max == 3.3
+
 
 class TestFormatting:
     def test_format_table_contains_all_rows(self):
