@@ -106,6 +106,15 @@ def predicate_selectivity(
 ) -> float:
     """Selectivity of one predicate from the table's statistics."""
     col_stats = stats.column(pred.column)
+    if pred.op == "in":
+        # ``scalararraysel`` for = ANY: sum the members' equality
+        # selectivities (members are distinct, so no overlap correction).
+        total = 0.0
+        for member in pred.literal:
+            value = _encode_literal(db, table, pred.column, member)
+            if value is not None:
+                total += eq_selectivity(col_stats, value)
+        return float(np.clip(total, 0.0, 1.0))
     value = _encode_literal(db, table, pred.column, pred.literal)
     if value is None:
         # A string literal absent from the dictionary: '=' selects

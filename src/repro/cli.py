@@ -178,6 +178,88 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="local-fleet mode: disable the spawned "
                          "backends' estimate caches")
 
+    workload = commands.add_parser(
+        "workload",
+        help="templated workload suites: generate, split, and replay "
+        "them as skewed/bursty traffic against a serving endpoint",
+    )
+    wl_commands = workload.add_subparsers(dest="workload_command", required=True)
+
+    wl_gen = wl_commands.add_parser(
+        "generate",
+        help="draw a seeded template suite (joins, self-joins, range/"
+        "string/IN predicate slots) and write it as JSON",
+    )
+    wl_gen.add_argument("--dataset", choices=sorted(_SPECS), default="imdb")
+    wl_gen.add_argument("--scale", type=float, default=0.2)
+    wl_gen.add_argument("--templates", type=int, default=8,
+                        help="distinct templates to draw")
+    wl_gen.add_argument("--per-template", dest="per_template", type=int,
+                        default=50, help="query instances per template")
+    wl_gen.add_argument("--max-joins", dest="max_joins", type=int, default=4)
+    wl_gen.add_argument("--seed", type=int, default=0)
+    wl_gen.add_argument("--label", action="store_true",
+                        help="execute every instance for its true "
+                        "cardinality (drops empty-result instances)")
+    wl_gen.add_argument("--min-per-template", dest="min_per_template",
+                        type=int, default=2,
+                        help="--label only: drop templates left with "
+                        "fewer than this many non-empty instances")
+    wl_gen.add_argument("--out", default="-",
+                        help="output JSON path ('-' = stdout)")
+
+    wl_split = wl_commands.add_parser(
+        "split",
+        help="split a suite for generalization testing: held-out "
+        "templates (default) or held-out literals (--within)",
+    )
+    wl_split.add_argument("suite", help="suite JSON from 'workload generate'")
+    wl_split.add_argument("--test-fraction", dest="test_fraction",
+                         type=float, default=0.25)
+    wl_split.add_argument("--within", action="store_true",
+                         help="hold literals out inside every template "
+                         "instead of holding whole templates out")
+    wl_split.add_argument("--seed", type=int, default=0)
+    wl_split.add_argument("--train-out", dest="train_out", required=True,
+                         help="output JSON path for the training side")
+    wl_split.add_argument("--test-out", dest="test_out", required=True,
+                         help="output JSON path for the test side")
+
+    wl_replay = wl_commands.add_parser(
+        "replay",
+        help="replay a suite as a Zipf-skewed, bursty, open-loop stream "
+        "against a serving endpoint and audit the outcome",
+    )
+    wl_replay.add_argument("suite", help="suite JSON from 'workload generate'")
+    wl_replay.add_argument("sketches", nargs="*",
+                          help="saved sketch file(s) for local mode: an "
+                          "async server is spun up in-process (omit "
+                          "with --url)")
+    wl_replay.add_argument("--url", default=None,
+                          help="replay against a running front door or "
+                          "gateway (e.g. http://127.0.0.1:8080) instead "
+                          "of a local server")
+    wl_replay.add_argument("--requests", type=int, default=256)
+    wl_replay.add_argument("--rate", type=float, default=2000.0,
+                          help="arrival rate inside ON windows (q/s)")
+    wl_replay.add_argument("--zipf-s", dest="zipf_s", type=float, default=1.1,
+                          help="template-popularity skew (0 = uniform)")
+    wl_replay.add_argument("--burst-on-ms", dest="burst_on_ms", type=float,
+                          default=50.0)
+    wl_replay.add_argument("--burst-off-ms", dest="burst_off_ms", type=float,
+                          default=100.0)
+    wl_replay.add_argument("--time-scale", dest="time_scale", type=float,
+                          default=1.0,
+                          help="multiplier on scheduled gaps (0 = submit "
+                          "as fast as possible)")
+    wl_replay.add_argument("--timeout", type=float, default=60.0,
+                          help="future-collection deadline (seconds)")
+    wl_replay.add_argument("--seed", type=int, default=0)
+    wl_replay.add_argument("--max-batch", type=int, default=64,
+                          help="local mode: micro-batch size")
+    wl_replay.add_argument("--max-queue-depth", type=int, default=None,
+                          help="local mode: admission-control bound")
+
     bench = commands.add_parser(
         "bench-serve",
         help="measure single-query vs batched serving throughput",
@@ -552,6 +634,140 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _write_suite(suite, path: str) -> None:
+    import json
+
+    payload = json.dumps(suite.to_json(), indent=2) + "\n"
+    if path == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(path, "w") as f:
+            f.write(payload)
+
+
+def _load_suite(path: str):
+    import json
+
+    from .workload import TemplateSuite
+
+    with open(path) as f:
+        return TemplateSuite.from_json(json.load(f))
+
+
+def _cmd_workload_generate(args) -> int:
+    from .workload import SuiteConfig, generate_template_suite
+    from .workload.generator import spec_for_imdb_templates
+
+    db = load_dataset(args.dataset, scale=args.scale)
+    if args.dataset == "imdb":
+        spec = spec_for_imdb_templates(max_joins=args.max_joins)
+    else:
+        spec = _SPECS[args.dataset](max_joins=args.max_joins)
+    suite = generate_template_suite(
+        db,
+        spec,
+        SuiteConfig(
+            n_templates=args.templates,
+            queries_per_template=args.per_template,
+            max_joins=args.max_joins,
+        ),
+        seed=args.seed,
+    )
+    if args.label:
+        suite = suite.label(
+            db, min_queries_per_template=args.min_per_template
+        )
+    _write_suite(suite, args.out)
+    print(
+        f"generated {len(suite)} templates / {suite.n_queries} instances "
+        f"({'labeled' if suite.labeled else 'unlabeled'}; "
+        f"digest {suite.digest()[:12]}...)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_workload_split(args) -> int:
+    from .workload import split_by_template, split_within_template
+
+    suite = _load_suite(args.suite)
+    if args.within:
+        split = split_within_template(suite, args.test_fraction, seed=args.seed)
+        kind = "held-out literals within every template"
+    else:
+        split = split_by_template(suite, args.test_fraction, seed=args.seed)
+        kind = "held-out templates"
+    _write_suite(split.train, args.train_out)
+    _write_suite(split.test, args.test_out)
+    print(
+        f"split by {kind}: train {len(split.train)} templates / "
+        f"{split.train.n_queries} instances -> {args.train_out}; "
+        f"test {len(split.test)} templates / {split.test.n_queries} "
+        f"instances -> {args.test_out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_workload_replay(args) -> int:
+    import json
+
+    from .workload import TrafficConfig, TrafficShaper
+
+    suite = _load_suite(args.suite)
+    shaper = TrafficShaper(
+        suite,
+        TrafficConfig(
+            n_requests=args.requests,
+            zipf_s=args.zipf_s,
+            rate_qps=args.rate,
+            burst_on_s=args.burst_on_ms / 1000.0,
+            burst_off_s=args.burst_off_ms / 1000.0,
+            time_scale=args.time_scale,
+            timeout_s=args.timeout,
+        ),
+        seed=args.seed,
+    )
+    if args.url is not None:
+        from .serve import RemoteSketchServer
+
+        with RemoteSketchServer(args.url) as service:
+            result = shaper.replay(service)
+    else:
+        from .demo import SketchManager
+        from .serve import AsyncServeConfig, AsyncSketchServer
+
+        manager = SketchManager(db=None)
+        for path in args.sketches:
+            manager.register_sketch(DeepSketch.load(path))
+        config = AsyncServeConfig(
+            max_batch_size=args.max_batch,
+            max_queue_depth=args.max_queue_depth,
+        )
+        with AsyncSketchServer(manager, config) as service:
+            result = shaper.replay(service)
+    print(json.dumps(result.audit(), indent=2))
+    if not result.ok:
+        print(
+            f"error: replay audit failed ({result.n_unresolved} hung "
+            f"futures, {result.n_unstructured} unstructured failures)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+_WORKLOAD_COMMANDS = {
+    "generate": _cmd_workload_generate,
+    "split": _cmd_workload_split,
+    "replay": _cmd_workload_replay,
+}
+
+
+def _cmd_workload(args) -> int:
+    return _WORKLOAD_COMMANDS[args.workload_command](args)
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
@@ -559,6 +775,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "serve": _cmd_serve,
     "gateway": _cmd_gateway,
+    "workload": _cmd_workload,
     "bench-serve": _cmd_bench_serve,
 }
 
@@ -585,6 +802,16 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
             parser.error(
                 "--sql only applies to stream mode: the HTTP front door "
                 "takes its queries from the network, not a file"
+            )
+    elif args.command == "workload" and args.workload_command == "replay":
+        if args.url is not None and args.sketches:
+            parser.error(
+                "workload replay takes sketch files (local mode) OR "
+                "--url (remote endpoint), not both"
+            )
+        if args.url is None and not args.sketches:
+            parser.error(
+                "workload replay needs sketch file(s) or --url"
             )
     elif args.command == "gateway":
         if bool(args.backend) == bool(args.sketches):

@@ -16,9 +16,13 @@ from .mscn import MSCN
 from .sketch import DeepSketch
 from .training import (
     EpochStats,
+    GeneralizationReport,
+    TemplateEvalResult,
     Trainer,
     TrainingConfig,
     TrainingResult,
+    evaluate_on_suite,
+    run_generalization_experiment,
     validation_qerrors,
 )
 
@@ -46,4 +50,8 @@ __all__ = [
     "DriftReport",
     "detect_drift",
     "refresh_sketch",
+    "TemplateEvalResult",
+    "GeneralizationReport",
+    "evaluate_on_suite",
+    "run_generalization_experiment",
 ]

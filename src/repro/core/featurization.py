@@ -258,6 +258,20 @@ class Featurizer:
     # literal normalization
     # ------------------------------------------------------------------
     def normalize_literal(self, db_column, key: str, literal) -> float:
+        """Map a literal to [0, 1] over the column's value bounds.
+
+        An ``in`` tuple featurizes as the mean of its members' normalized
+        values — the one-slot summary of the member set; the exact
+        membership semantics still reach the model through the
+        qualifying-sample bitmaps.
+        """
+        if isinstance(literal, tuple):
+            if not literal:
+                raise FeaturizationError("cannot featurize an empty 'in' literal")
+            values = [
+                self.normalize_literal(db_column, key, member) for member in literal
+            ]
+            return float(np.mean(values))
         low, high = self.column_bounds[key]
         if db_column is not None and db_column.dtype is DType.STRING:
             code = db_column.encode_literal(literal)

@@ -17,8 +17,8 @@ from typing import Callable
 import numpy as np
 
 from ..errors import TrainingError
-from ..rng import SeedLike, make_rng
-from ..metrics import QErrorSummary, summarize_qerrors
+from ..rng import SeedLike, make_rng, spawn
+from ..metrics import QErrorSummary, qerrors, summarize_qerrors
 from ..nn.loss import MSELoss, QErrorLoss
 from ..nn.optim import Adam
 from .batches import TrainingSet
@@ -180,3 +180,144 @@ class Trainer:
             validation_qerrors(self.model, self.featurizer, val_set)
         )
         return result
+
+
+# ----------------------------------------------------------------------
+# template-level generalization evaluation
+# ----------------------------------------------------------------------
+#
+# The paper's headline claim is that the learned estimator generalizes
+# to queries it was not trained on.  A uniform query-level split only
+# tests held-out *literals*; the DSB-style methodology splits by
+# *template* (see repro.workload.splits), so the test side contains
+# query shapes the model never saw.  These helpers evaluate a trained
+# sketch per template and run the full experiment: train on the
+# training templates' instances, report q-error tails for held-out
+# literals (in-template) vs held-out templates (cross-template).
+
+
+@dataclass
+class TemplateEvalResult:
+    """Per-template q-error summaries of one sketch on one suite."""
+
+    per_template: dict[str, QErrorSummary]
+    overall: QErrorSummary
+
+    def tails(self) -> dict[str, dict[str, float]]:
+        """name -> {p50, p95, p99, max, count} (JSON/bench-friendly)."""
+        block = {}
+        for name, summary in self.per_template.items():
+            block[name] = {
+                "p50": summary.median,
+                "p95": summary.p95,
+                "p99": summary.p99,
+                "max": summary.max,
+                "count": summary.count,
+            }
+        return block
+
+
+def evaluate_on_suite(sketch, suite) -> TemplateEvalResult:
+    """Per-template q-errors of ``sketch`` on a labeled suite.
+
+    Estimation runs through :meth:`~repro.core.sketch.DeepSketch.
+    estimate_many` (one batched pass over the whole suite); errors are
+    summarized per template *and* overall — tails are reported per
+    template so a bad held-out template cannot be averaged away.
+    """
+    if not getattr(suite, "labeled", False):
+        raise TrainingError("suite must be labeled to evaluate against")
+    queries, cards = suite.labeled_pairs()
+    estimates = sketch.estimate_many(queries)
+    errors = qerrors(estimates, cards)
+    per_template: dict[str, QErrorSummary] = {}
+    offset = 0
+    for entry in suite.templates:
+        chunk = errors[offset : offset + len(entry)]
+        offset += len(entry)
+        per_template[entry.name] = summarize_qerrors(chunk)
+    return TemplateEvalResult(
+        per_template=per_template, overall=summarize_qerrors(errors)
+    )
+
+
+@dataclass
+class GeneralizationReport:
+    """The in-template vs cross-template experiment, in one block."""
+
+    train_templates: list[str]
+    test_templates: list[str]
+    n_train_queries: int
+    in_template: TemplateEvalResult
+    cross_template: TemplateEvalResult
+    sketch: object
+    build_report: object
+
+    @property
+    def cross_template_p99(self) -> float:
+        """Worst per-template p99 on the held-out templates (never averaged)."""
+        return max(s.p99 for s in self.cross_template.per_template.values())
+
+    def to_json(self) -> dict:
+        return {
+            "train_templates": self.train_templates,
+            "test_templates": self.test_templates,
+            "n_train_queries": self.n_train_queries,
+            "in_template": {
+                "per_template": self.in_template.tails(),
+                "overall": self.in_template.overall.as_dict(),
+            },
+            "cross_template": {
+                "per_template": self.cross_template.tails(),
+                "overall": self.cross_template.overall.as_dict(),
+                "p99": self.cross_template_p99,
+            },
+        }
+
+
+def run_generalization_experiment(
+    db,
+    spec,
+    suite,
+    sketch_config=None,
+    test_fraction: float = 0.25,
+    holdout_fraction: float = 0.2,
+    seed: SeedLike = None,
+    name: str = "generalization",
+) -> GeneralizationReport:
+    """Train on training templates, evaluate in- vs cross-template.
+
+    1. ``split_by_template`` holds out whole templates (cross-template
+       test side).
+    2. ``split_within_template`` further holds literals out of the
+       training templates (in-template test side).
+    3. A sketch is built on the remaining training instances
+       (``SketchBuilder.build(training_queries=...)`` — the paper's
+       "one could also use past user queries" hook).
+    4. Both held-out sides are evaluated per template.
+
+    ``suite`` is labeled here if it is not already.
+    """
+    from ..workload.splits import split_by_template, split_within_template
+    from .builder import SketchBuilder
+
+    rng = make_rng(seed)
+    outer_rng, inner_rng, build_rng = spawn(rng, 3)
+    if not suite.labeled:
+        suite = suite.label(db)
+    outer = split_by_template(suite, test_fraction, seed=outer_rng)
+    inner = split_within_template(outer.train, holdout_fraction, seed=inner_rng)
+
+    builder = SketchBuilder(db, spec, config=sketch_config)
+    sketch, build_report = builder.build(
+        name, seed=build_rng, training_queries=inner.train.queries()
+    )
+    return GeneralizationReport(
+        train_templates=outer.train_names,
+        test_templates=outer.test_names,
+        n_train_queries=inner.train.n_queries,
+        in_template=evaluate_on_suite(sketch, inner.test),
+        cross_template=evaluate_on_suite(sketch, outer.test),
+        sketch=sketch,
+        build_report=build_report,
+    )

@@ -139,6 +139,8 @@ class Column:
         NULL rows never qualify, for any operator (SQL three-valued logic
         collapsed to WHERE semantics).
         """
+        if op == "in":
+            return self._evaluate_in(literal)
         if self.dtype is DType.STRING:
             if op not in STRING_OPERATORS:
                 raise QueryError(
@@ -173,6 +175,23 @@ class Column:
         else:
             raise QueryError(f"unknown operator {op!r}")
         return mask & self.valid
+
+    def _evaluate_in(self, members) -> np.ndarray:
+        """``column IN (members)``: membership over the encoded domain.
+
+        Members absent from a string column's dictionary simply cannot
+        match (they shrink the disjunction), mirroring the '=' handling
+        of an absent literal.
+        """
+        if isinstance(members, (str, bytes)) or not isinstance(members, (tuple, list)):
+            raise QueryError(
+                f"'in' takes a tuple of scalar literals, got {members!r}"
+            )
+        encoded = [self.encode_literal(m) for m in members]
+        present = [code for code in encoded if code is not None]
+        if not present:
+            return np.zeros(len(self), dtype=bool)
+        return self.valid & np.isin(self.values, np.asarray(present))
 
     # ------------------------------------------------------------------
     # summary facts used by statistics / featurization

@@ -10,6 +10,7 @@ textual grammar:
 
     conjunct := alias.column = alias.column        -- equi-join
               | alias.column <op> literal           -- base-table predicate
+              | alias.column IN (literal [, literal]...)
     op       := = | <> | <= | >= | < | >
     literal  := integer | float | 'string' (with '' escaping)
 
@@ -48,10 +49,14 @@ def to_sql(query: Query) -> str:
         f"{j.left_alias}.{j.left_column}={j.right_alias}.{j.right_column}"
         for j in query.joins
     ]
-    conjuncts += [
-        f"{p.alias}.{p.column}{p.op}{format_literal(p.literal)}"
-        for p in query.predicates
-    ]
+    for p in query.predicates:
+        if p.op == "in":
+            members = ",".join(format_literal(m) for m in p.literal)
+            conjuncts.append(f"{p.alias}.{p.column} IN ({members})")
+        else:
+            conjuncts.append(
+                f"{p.alias}.{p.column}{p.op}{format_literal(p.literal)}"
+            )
     sql = f"SELECT COUNT(*) FROM {from_clause}"
     if conjuncts:
         sql += " WHERE " + " AND ".join(conjuncts)
@@ -191,8 +196,31 @@ class _Parser:
         column = self._expect("name").text
         return alias, column
 
+    def _literal(self):
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            text = token.text
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        raise ParseError(
+            f"expected a literal, found {token.text!r}", position=token.position
+        )
+
     def _conjunct(self, joins: list[JoinEdge], predicates: list[Predicate]) -> None:
         alias, column = self._column_ref()
+        if self._accept_keyword("IN"):
+            self._expect("punct", "(")
+            members = [self._literal()]
+            while self._accept_punct(","):
+                members.append(self._literal())
+            self._expect("punct", ")")
+            predicates.append(
+                Predicate(alias=alias, column=column, op="in", literal=tuple(members))
+            )
+            return
         op_token = self._next()
         if op_token.kind != "op":
             raise ParseError(
@@ -213,19 +241,7 @@ class _Parser:
             right_alias, right_column = self._column_ref()
             joins.append(JoinEdge(alias, column, right_alias, right_column))
             return
-        token = self._next()
-        if token.kind == "string":
-            literal: int | float | str = token.text[1:-1].replace("''", "'")
-        elif token.kind == "number":
-            text = token.text
-            if any(c in text for c in ".eE"):
-                literal = float(text)
-            else:
-                literal = int(text)
-        else:
-            raise ParseError(
-                f"expected a literal, found {token.text!r}", position=token.position
-            )
+        literal = self._literal()
         predicates.append(Predicate(alias=alias, column=column, op=op, literal=literal))
 
 

@@ -6,9 +6,12 @@ can both import it without importing each other.
 
 #: Comparison operators the engine evaluates.  The paper's featurization
 #: enumerates {=, <, >}; the engine additionally supports <=, >= and <>
-#: so that year-grouping range templates (Figure 2) can be expressed.
-OPERATORS = ("=", "<", ">", "<=", ">=", "<>")
+#: so that year-grouping range templates (Figure 2) can be expressed,
+#: plus set membership ``in`` (literal is a tuple of scalars) so that
+#: DSB/TPC-H-style ``IN (...)`` templates can be expressed.
+OPERATORS = ("=", "<", ">", "<=", ">=", "<>", "in")
 
 #: Operators valid on string columns (dictionary encoding gives no
-#: meaningful order, and the demo's string predicates are equality-only).
-STRING_OPERATORS = ("=", "<>")
+#: meaningful order, so only equality-shaped operators qualify — ``in``
+#: is a disjunction of equalities).
+STRING_OPERATORS = ("=", "<>", "in")

@@ -919,7 +919,12 @@ class GatewayBenchResult:
         return "\n".join(lines)
 
 
-def _spawn_fleet(sketch, n_backends: int, max_batch_size: int):
+def _spawn_fleet(
+    sketch,
+    n_backends: int,
+    max_batch_size: int,
+    max_queue_depth: int | None = None,
+):
     """``n_backends`` live front doors, each replicating ``sketch``."""
     from ..demo.manager import SketchManager
     from .http import SketchHTTPServer
@@ -935,6 +940,7 @@ def _spawn_fleet(sketch, n_backends: int, max_batch_size: int):
                     max_batch_size=max_batch_size,
                     use_cache=False,
                     dedup=False,
+                    max_queue_depth=max_queue_depth,
                 ),
                 port=0,
             ).start()
@@ -1269,4 +1275,131 @@ def run_http_benchmark(
         server_reported_p50=server_reported_p50,
         max_rel_diff=max_rel_diff,
         n_errors=n_errors,
+    )
+
+
+# ----------------------------------------------------------------------
+# bursty stress scenario (templated traffic vs the gateway)
+# ----------------------------------------------------------------------
+
+@dataclass
+class BurstyStressResult:
+    """Outcome of replaying skewed/bursty templated traffic at a fleet.
+
+    A :class:`~repro.workload.traffic.TrafficShaper` drives the gateway
+    open-loop (arrivals come from the schedule, not from completions),
+    so ON windows overrun the backends' bounded queues on purpose.  The
+    audit is the serving tier's whole degradation contract at once:
+    every future resolves (zero hung), every failure carries a
+    structured code from ``RESPONSE_CODES``, and no backend's intake
+    ever exceeded its configured ``max_queue_depth``.
+    """
+
+    n_requests: int
+    n_backends: int
+    max_queue_depth: int
+    replay: object  # ReplayResult (duck-typed to avoid a workload import)
+    #: Per-backend lifetime ``queue_depth_peak`` (one entry per backend).
+    queue_depth_peaks: list
+    n_failovers: int
+
+    @property
+    def bounded(self) -> bool:
+        """No backend's intake high-water mark exceeded its bound."""
+        return all(peak <= self.max_queue_depth for peak in self.queue_depth_peaks)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.replay.ok
+            and self.bounded
+            and self.replay.n_ok > 0
+        )
+
+    def audit(self) -> dict:
+        """JSON-friendly audit block (bench gates read this)."""
+        block = self.replay.audit()
+        block.update(
+            n_backends=self.n_backends,
+            max_queue_depth=self.max_queue_depth,
+            queue_depth_peaks=list(self.queue_depth_peaks),
+            bounded=self.bounded,
+            n_failovers=self.n_failovers,
+            stress_ok=self.ok,
+        )
+        return block
+
+    def report(self) -> str:
+        replay = self.replay
+        shed = replay.code_counts.get("shed", 0)
+        deadline = replay.code_counts.get("deadline", 0)
+        other = replay.n_failed - shed - deadline - replay.n_unstructured
+        return (
+            f"bursty stress     : {self.n_requests} open-loop requests vs "
+            f"{self.n_backends} backend(s), max_queue_depth="
+            f"{self.max_queue_depth}\n"
+            f"  outcome         : {replay.n_ok} served, {shed} shed, "
+            f"{deadline} deadline, {other} other structured, "
+            f"{replay.n_unstructured} unstructured, "
+            f"{replay.n_unresolved} hung futures\n"
+            f"  queue depth     : peaks {self.queue_depth_peaks} "
+            f"(bound {'held' if self.bounded else 'VIOLATED'})\n"
+            f"  rate            : {replay.achieved_qps:8.0f} q/s achieved, "
+            f"p99 latency {replay.latency_p99_ms:7.2f}ms "
+            f"[{'OK' if self.ok else 'FAILED'}]"
+        )
+
+
+def run_bursty_stress_benchmark(
+    manager,
+    sketch_name: str,
+    suite,
+    traffic=None,
+    n_backends: int = 2,
+    max_queue_depth: int = 32,
+    max_batch_size: int = 32,
+    seed=0,
+) -> BurstyStressResult:
+    """Replay a skewed, bursty suite stream against a gateway fleet.
+
+    ``suite`` is a :class:`~repro.workload.suite.TemplateSuite` (labels
+    not required — only the query instances are replayed); ``traffic``
+    a :class:`~repro.workload.traffic.TrafficConfig` (defaults chosen
+    to overrun ``max_queue_depth`` during ON windows).  Backends run
+    with caching and dedup off and a bounded queue, so every accepted
+    request is real model work and the overflow must shed.
+    """
+    from ..workload.traffic import TrafficConfig, TrafficShaper
+    from .gateway import SketchGateway
+
+    sketch = manager.get_sketch(sketch_name)
+    sketch.clear_cache()
+    traffic = traffic or TrafficConfig()
+    shaper = TrafficShaper(suite, traffic, seed=seed)
+    servers = _spawn_fleet(
+        sketch, n_backends, max_batch_size, max_queue_depth=max_queue_depth
+    )
+    try:
+        with SketchGateway(
+            [server.url for server in servers],
+            health_interval_s=None,
+        ) as gateway:
+            replay = shaper.replay(gateway)
+            stats = gateway.stats_summary()
+            peaks = [
+                int(summary["queue_depth_peak"])
+                for summary in stats["backends"].values()
+                if summary is not None
+            ]
+            n_failovers = int(stats["gateway"]["failovers"])
+    finally:
+        for server in servers:
+            server.close()
+    return BurstyStressResult(
+        n_requests=replay.n_requests,
+        n_backends=n_backends,
+        max_queue_depth=max_queue_depth,
+        replay=replay,
+        queue_depth_peaks=peaks,
+        n_failovers=n_failovers,
     )

@@ -1,9 +1,12 @@
-"""Query model, workload generators, and templates."""
+"""Query model, workload generators, templated suites, and traffic shaping."""
 
 from .generator import (
     TrainingQueryGenerator,
     WorkloadSpec,
+    build_literal_pools,
+    build_neighbor_map,
     spec_for_imdb,
+    spec_for_imdb_templates,
     spec_for_tpch,
 )
 from .joblight import JobLightConfig, generate_job_light
@@ -15,7 +18,23 @@ from .query import (
     make_join,
     single_table_query,
 )
+from .splits import (
+    TemplateSplit,
+    split_by_template,
+    split_within_template,
+    template_folds,
+)
+from .suite import (
+    PredicateSlot,
+    SuiteConfig,
+    SuiteTemplate,
+    TemplateQueries,
+    TemplateSuite,
+    TemplateSuiteGenerator,
+    generate_template_suite,
+)
 from .templates import QueryTemplate, TemplateInstance
+from .traffic import ReplayResult, ScheduledRequest, TrafficConfig, TrafficShaper
 
 __all__ = [
     "Query",
@@ -26,10 +45,28 @@ __all__ = [
     "single_table_query",
     "WorkloadSpec",
     "TrainingQueryGenerator",
+    "build_neighbor_map",
+    "build_literal_pools",
     "spec_for_imdb",
+    "spec_for_imdb_templates",
     "spec_for_tpch",
     "JobLightConfig",
     "generate_job_light",
     "QueryTemplate",
     "TemplateInstance",
+    "PredicateSlot",
+    "SuiteTemplate",
+    "SuiteConfig",
+    "TemplateQueries",
+    "TemplateSuite",
+    "TemplateSuiteGenerator",
+    "generate_template_suite",
+    "TemplateSplit",
+    "split_by_template",
+    "split_within_template",
+    "template_folds",
+    "TrafficConfig",
+    "TrafficShaper",
+    "ReplayResult",
+    "ScheduledRequest",
 ]

@@ -54,6 +54,59 @@ class WorkloadSpec:
         return self.predicate_columns.get(table, ())
 
 
+def build_neighbor_map(
+    db: Database, spec: WorkloadSpec
+) -> dict[str, list[tuple[str, str, str]]]:
+    """table -> [(neighbor_table, own_column, neighbor_column)].
+
+    The database's FK graph restricted to the spec's tables, in both
+    directions; shared by the uniform generator and the templated suite
+    generator (:mod:`repro.workload.suite`).
+    """
+    allowed = set(spec.tables)
+    neighbors: dict[str, list[tuple[str, str, str]]] = {t: [] for t in allowed}
+    for fk in db.foreign_keys:
+        if fk.table in allowed and fk.ref_table in allowed:
+            neighbors[fk.table].append((fk.ref_table, fk.column, fk.ref_column))
+            neighbors[fk.ref_table].append((fk.table, fk.ref_column, fk.column))
+    return neighbors
+
+
+def build_literal_pools(
+    db: Database, spec: WorkloadSpec
+) -> dict[tuple[str, str], tuple[np.ndarray, np.ndarray]]:
+    """Value pools per (table, column) for literal drawing.
+
+    "Draw literals from database" — each pool holds the raw row
+    values (frequency-weighted drawing) and the distinct values
+    (uniform drawing); ``spec.literal_distribution`` picks between
+    them per draw.
+    """
+    pools: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+    for table_name in spec.tables:
+        table = db.table(table_name)
+        for column_name in spec.columns_of(table_name):
+            col = table.column(column_name)
+            pool = col.non_null_values()
+            if pool.size == 0:
+                raise QueryError(
+                    f"column {table_name}.{column_name} has no non-null "
+                    "values to draw literals from"
+                )
+            pools[(table_name, column_name)] = (pool, np.unique(pool))
+    return pools
+
+
+def decode_pool_value(db: Database, table: str, column: str, raw):
+    """Convert a raw pool value back into a python literal for ``column``."""
+    col = db.table(table).column(column)
+    if col.dtype is DType.STRING:
+        return col.dictionary[int(raw)]
+    if col.dtype is DType.INT64:
+        return int(raw)
+    return float(raw)
+
+
 class TrainingQueryGenerator:
     """Draws uniformly distributed conjunctive COUNT(*) queries.
 
@@ -70,43 +123,8 @@ class TrainingQueryGenerator:
         for table in spec.tables:
             if table not in db.tables:
                 raise QueryError(f"workload spec references unknown table {table!r}")
-        self._neighbors = self._build_neighbor_map()
-        self._literal_pools = self._build_literal_pools()
-
-    # ------------------------------------------------------------------
-    # precomputation
-    # ------------------------------------------------------------------
-    def _build_neighbor_map(self) -> dict[str, list[tuple[str, str, str]]]:
-        """table -> [(neighbor_table, own_column, neighbor_column)]."""
-        allowed = set(self.spec.tables)
-        neighbors: dict[str, list[tuple[str, str, str]]] = {t: [] for t in allowed}
-        for fk in self.db.foreign_keys:
-            if fk.table in allowed and fk.ref_table in allowed:
-                neighbors[fk.table].append((fk.ref_table, fk.column, fk.ref_column))
-                neighbors[fk.ref_table].append((fk.table, fk.ref_column, fk.column))
-        return neighbors
-
-    def _build_literal_pools(self) -> dict[tuple[str, str], tuple[np.ndarray, np.ndarray]]:
-        """Value pools per (table, column) for literal drawing.
-
-        "Draw literals from database" — each pool holds the raw row
-        values (frequency-weighted drawing) and the distinct values
-        (uniform drawing); ``spec.literal_distribution`` picks between
-        them per draw.
-        """
-        pools: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
-        for table_name in self.spec.tables:
-            table = self.db.table(table_name)
-            for column_name in self.spec.columns_of(table_name):
-                col = table.column(column_name)
-                pool = col.non_null_values()
-                if pool.size == 0:
-                    raise QueryError(
-                        f"column {table_name}.{column_name} has no non-null "
-                        "values to draw literals from"
-                    )
-                pools[(table_name, column_name)] = (pool, np.unique(pool))
-        return pools
+        self._neighbors = build_neighbor_map(db, spec)
+        self._literal_pools = build_literal_pools(db, spec)
 
     # ------------------------------------------------------------------
     # drawing
@@ -151,12 +169,7 @@ class TrainingQueryGenerator:
                 f"unknown literal distribution {self.spec.literal_distribution!r}"
             )
         raw = pool[int(self.rng.integers(0, len(pool)))]
-        col = self.db.table(table).column(column)
-        if col.dtype is DType.STRING:
-            return col.dictionary[int(raw)]
-        if col.dtype is DType.INT64:
-            return int(raw)
-        return float(raw)
+        return decode_pool_value(self.db, table, column, raw)
 
     def _draw_predicates(self, tables: list[str]) -> list[Predicate]:
         predicates: list[Predicate] = []
@@ -213,6 +226,28 @@ def spec_for_imdb(tables: tuple[str, ...] | None = None, max_joins: int = 2) -> 
             for t in tables
             if t in JOB_LIGHT_PREDICATE_COLUMNS
         },
+        max_joins=max_joins,
+    )
+
+
+def spec_for_imdb_templates(max_joins: int = 4) -> WorkloadSpec:
+    """Template-suite spec over the synthetic IMDb: JOB-light plus the
+    string-valued dimension tables, enabling deeper join chains
+    (``title ⋈ movie_keyword ⋈ keyword``), self-joins (two
+    ``movie_keyword`` copies through ``title``), and string predicates
+    (``keyword.keyword``, ``company_name.country_code``)."""
+    from ..datasets.imdb import JOB_LIGHT_ALIASES, JOB_LIGHT_PREDICATE_COLUMNS
+
+    aliases = dict(JOB_LIGHT_ALIASES)
+    aliases.update({"keyword": "k", "company_name": "cn"})
+    predicate_columns = dict(JOB_LIGHT_PREDICATE_COLUMNS)
+    predicate_columns.update(
+        {"keyword": ("keyword",), "company_name": ("country_code",)}
+    )
+    return WorkloadSpec(
+        tables=tuple(sorted(aliases)),
+        aliases=aliases,
+        predicate_columns=predicate_columns,
         max_joins=max_joins,
     )
 

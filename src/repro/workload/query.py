@@ -22,7 +22,7 @@ from ..ops import OPERATORS
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..db.database import Database
 
-Literal = int | float | str
+Literal = int | float | str | tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -94,9 +94,44 @@ def make_join(alias_a: str, column_a: str, alias_b: str, column_b: str) -> JoinE
     return JoinEdge(alias_a, column_a, alias_b, column_b)
 
 
+def _canonical_in_members(members) -> tuple:
+    """Validate and canonicalize an ``in`` literal's member tuple.
+
+    Members must be scalars of one kind (all strings or all numerics);
+    duplicates collapse and the survivors are sorted, so two IN lists
+    with the same member set compare, hash, and print identically.
+    """
+    if isinstance(members, (str, bytes)) or not isinstance(members, (tuple, list)):
+        raise QueryError(
+            f"'in' takes a tuple of scalar literals, got {members!r}"
+        )
+    if not members:
+        raise QueryError("'in' needs at least one member literal")
+    kinds = set()
+    for member in members:
+        if isinstance(member, bool):
+            raise QueryError("boolean literals are not supported")
+        if isinstance(member, str):
+            kinds.add("string")
+        elif isinstance(member, (int, float)):
+            kinds.add("numeric")
+        else:
+            raise QueryError(f"unsupported 'in' member literal {member!r}")
+    if len(kinds) > 1:
+        raise QueryError(
+            f"'in' members must all be strings or all numeric, got {members!r}"
+        )
+    return tuple(sorted(set(members)))
+
+
 @dataclass(frozen=True)
 class Predicate:
-    """A base-table selection ``alias.column <op> literal``."""
+    """A base-table selection ``alias.column <op> literal``.
+
+    For ``op == "in"`` the literal is a non-empty tuple of same-kind
+    scalars (set membership, i.e. a disjunction of equalities); member
+    order and duplicates are canonicalized away at construction.
+    """
 
     alias: str
     column: str
@@ -106,10 +141,24 @@ class Predicate:
     def __post_init__(self):
         if self.op not in OPERATORS:
             raise QueryError(f"unknown operator {self.op!r}")
+        if self.op == "in":
+            object.__setattr__(
+                self, "literal", _canonical_in_members(self.literal)
+            )
+            return
         if isinstance(self.literal, bool):
             raise QueryError("boolean literals are not supported")
+        if isinstance(self.literal, (tuple, list)):
+            raise QueryError(
+                f"tuple literals are only valid with 'in', got op {self.op!r}"
+            )
 
     def __str__(self) -> str:
+        from ..db.sql import format_literal
+
+        if self.op == "in":
+            members = ",".join(format_literal(m) for m in self.literal)
+            return f"{self.alias}.{self.column} IN ({members})"
         if isinstance(self.literal, str):
             escaped = self.literal.replace("'", "''")
             return f"{self.alias}.{self.column}{self.op}'{escaped}'"
@@ -218,7 +267,12 @@ class Query:
                     f"{pred.column!r}"
                 )
             # encode_literal raises QueryError on type mismatch.
-            table.column(pred.column).encode_literal(pred.literal)
+            column = table.column(pred.column)
+            if pred.op == "in":
+                for member in pred.literal:
+                    column.encode_literal(member)
+            else:
+                column.encode_literal(pred.literal)
 
     # ------------------------------------------------------------------
     # SQL rendering (lazy import avoids a db <-> workload cycle)

@@ -1,0 +1,146 @@
+"""Train/test splits over templated suites.
+
+Two complementary split semantics, following the DSB-style evaluation
+methodology (train/test *by template*, not by query):
+
+* :func:`split_by_template` — **held-out templates**: whole templates
+  move to the test side, so evaluation measures generalization to query
+  shapes never seen in training (the paper's headline claim).
+* :func:`split_within_template` — **held-out literals**: every template
+  appears on both sides, split instance-wise.  This is the classic
+  uniform split, kept as the in-template baseline the cross-template
+  numbers are compared against.
+* :func:`template_folds` — round-robin k-fold variant of the
+  template-level split, for when one holdout is too noisy.
+
+All splits are seeded through :mod:`repro.rng` and never leak a
+template (or, within templates, a query) across the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..rng import SeedLike, make_rng
+from .suite import TemplateQueries, TemplateSuite
+
+
+@dataclass(frozen=True)
+class TemplateSplit:
+    """A train/test pair of sub-suites."""
+
+    train: TemplateSuite
+    test: TemplateSuite
+
+    @property
+    def train_names(self) -> list[str]:
+        return self.train.names
+
+    @property
+    def test_names(self) -> list[str]:
+        return self.test.names
+
+
+def _holdout_count(n: int, fraction: float, what: str) -> int:
+    if not 0.0 < fraction < 1.0:
+        raise QueryError(
+            f"test_fraction must be strictly between 0 and 1, got {fraction}"
+        )
+    if n < 2:
+        raise QueryError(
+            f"need at least 2 {what} to split, got {n}"
+        )
+    return min(max(int(round(fraction * n)), 1), n - 1)
+
+
+def split_by_template(
+    suite: TemplateSuite, test_fraction: float = 0.25, seed: SeedLike = None
+) -> TemplateSplit:
+    """Hold out whole templates: the cross-template generalization split.
+
+    A template's queries land entirely on one side — never both.  The
+    partition is a seeded permutation of the template list, so the same
+    seed always produces the same split.
+    """
+    n_test = _holdout_count(len(suite), test_fraction, "templates")
+    rng = make_rng(seed)
+    order = [suite.names[int(i)] for i in rng.permutation(len(suite))]
+    test_names = set(order[:n_test])
+    train_names = [name for name in suite.names if name not in test_names]
+    return TemplateSplit(
+        train=suite.subset(train_names),
+        test=suite.subset([name for name in suite.names if name in test_names]),
+    )
+
+
+def template_folds(
+    suite: TemplateSuite, n_folds: int, seed: SeedLike = None
+) -> list[TemplateSplit]:
+    """K-fold cross-validation over templates (round-robin assignment).
+
+    Every template is the held-out side exactly once; folds partition
+    the template set.  Raises when there are fewer templates than folds
+    (an empty fold would silently evaluate nothing).
+    """
+    if n_folds < 2:
+        raise QueryError(f"need at least 2 folds, got {n_folds}")
+    if len(suite) < n_folds:
+        raise QueryError(
+            f"cannot split {len(suite)} templates into {n_folds} folds; "
+            "reduce n_folds or generate more templates"
+        )
+    rng = make_rng(seed)
+    order = [suite.names[int(i)] for i in rng.permutation(len(suite))]
+    folds: list[list[str]] = [[] for _ in range(n_folds)]
+    for position, name in enumerate(order):
+        folds[position % n_folds].append(name)
+    splits = []
+    for held_out in folds:
+        held = set(held_out)
+        splits.append(
+            TemplateSplit(
+                train=suite.subset([n for n in suite.names if n not in held]),
+                test=suite.subset([n for n in suite.names if n in held]),
+            )
+        )
+    return splits
+
+
+def split_within_template(
+    suite: TemplateSuite, test_fraction: float = 0.25, seed: SeedLike = None
+) -> TemplateSplit:
+    """Hold out literals: every template split instance-wise.
+
+    The in-template baseline — both sides see every template, only the
+    constants differ.  Each template needs at least 2 queries; labels
+    (when present) travel with their queries.
+    """
+    rng = make_rng(seed)
+    train_entries: list[TemplateQueries] = []
+    test_entries: list[TemplateQueries] = []
+    for entry in suite.templates:
+        n_test = _holdout_count(
+            len(entry), test_fraction, f"queries in template {entry.name!r}"
+        )
+        order = rng.permutation(len(entry))
+        test_idx = sorted(int(i) for i in order[:n_test])
+        train_idx = sorted(int(i) for i in order[n_test:])
+
+        def take(indices: list[int]) -> TemplateQueries:
+            return TemplateQueries(
+                template=entry.template,
+                queries=tuple(entry.queries[i] for i in indices),
+                cardinalities=(
+                    tuple(entry.cardinalities[i] for i in indices)
+                    if entry.cardinalities is not None
+                    else None
+                ),
+            )
+
+        train_entries.append(take(train_idx))
+        test_entries.append(take(test_idx))
+    return TemplateSplit(
+        train=TemplateSuite(templates=tuple(train_entries)),
+        test=TemplateSuite(templates=tuple(test_entries)),
+    )

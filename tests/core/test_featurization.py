@@ -195,8 +195,10 @@ class TestQueryFeaturization:
             restricted.featurize_query(query, query_bitmaps(imdb_samples, query), db=imdb)
 
     def test_full_operator_vocabulary(self, featurizer):
-        """Templates need >=/< even when training used only {=, <, >}."""
-        assert set(featurizer.operators) == {"=", "<", ">", "<=", ">=", "<>"}
+        """Templates need >=/</IN even when training used only {=, <, >}."""
+        assert set(featurizer.operators) == {
+            "=", "<", ">", "<=", ">=", "<>", "in",
+        }
 
     def test_missing_bitmap_rejected(self, featurizer):
         with pytest.raises(FeaturizationError):

@@ -1,0 +1,106 @@
+"""Template-level generalization evaluation and experiment."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    SketchConfig,
+    evaluate_on_suite,
+    run_generalization_experiment,
+)
+from repro.errors import TrainingError
+from repro.workload import (
+    SuiteConfig,
+    generate_template_suite,
+    spec_for_imdb,
+)
+
+
+@pytest.fixture(scope="module")
+def labeled(request):
+    imdb = request.getfixturevalue("imdb_small")
+    suite = generate_template_suite(
+        imdb,
+        spec_for_imdb(max_joins=2),
+        SuiteConfig(n_templates=6, queries_per_template=12, max_joins=2),
+        seed=31,
+    )
+    return suite.label(imdb, min_queries_per_template=4)
+
+
+@pytest.fixture(scope="module")
+def report(request, labeled):
+    imdb = request.getfixturevalue("imdb_small")
+    return run_generalization_experiment(
+        imdb,
+        spec_for_imdb(max_joins=2),
+        labeled,
+        sketch_config=SketchConfig(sample_size=50, epochs=2, hidden_units=16, seed=1),
+        test_fraction=0.34,
+        holdout_fraction=0.25,
+        seed=17,
+        name="gen-test",
+    )
+
+
+class TestEvaluateOnSuite:
+    def test_per_template_chunking(self, trained_sketch, labeled):
+        sketch, _ = trained_sketch
+        result = evaluate_on_suite(sketch, labeled)
+        assert set(result.per_template) == set(labeled.names)
+        counts = {name: s.count for name, s in result.per_template.items()}
+        assert counts == {e.name: len(e) for e in labeled.templates}
+        assert result.overall.count == labeled.n_queries
+
+    def test_qerrors_are_finite_and_at_least_one(self, trained_sketch, labeled):
+        sketch, _ = trained_sketch
+        result = evaluate_on_suite(sketch, labeled)
+        for summary in result.per_template.values():
+            assert math.isfinite(summary.max)
+            assert summary.median >= 1.0
+
+    def test_tails_block_shape(self, trained_sketch, labeled):
+        sketch, _ = trained_sketch
+        tails = evaluate_on_suite(sketch, labeled).tails()
+        for block in tails.values():
+            assert set(block) == {"p50", "p95", "p99", "max", "count"}
+
+    def test_unlabeled_suite_rejected(self, trained_sketch, labeled):
+        from repro.workload import TemplateQueries, TemplateSuite
+
+        sketch, _ = trained_sketch
+        unlabeled = TemplateSuite(
+            templates=tuple(
+                TemplateQueries(template=e.template, queries=e.queries)
+                for e in labeled.templates
+            )
+        )
+        with pytest.raises(TrainingError, match="labeled"):
+            evaluate_on_suite(sketch, unlabeled)
+
+
+class TestExperiment:
+    def test_template_sides_are_disjoint(self, report, labeled):
+        assert not set(report.train_templates) & set(report.test_templates)
+        assert sorted(report.train_templates + report.test_templates) == sorted(
+            labeled.names
+        )
+
+    def test_in_template_evaluates_training_templates_only(self, report):
+        assert set(report.in_template.per_template) <= set(report.train_templates)
+        assert set(report.cross_template.per_template) == set(report.test_templates)
+
+    def test_cross_template_p99_is_worst_template(self, report):
+        worst = max(s.p99 for s in report.cross_template.per_template.values())
+        assert report.cross_template_p99 == worst
+
+    def test_sketch_trained_on_subset(self, report, labeled):
+        assert 0 < report.n_train_queries < labeled.n_queries
+
+    def test_json_reports_both_splits(self, report):
+        payload = report.to_json()
+        assert payload["cross_template"]["p99"] == report.cross_template_p99
+        for side in ("in_template", "cross_template"):
+            assert payload[side]["per_template"]
+            assert payload[side]["overall"]["median"] >= 1.0

@@ -1,0 +1,179 @@
+"""IN-predicate semantics across the stack: column, executor, baseline.
+
+The templated workload generator emits IN predicates, so membership
+evaluation must agree between the vectorized column kernel, the exact
+executor, the PostgreSQL-style baseline, and the featurizer's one-slot
+literal summary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.postgres import PostgresEstimator, predicate_selectivity
+from repro.db import Column, execute_count
+from repro.db.statistics import analyze_database
+from repro.errors import QueryError
+from repro.workload import Predicate, Query, TableRef, make_join
+
+
+@pytest.fixture()
+def numeric_col():
+    return Column.from_ints(
+        "x", [1, 5, 10, 0], valid=np.array([True, True, True, False])
+    )
+
+
+@pytest.fixture()
+def string_col():
+    return Column.from_strings("s", ["b", None, "a", "b", "c"])
+
+
+class TestColumnEvaluate:
+    def test_numeric_membership(self, numeric_col):
+        mask = numeric_col.evaluate("in", (1, 10, 999))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_null_rows_never_qualify(self, numeric_col):
+        # Row 3 holds the member value 0 but is NULL.
+        mask = numeric_col.evaluate("in", (0,))
+        assert mask.tolist() == [False, False, False, False]
+
+    def test_no_members_present_matches_nothing(self, numeric_col):
+        assert not numeric_col.evaluate("in", (999, -1)).any()
+
+    def test_equivalent_to_equality_disjunction(self, numeric_col):
+        combined = numeric_col.evaluate("=", 1) | numeric_col.evaluate("=", 10)
+        assert (numeric_col.evaluate("in", (1, 10)) == combined).all()
+
+    def test_string_membership(self, string_col):
+        mask = string_col.evaluate("in", ("a", "b"))
+        assert mask.tolist() == [True, False, True, True, False]
+
+    def test_absent_string_members_shrink_the_disjunction(self, string_col):
+        with_absent = string_col.evaluate("in", ("a", "zzz"))
+        assert (with_absent == string_col.evaluate("in", ("a",))).all()
+
+    def test_all_members_absent_matches_nothing(self, string_col):
+        assert not string_col.evaluate("in", ("nope", "zzz")).any()
+
+    def test_scalar_literal_rejected(self, numeric_col):
+        with pytest.raises(QueryError):
+            numeric_col.evaluate("in", 5)
+        with pytest.raises(QueryError):
+            numeric_col.evaluate("in", "abc")
+
+    def test_wrong_kind_member_rejected(self, numeric_col, string_col):
+        with pytest.raises(QueryError):
+            numeric_col.evaluate("in", ("a",))
+        with pytest.raises(QueryError):
+            string_col.evaluate("in", (1,))
+
+
+class TestExecutor:
+    def test_single_table_in_count(self, tiny_db):
+        # keyword_id values: [7, 8, 7, 9, 7, 8, 9, 9] -> {7, 9} hits 6.
+        q = Query(
+            tables=(TableRef("movie_keyword", "mk"),),
+            predicates=(Predicate("mk", "keyword_id", "in", (7, 9)),),
+        )
+        assert execute_count(tiny_db, q) == 6
+
+    def test_in_equals_sum_of_equalities(self, tiny_db):
+        # Disjoint members: the IN count is the sum of '=' counts.
+        def count(pred):
+            return execute_count(
+                tiny_db,
+                Query(tables=(TableRef("movie_keyword", "mk"),), predicates=(pred,)),
+            )
+
+        assert count(Predicate("mk", "keyword_id", "in", (7, 8))) == count(
+            Predicate("mk", "keyword_id", "=", 7)
+        ) + count(Predicate("mk", "keyword_id", "=", 8))
+
+    def test_join_with_in_matches_brute_force(self, tiny_db):
+        q = Query(
+            tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+            joins=(make_join("mk", "movie_id", "t", "id"),),
+            predicates=(
+                Predicate("mk", "keyword_id", "in", (8, 9)),
+                Predicate("t", "year", ">=", 2005),
+            ),
+        )
+        title = tiny_db.table("title")
+        mk = tiny_db.table("movie_keyword")
+        expected = 0
+        for i in range(len(mk.column("movie_id"))):
+            if mk.column("keyword_id").decode(i) not in (8, 9):
+                continue
+            for j in range(len(title.column("id"))):
+                year = title.column("year").decode(j)
+                if year is None or year < 2005:
+                    continue
+                if title.column("id").decode(j) == mk.column("movie_id").decode(i):
+                    expected += 1
+        assert expected > 0
+        assert execute_count(tiny_db, q) == expected
+
+
+class TestPostgresBaseline:
+    def test_in_selectivity_sums_member_equalities(self, tiny_db):
+        stats = analyze_database(tiny_db)["movie_keyword"]
+
+        def sel(pred):
+            return predicate_selectivity(
+                tiny_db, stats, "movie_keyword", pred
+            )
+
+        members = sel(Predicate("mk", "keyword_id", "in", (7, 9)))
+        separate = sel(Predicate("mk", "keyword_id", "=", 7)) + sel(
+            Predicate("mk", "keyword_id", "=", 9)
+        )
+        assert members == pytest.approx(min(separate, 1.0))
+
+    def test_in_selectivity_monotone_in_members(self, tiny_db):
+        stats = analyze_database(tiny_db)["movie_keyword"]
+        small = predicate_selectivity(
+            tiny_db, stats, "movie_keyword",
+            Predicate("mk", "keyword_id", "in", (7,)),
+        )
+        large = predicate_selectivity(
+            tiny_db, stats, "movie_keyword",
+            Predicate("mk", "keyword_id", "in", (7, 8, 9)),
+        )
+        assert 0.0 < small <= large <= 1.0
+
+    def test_estimator_handles_in_queries(self, imdb_small):
+        estimator = PostgresEstimator(imdb_small)
+        q = Query(
+            tables=(TableRef("title", "t"), TableRef("movie_info", "mi")),
+            joins=(make_join("mi", "movie_id", "t", "id"),),
+            predicates=(Predicate("mi", "info_type_id", "in", (1, 2, 3)),),
+        )
+        estimate = estimator.estimate(q)
+        assert np.isfinite(estimate)
+        assert estimate >= 1.0
+
+
+class TestFeaturizer:
+    def test_in_literal_normalizes_to_member_mean(self, trained_sketch):
+        sketch, _ = trained_sketch
+        featurizer = sketch.featurizer
+        key = "title.production_year"
+        db_column = None
+        members = (1960, 2000)
+        expected = np.mean(
+            [featurizer.normalize_literal(db_column, key, m) for m in members]
+        )
+        assert featurizer.normalize_literal(db_column, key, members) == pytest.approx(
+            float(expected)
+        )
+
+    def test_sketch_estimates_in_queries(self, trained_sketch):
+        sketch, _ = trained_sketch
+        q = Query(
+            tables=(TableRef("title", "t"),),
+            predicates=(Predicate("t", "production_year", "in", (1995, 2005)),),
+        )
+        estimate = sketch.estimate(q, use_cache=False)
+        assert np.isfinite(estimate)
+        assert estimate >= 1.0

@@ -57,6 +57,27 @@ class TestParsing:
             "SELECT COUNT(*) FROM t;"
         )
 
+    def test_in_list_numeric(self):
+        q = parse_sql("SELECT COUNT(*) FROM t WHERE t.kind_id IN (3, 1, 2);")
+        assert q.predicates[0].op == "in"
+        assert q.predicates[0].literal == (1, 2, 3)  # canonicalized
+
+    def test_in_list_strings(self):
+        q = parse_sql("SELECT COUNT(*) FROM k WHERE k.name IN ('b', 'a');")
+        assert q.predicates[0].literal == ("a", "b")
+
+    def test_in_list_single_member(self):
+        q = parse_sql("SELECT COUNT(*) FROM t WHERE t.x IN (7);")
+        assert q.predicates[0].literal == (7,)
+
+    def test_in_keyword_case_insensitive(self):
+        q = parse_sql("select count(*) from t where t.x in (1, 2);")
+        assert q.predicates[0].op == "in"
+
+    def test_in_members_deduplicated(self):
+        q = parse_sql("SELECT COUNT(*) FROM t WHERE t.x IN (5, 5, 3);")
+        assert q.predicates[0].literal == (3, 5)
+
     @pytest.mark.parametrize(
         "bad",
         [
@@ -71,6 +92,10 @@ class TestParsing:
             "SELECT COUNT(*) FROM t t1, t t2 WHERE t1.x=t2.x extra",
             "SELECT COUNT(*) FROM t WHERE t.x=5 OR t.y=2;",
             "SELECT COUNT(*) FROM t WHERE x=5;",  # unqualified column
+            "SELECT COUNT(*) FROM t WHERE t.x IN ();",  # empty IN list
+            "SELECT COUNT(*) FROM t WHERE t.x IN (1, 2;",  # unclosed
+            "SELECT COUNT(*) FROM t WHERE t.x IN 1;",  # missing parens
+            "SELECT COUNT(*) FROM t WHERE t.x IN (1,, 2);",
         ],
     )
     def test_rejects_invalid(self, bad):
@@ -99,6 +124,15 @@ class TestPrinting:
         parsed = parse_sql(to_sql(q))
         assert isinstance(parsed.predicates[0].literal, float)
 
+    def test_in_roundtrip_numeric_and_string(self):
+        for literal in ((3, 1, 4), ("it's", "plain")):
+            q = Query(
+                tables=(TableRef("t", "t"),),
+                predicates=(Predicate("t", "x", "in", literal),),
+            )
+            assert "IN (" in to_sql(q)
+            assert parse_sql(to_sql(q)) == q
+
 
 # ----------------------------------------------------------------------
 # round-trip property: parse(print(q)) == q over random queries
@@ -107,14 +141,22 @@ class TestPrinting:
 names = st.sampled_from(["t", "mk", "mi", "ci", "mc"])
 columns = st.sampled_from(["id", "movie_id", "year", "kind_id"])
 ops = st.sampled_from(["=", "<", ">", "<=", ">=", "<>"])
-literals = st.one_of(
-    st.integers(min_value=-10_000, max_value=10_000),
-    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+strings = st.one_of(
     st.text(
         alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
         max_size=8,
     ),
     st.just("with'quote"),
+)
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    strings,
+)
+# IN lists: members all numeric or all string (the Predicate contract).
+in_lists = st.one_of(
+    st.lists(st.integers(min_value=-10_000, max_value=10_000), min_size=1, max_size=4),
+    st.lists(strings, min_size=1, max_size=4),
 )
 
 
@@ -129,6 +171,11 @@ def random_queries(draw):
     predicates = []
     for _ in range(n_preds):
         alias = draw(st.sampled_from(aliases))
+        if draw(st.booleans()):
+            predicates.append(
+                Predicate(alias, draw(columns), "in", tuple(draw(in_lists)))
+            )
+            continue
         literal = draw(literals)
         op = "=" if isinstance(literal, str) else draw(ops)
         predicates.append(Predicate(alias, draw(columns), op, literal))

@@ -460,6 +460,130 @@ class TestBadFlagCombinations:
         assert excinfo.value.code == 2
 
 
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def suite_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("wl") / "suite.json")
+        code = main(
+            [
+                "workload", "generate",
+                "--dataset", "imdb",
+                "--scale", "0.05",
+                "--templates", "4",
+                "--per-template", "4",
+                "--max-joins", "2",
+                "--seed", "21",
+                "--out", path,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_generate_writes_loadable_suite(self, suite_path, capsys):
+        import json
+
+        from repro.workload import TemplateSuite
+
+        with open(suite_path) as handle:
+            suite = TemplateSuite.from_json(json.load(handle))
+        assert len(suite) == 4
+        assert not suite.labeled
+
+    def test_generate_label_attaches_cardinalities(self, tmp_path, capsys):
+        import json
+
+        from repro.workload import TemplateSuite
+
+        path = str(tmp_path / "labeled.json")
+        code = main(
+            [
+                "workload", "generate",
+                "--dataset", "imdb", "--scale", "0.05",
+                "--templates", "3", "--per-template", "3",
+                "--max-joins", "1", "--seed", "22",
+                "--label", "--out", path,
+            ]
+        )
+        assert code == 0
+        with open(path) as handle:
+            suite = TemplateSuite.from_json(json.load(handle))
+        assert suite.labeled
+        assert all(len(e) >= 2 for e in suite)  # --min-per-template default
+
+    def test_split_by_template_is_leak_free(self, suite_path, tmp_path, capsys):
+        import json
+
+        from repro.workload import TemplateSuite
+
+        train_out = str(tmp_path / "train.json")
+        test_out = str(tmp_path / "test.json")
+        code = main(
+            [
+                "workload", "split", suite_path,
+                "--test-fraction", "0.25", "--seed", "1",
+                "--train-out", train_out, "--test-out", test_out,
+            ]
+        )
+        assert code == 0
+        with open(train_out) as handle:
+            train = TemplateSuite.from_json(json.load(handle))
+        with open(test_out) as handle:
+            test = TemplateSuite.from_json(json.load(handle))
+        assert not set(train.names) & set(test.names)
+        assert len(train) + len(test) == 4
+
+    def test_split_within_keeps_all_templates(self, suite_path, tmp_path, capsys):
+        import json
+
+        from repro.workload import TemplateSuite
+
+        train_out = str(tmp_path / "train.json")
+        test_out = str(tmp_path / "test.json")
+        code = main(
+            [
+                "workload", "split", suite_path, "--within",
+                "--test-fraction", "0.5", "--seed", "1",
+                "--train-out", train_out, "--test-out", test_out,
+            ]
+        )
+        assert code == 0
+        with open(train_out) as handle:
+            train = TemplateSuite.from_json(json.load(handle))
+        with open(test_out) as handle:
+            test = TemplateSuite.from_json(json.load(handle))
+        assert train.names == test.names
+
+    def test_replay_local_prints_audit(self, suite_path, sketch_path, capsys):
+        import json
+
+        code = main(
+            [
+                "workload", "replay", suite_path, sketch_path,
+                "--requests", "24", "--time-scale", "0",
+                "--seed", "2", "--max-batch", "8",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        audit = json.loads(captured.out)
+        assert audit["ok"] is True
+        assert audit["n_unresolved"] == 0
+        assert audit["n_ok"] + audit["n_failed"] == 24
+
+    def test_replay_needs_target(self, suite_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "replay", suite_path])
+        assert excinfo.value.code == 2
+
+    def test_replay_rejects_url_plus_sketches(self, suite_path, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["workload", "replay", suite_path, sketch_path,
+                 "--url", "http://127.0.0.1:1"]
+            )
+        assert excinfo.value.code == 2
+
+
 class TestBenchServe:
     def test_tiny_benchmark_runs_and_passes(self, capsys):
         code = main(["bench-serve", "--tiny"])

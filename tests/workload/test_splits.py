@@ -1,0 +1,141 @@
+"""Template-level split semantics: no leaks, seed-stable, clear errors."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workload import (
+    SuiteConfig,
+    generate_template_suite,
+    spec_for_imdb_templates,
+    split_by_template,
+    split_within_template,
+    template_folds,
+)
+
+
+@pytest.fixture(scope="module")
+def suite(request):
+    imdb = request.getfixturevalue("imdb_small")
+    config = SuiteConfig(n_templates=8, queries_per_template=10, max_joins=2)
+    return generate_template_suite(
+        imdb, spec_for_imdb_templates(max_joins=2), config, seed=42
+    )
+
+
+@pytest.fixture(scope="module")
+def labeled(request, suite):
+    imdb = request.getfixturevalue("imdb_small")
+    return suite.label(imdb, min_queries_per_template=2)
+
+
+class TestSplitByTemplate:
+    def test_no_template_leaks_across_boundary(self, suite):
+        split = split_by_template(suite, 0.25, seed=0)
+        assert not set(split.train_names) & set(split.test_names)
+        assert sorted(split.train_names + split.test_names) == sorted(suite.names)
+
+    def test_no_query_leaks_across_boundary(self, suite):
+        split = split_by_template(suite, 0.25, seed=0)
+        train_queries = set(split.train.queries())
+        test_queries = set(split.test.queries())
+        assert not train_queries & test_queries
+
+    def test_both_sides_nonempty(self, suite):
+        for fraction in (0.1, 0.25, 0.5, 0.9):
+            split = split_by_template(suite, fraction, seed=1)
+            assert len(split.train) >= 1
+            assert len(split.test) >= 1
+
+    def test_seed_stable(self, suite):
+        a = split_by_template(suite, 0.25, seed=7)
+        b = split_by_template(suite, 0.25, seed=7)
+        assert a.train_names == b.train_names
+        assert a.test_names == b.test_names
+
+    def test_different_seeds_differ(self, suite):
+        partitions = {
+            tuple(split_by_template(suite, 0.5, seed=s).test_names)
+            for s in range(8)
+        }
+        assert len(partitions) > 1
+
+    def test_fraction_bounds_rejected(self, suite):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(QueryError, match="test_fraction"):
+                split_by_template(suite, bad, seed=0)
+
+    def test_single_template_rejected(self, suite):
+        lone = suite.subset(suite.names[:1])
+        with pytest.raises(QueryError, match="at least 2 templates"):
+            split_by_template(lone, 0.5, seed=0)
+
+    def test_labels_travel_with_queries(self, labeled):
+        split = split_by_template(labeled, 0.25, seed=0)
+        assert split.train.labeled
+        assert split.test.labeled
+
+
+class TestTemplateFolds:
+    def test_folds_partition_templates(self, suite):
+        folds = template_folds(suite, 4, seed=0)
+        assert len(folds) == 4
+        held_out = [name for fold in folds for name in fold.test_names]
+        assert sorted(held_out) == sorted(suite.names)
+
+    def test_each_fold_leak_free(self, suite):
+        for fold in template_folds(suite, 3, seed=2):
+            assert not set(fold.train_names) & set(fold.test_names)
+
+    def test_too_many_folds_is_clear_error(self, suite):
+        with pytest.raises(QueryError, match="reduce n_folds or generate"):
+            template_folds(suite, len(suite) + 1, seed=0)
+
+    def test_fewer_than_two_folds_rejected(self, suite):
+        with pytest.raises(QueryError, match="at least 2 folds"):
+            template_folds(suite, 1, seed=0)
+
+
+class TestSplitWithinTemplate:
+    def test_every_template_on_both_sides(self, suite):
+        split = split_within_template(suite, 0.3, seed=0)
+        assert split.train_names == suite.names
+        assert split.test_names == suite.names
+
+    def test_no_instance_leaks(self, suite):
+        split = split_within_template(suite, 0.3, seed=0)
+        for name in suite.names:
+            train_queries = set(split.train.template(name).queries)
+            test_queries = set(split.test.template(name).queries)
+            assert not train_queries & test_queries
+            assert len(train_queries) + len(test_queries) == len(
+                suite.template(name)
+            )
+
+    def test_seed_stable(self, suite):
+        a = split_within_template(suite, 0.3, seed=9)
+        b = split_within_template(suite, 0.3, seed=9)
+        assert a.train.queries() == b.train.queries()
+
+    def test_labels_stay_aligned(self, request, labeled):
+        imdb = request.getfixturevalue("imdb_small")
+        from repro.db import execute_count
+
+        split = split_within_template(labeled, 0.3, seed=0)
+        for side in (split.train, split.test):
+            for entry in side:
+                for query, card in zip(entry.queries, entry.cardinalities):
+                    assert card == execute_count(imdb, query)
+
+    def test_singleton_template_is_clear_error(self, suite):
+        from repro.workload import TemplateQueries, TemplateSuite
+
+        entry = suite.templates[0]
+        lone = TemplateSuite(
+            templates=(
+                TemplateQueries(
+                    template=entry.template, queries=entry.queries[:1]
+                ),
+            )
+        )
+        with pytest.raises(QueryError, match="at least 2 queries"):
+            split_within_template(lone, 0.5, seed=0)
