@@ -50,15 +50,22 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+from repro.baselines.postgres import PostgresEstimator  # noqa: E402
 from repro.core import SketchConfig, run_generalization_experiment  # noqa: E402
 from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
 from repro.demo import SketchManager  # noqa: E402
+from repro.metrics import qerrors, summarize_qerrors  # noqa: E402
+from repro.rng import make_rng, spawn  # noqa: E402
 from repro.serve.bench import run_bursty_stress_benchmark  # noqa: E402
 from repro.workload import (  # noqa: E402
     SuiteConfig,
     TrafficConfig,
     generate_template_suite,
     spec_for_imdb_templates,
+)
+from repro.workload.splits import (  # noqa: E402
+    split_by_template,
+    split_within_template,
 )
 
 #: The ``--tiny`` smoke configuration: small enough for CI seconds,
@@ -90,6 +97,35 @@ def _finite_tails(block: dict) -> bool:
             if not math.isfinite(tails[key]):
                 return False
     return True
+
+
+def _baseline_eval(estimator, suite) -> dict:
+    """Per-template q-error tails of a baseline estimator on a suite.
+
+    Mirrors :func:`repro.core.training.evaluate_on_suite` so the
+    baseline columns in ``BENCH_workloads.json`` line up one-to-one
+    with the learned estimator's blocks.
+    """
+    queries, cards = suite.labeled_pairs()
+    estimates = [estimator.estimate(q) for q in queries]
+    errors = qerrors(estimates, cards)
+    per_template = {}
+    offset = 0
+    for entry in suite.templates:
+        chunk = errors[offset : offset + len(entry)]
+        offset += len(entry)
+        summary = summarize_qerrors(chunk)
+        per_template[entry.name] = {
+            "p50": summary.median,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "max": summary.max,
+            "count": summary.count,
+        }
+    return {
+        "per_template": per_template,
+        "overall": summarize_qerrors(errors).as_dict(),
+    }
 
 
 def run(args) -> int:
@@ -167,6 +203,46 @@ def run(args) -> int:
             f"{tails['max']:10.2f} ({tails['count']} queries)"
         )
 
+    # -- PostgreSQL baseline on the same held-out sides ----------------
+    # Reconstruct the experiment's exact splits: the generalization
+    # helper spawns (outer, inner, build) streams from the seed, so
+    # re-spawning here lands the baseline on the identical test suites.
+    print(
+        "scoring PostgreSQL baseline on the same held-out suites...",
+        file=sys.stderr,
+    )
+    outer_rng, inner_rng, _build_rng = spawn(make_rng(args.seed), 3)
+    outer = split_by_template(labeled, args.test_fraction, seed=outer_rng)
+    inner = split_within_template(
+        outer.train, args.holdout_fraction, seed=inner_rng
+    )
+    postgres = PostgresEstimator(db)
+    baselines = {
+        "postgres": {
+            "in_template": _baseline_eval(postgres, inner.test),
+            "cross_template": _baseline_eval(postgres, outer.test),
+        }
+    }
+    pg_cross = baselines["postgres"]["cross_template"]
+    pg_in = baselines["postgres"]["in_template"]
+    text_lines += [
+        "",
+        f"postgres baseline : in-template p50 "
+        f"{pg_in['overall']['median']:8.2f}, p95 "
+        f"{pg_in['overall']['95th']:8.2f}; cross-template p50 "
+        f"{pg_cross['overall']['median']:8.2f}, p95 "
+        f"{pg_cross['overall']['95th']:8.2f}",
+    ]
+    for name in sorted(pg_cross["per_template"]):
+        pg = pg_cross["per_template"][name]
+        learned = gen_json["cross_template"]["per_template"].get(name)
+        learned_txt = (
+            f"learned p99 {learned['p99']:8.2f}" if learned else "learned n/a"
+        )
+        text_lines.append(
+            f"    {name:<16}: postgres p99 {pg['p99']:8.2f} vs {learned_txt}"
+        )
+
     # -- bursty gateway stress -----------------------------------------
     print(
         f"running bursty gateway stress ({args.requests} open-loop "
@@ -211,6 +287,18 @@ def run(args) -> int:
             _finite_tails(gen_json["in_template"]["per_template"])
             and _finite_tails(gen_json["cross_template"]["per_template"])
         ),
+        # The baseline columns must cover exactly the estimator's
+        # templates (same reconstructed splits) with finite tails.
+        "baseline_templates_match": (
+            set(pg_in["per_template"])
+            == set(gen_json["in_template"]["per_template"])
+            and set(pg_cross["per_template"])
+            == set(gen_json["cross_template"]["per_template"])
+        ),
+        "baseline_tails_finite": (
+            _finite_tails(pg_in["per_template"])
+            and _finite_tails(pg_cross["per_template"])
+        ),
         # The degradation contract under bursty open-loop load.
         "stress_zero_hung_futures": stress.replay.zero_hung,
         "stress_structured_codes_only": stress.replay.structured_only,
@@ -239,6 +327,7 @@ def run(args) -> int:
             },
         },
         "generalization": gen_json,
+        "baselines": baselines,
         "stress": stress.audit(),
         "config": {
             "mode": "tiny" if args.tiny else "full",

@@ -260,6 +260,62 @@ def _build_parser() -> argparse.ArgumentParser:
     wl_replay.add_argument("--max-queue-depth", type=int, default=None,
                           help="local mode: admission-control bound")
 
+    lifecycle = commands.add_parser(
+        "lifecycle",
+        help="versioned model registry: save sketch versions, pin, "
+        "roll back, and inspect the fleet's lifecycle state",
+    )
+    lc_commands = lifecycle.add_subparsers(
+        dest="lifecycle_command", required=True
+    )
+
+    lc_save = lc_commands.add_parser(
+        "save",
+        help="store a saved sketch file as the next registry version "
+        "(checksummed blob + manifest entry)",
+    )
+    lc_save.add_argument("sketch", help="path to a saved sketch file")
+    lc_save.add_argument("--registry", required=True,
+                         help="registry root directory (created if missing)")
+    lc_save.add_argument("--note", default="",
+                         help="free-form note recorded in the manifest")
+    lc_save.add_argument("--no-activate", dest="activate",
+                         action="store_false",
+                         help="record the version without making it active")
+
+    lc_list = lc_commands.add_parser(
+        "list",
+        help="list registered sketches with their active/pinned versions",
+    )
+    lc_list.add_argument("--registry", required=True)
+
+    lc_status = lc_commands.add_parser(
+        "status",
+        help="full registry manifest as JSON (every version, checksums, "
+        "notes, rollback count)",
+    )
+    lc_status.add_argument("--registry", required=True)
+
+    lc_pin = lc_commands.add_parser(
+        "pin",
+        help="pin a version as the rollback target for a sketch",
+    )
+    lc_pin.add_argument("name", help="sketch name in the registry")
+    lc_pin.add_argument("version", type=int, help="version number to pin")
+    lc_pin.add_argument("--registry", required=True)
+
+    lc_rollback = lc_commands.add_parser(
+        "rollback",
+        help="activate the pinned version (or the latest older one), "
+        "verify its checksum, and optionally write the restored "
+        "sketch to a file",
+    )
+    lc_rollback.add_argument("name", help="sketch name in the registry")
+    lc_rollback.add_argument("--registry", required=True)
+    lc_rollback.add_argument("--out", default=None,
+                             help="write the restored sketch here so it "
+                             "can be re-served")
+
     bench = commands.add_parser(
         "bench-serve",
         help="measure single-query vs batched serving throughput",
@@ -768,6 +824,82 @@ def _cmd_workload(args) -> int:
     return _WORKLOAD_COMMANDS[args.workload_command](args)
 
 
+def _open_registry(path: str):
+    from .serve.registry import SketchRegistry
+
+    return SketchRegistry(path)
+
+
+def _cmd_lifecycle_save(args) -> int:
+    sketch = DeepSketch.load(args.sketch)
+    registry = _open_registry(args.registry)
+    version = registry.save(sketch, note=args.note, activate=args.activate)
+    state = "active" if args.activate else "inactive"
+    print(f"saved {sketch.name!r} as version {version} ({state})")
+    return 0
+
+
+def _cmd_lifecycle_list(args) -> int:
+    registry = _open_registry(args.registry)
+    names = registry.list_sketches()
+    if not names:
+        print("registry is empty")
+        return 0
+    for name in names:
+        versions = registry.versions(name)
+        active = registry.active_version(name)
+        pinned = registry.pinned(name)
+        pin_note = f", pinned v{pinned}" if pinned is not None else ""
+        print(
+            f"{name}: {len(versions)} version(s), "
+            f"active v{active}{pin_note}"
+        )
+    return 0
+
+
+def _cmd_lifecycle_status(args) -> int:
+    import json
+
+    registry = _open_registry(args.registry)
+    print(json.dumps(registry.describe(), indent=2))
+    return 0
+
+
+def _cmd_lifecycle_pin(args) -> int:
+    registry = _open_registry(args.registry)
+    registry.pin(args.name, args.version)
+    print(f"pinned {args.name!r} to version {args.version}")
+    return 0
+
+
+def _cmd_lifecycle_rollback(args) -> int:
+    registry = _open_registry(args.registry)
+    version = registry.rollback(args.name)
+    sketch = registry.load(args.name, version)
+    if args.out is not None:
+        sketch.save(args.out)
+        print(
+            f"rolled {args.name!r} back to version {version}; "
+            f"restored sketch written to {args.out}"
+        )
+    else:
+        print(f"rolled {args.name!r} back to version {version}")
+    return 0
+
+
+_LIFECYCLE_COMMANDS = {
+    "save": _cmd_lifecycle_save,
+    "list": _cmd_lifecycle_list,
+    "status": _cmd_lifecycle_status,
+    "pin": _cmd_lifecycle_pin,
+    "rollback": _cmd_lifecycle_rollback,
+}
+
+
+def _cmd_lifecycle(args) -> int:
+    return _LIFECYCLE_COMMANDS[args.lifecycle_command](args)
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
@@ -776,6 +908,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "gateway": _cmd_gateway,
     "workload": _cmd_workload,
+    "lifecycle": _cmd_lifecycle,
     "bench-serve": _cmd_bench_serve,
 }
 

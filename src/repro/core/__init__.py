@@ -10,7 +10,13 @@ from .builder import (
     build_sketch,
 )
 from .estimator import CardinalityEstimator, estimate_sql
-from .maintenance import DriftReport, detect_drift, refresh_sketch
+from .maintenance import (
+    DriftReport,
+    RefreshResult,
+    detect_drift,
+    refresh_sketch,
+    try_refresh_sketch,
+)
 from .featurization import Featurizer, QueryFeatures
 from .mscn import MSCN
 from .sketch import DeepSketch
@@ -48,8 +54,10 @@ __all__ = [
     "CardinalityEstimator",
     "estimate_sql",
     "DriftReport",
+    "RefreshResult",
     "detect_drift",
     "refresh_sketch",
+    "try_refresh_sketch",
     "TemplateEvalResult",
     "GeneralizationReport",
     "evaluate_on_suite",

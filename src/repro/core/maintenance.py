@@ -8,21 +8,27 @@ blocks of that automation are implemented here:
   of the data; when the database changes, stored-sample statistics drift
   away from fresh-sample statistics.  :func:`detect_drift` quantifies
   the drift per table (two-sample Kolmogorov–Smirnov over the numeric
-  columns) so callers can decide when a sketch is stale.
+  columns, total-variation distance over each string column's category
+  frequencies) so callers can decide when a sketch is stale.
 * **refresh + fine-tune** — :func:`refresh_sketch` re-materializes the
   samples against the current database and continues training the
   *existing* network on freshly labelled queries (warm start), which is
   much cheaper than building from scratch when the change is moderate.
+  :func:`try_refresh_sketch` wraps it into a structured
+  :class:`RefreshResult` so an automated watcher (see
+  :mod:`repro.serve.lifecycle`) can record failures and retry with
+  backoff instead of crashing.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats
 
-from ..errors import SketchError
+from ..errors import RefreshFailure
 from ..rng import SeedLike, make_rng, spawn
 from ..db.database import Database
 from ..db.executor import execute_count
@@ -35,11 +41,61 @@ from .sketch import DeepSketch
 from .training import Trainer, TrainingConfig
 
 
+#: Number of head categories compared per string column; everything
+#: rarer is pooled into one tail bucket.  Bucketing bounds the
+#: sampling-noise floor of the total-variation distance: with at most
+#: 17 buckets, two same-distribution samples of size ``n`` read a TV
+#: well under the default threshold, while a genuine shift in the head
+#: categories (new dominant vendor, vanished era) still registers
+#: strongly.
+_CATEGORY_HEAD = 16
+
+
+def _categorical_tv(stored_col, fresh_col) -> float:
+    """Total-variation distance between two string columns' categories.
+
+    Dictionary *codes* are not comparable across databases (each column
+    sorts its own dictionary), so both sides are decoded to strings and
+    compared as frequency vectors over the top-``_CATEGORY_HEAD``
+    categories of the pooled data plus one tail bucket.  Returns a value
+    in [0, 1]: 0 for identical category mixes, 1 for disjoint ones.
+    """
+    a_codes = stored_col.non_null_values()
+    b_codes = fresh_col.non_null_values()
+    if a_codes.size == 0 or b_codes.size == 0:
+        return 0.0
+    a_counts: dict[str, int] = {}
+    for code, count in zip(*np.unique(a_codes, return_counts=True)):
+        a_counts[stored_col.dictionary[int(code)]] = int(count)
+    b_counts: dict[str, int] = {}
+    for code, count in zip(*np.unique(b_codes, return_counts=True)):
+        b_counts[fresh_col.dictionary[int(code)]] = int(count)
+    pooled = {
+        cat: a_counts.get(cat, 0) + b_counts.get(cat, 0)
+        for cat in set(a_counts) | set(b_counts)
+    }
+    head = sorted(pooled, key=lambda cat: (-pooled[cat], cat))[:_CATEGORY_HEAD]
+    a_total = float(a_codes.size)
+    b_total = float(b_codes.size)
+    tv = 0.0
+    a_tail, b_tail = a_total, b_total
+    for cat in head:
+        a_freq = a_counts.get(cat, 0)
+        b_freq = b_counts.get(cat, 0)
+        a_tail -= a_freq
+        b_tail -= b_freq
+        tv += abs(a_freq / a_total - b_freq / b_total)
+    tv += abs(a_tail / a_total - b_tail / b_total)
+    return 0.5 * tv
+
+
 @dataclass(frozen=True)
 class DriftReport:
     """Per-table drift between stored and fresh samples."""
 
-    #: table -> maximum KS statistic over its numeric columns (0..1).
+    #: table -> maximum drift statistic over its columns (0..1): the KS
+    #: statistic for numeric columns, the total-variation distance over
+    #: category frequencies for string columns.
     table_drift: dict[str, float]
     #: Decision threshold used by :meth:`is_stale`.
     threshold: float = 0.15
@@ -65,7 +121,10 @@ def detect_drift(
     """Compare the sketch's stored samples against fresh ones from ``db``.
 
     For every sketch table, a fresh sample of the same size is drawn and
-    each numeric column's two-sample KS statistic is computed; the
+    each column's drift statistic is computed — the two-sample KS
+    statistic for numeric columns, the total-variation distance over
+    decoded category frequencies for string columns (dictionary codes
+    are not comparable across databases, category *strings* are); the
     table's drift is the maximum over its columns.  Identical data gives
     statistics near zero; distribution shifts (new eras, new categories)
     push them toward one.
@@ -73,7 +132,11 @@ def detect_drift(
     ``threshold`` defaults to the two-sample KS critical value at
     α ≈ 0.005 for the sketch's sample size (``1.73 * sqrt(2 / n)``), so
     two samples of the *same* distribution very rarely read as drift
-    regardless of how large the samples are.
+    regardless of how large the samples are.  The TV statistic is held
+    to the same threshold: head-plus-tail bucketing (see
+    :func:`_categorical_tv`) keeps its same-distribution noise floor
+    below the KS critical value — an approximation, not an exact test,
+    but the decision semantics match.
     """
     if threshold is None:
         n = max(sketch.samples.sample_size, 1)
@@ -89,7 +152,11 @@ def detect_drift(
         worst = 0.0
         for column_name, stored_col in stored_table.columns.items():
             if stored_col.dtype is DType.STRING:
-                continue  # dictionary codes are not comparable across DBs
+                worst = max(
+                    worst,
+                    _categorical_tv(stored_col, fresh_table.column(column_name)),
+                )
+                continue
             a = stored_col.non_null_values().astype(float)
             b = fresh_table.column(column_name).non_null_values().astype(float)
             if a.size == 0 or b.size == 0:
@@ -117,11 +184,17 @@ def refresh_sketch(
     tuned sketch remains comparable to the original.
 
     Returns a new :class:`DeepSketch`; the input sketch is not modified.
+    Failures raise :class:`~repro.errors.RefreshFailure` (a
+    :class:`~repro.errors.SketchError`) with a structured ``code``:
+    ``"spec_mismatch"`` when ``spec`` does not cover the sketch's
+    tables, ``"insufficient_queries"`` when fewer than 10 generated
+    queries are non-empty on the current data.
     """
     if set(spec.tables) != set(sketch.tables):
-        raise SketchError(
+        raise RefreshFailure(
             f"spec tables {sorted(spec.tables)} must match the sketch's "
-            f"{sketch.tables}"
+            f"{sketch.tables}",
+            code="spec_mismatch",
         )
     rng = make_rng(seed)
     sample_rng, query_rng, train_rng = spawn(rng, 3)
@@ -138,8 +211,9 @@ def refresh_sketch(
             kept.append(query)
             labels.append(float(cardinality))
     if len(kept) < 10:
-        raise SketchError(
-            f"only {len(kept)} non-empty fine-tuning queries; need at least 10"
+        raise RefreshFailure(
+            f"only {len(kept)} non-empty fine-tuning queries; need at least 10",
+            code="insufficient_queries",
         )
 
     featurizer = sketch.featurizer  # vocabularies and label bounds reused
@@ -148,8 +222,6 @@ def refresh_sketch(
         for q in kept
     ]
     normalized = featurizer.normalize_label(np.asarray(labels))
-
-    import copy
 
     model = copy.deepcopy(sketch.model)
     trainer = Trainer(model, featurizer, TrainingConfig(epochs=epochs))
@@ -167,3 +239,60 @@ def refresh_sketch(
         metadata=metadata,
         inference_dtype=sketch.inference_dtype,
     )
+
+
+@dataclass(frozen=True)
+class RefreshResult:
+    """Structured outcome of one refresh attempt (never raises).
+
+    ``ok`` with a ``sketch`` on success; otherwise ``code`` carries the
+    structured failure class (``"spec_mismatch"``,
+    ``"insufficient_queries"``, or ``"internal"`` for anything
+    unexpected) and ``error`` the human-readable message, so a watcher
+    thread can record the failure and schedule a retry instead of dying.
+    """
+
+    ok: bool
+    sketch: DeepSketch | None = None
+    error: str | None = None
+    code: str | None = None
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a later retry could plausibly succeed.
+
+        A spec mismatch is a configuration bug — retrying it burns
+        training time forever; insufficient queries and unexpected
+        faults may resolve as data arrives or the environment recovers.
+        """
+        return not self.ok and self.code != "spec_mismatch"
+
+
+def try_refresh_sketch(
+    sketch: DeepSketch,
+    db: Database,
+    spec: WorkloadSpec,
+    n_queries: int = 2000,
+    epochs: int = 5,
+    seed: SeedLike = None,
+) -> RefreshResult:
+    """:func:`refresh_sketch`, with every failure folded into the result.
+
+    The lifecycle manager's building block: a crash anywhere in the
+    refresh pipeline (generation, labelling, featurization, training)
+    becomes a :class:`RefreshResult` with a structured code — the
+    calling watcher thread never has to survive an exception.
+    """
+    try:
+        refreshed = refresh_sketch(
+            sketch, db, spec, n_queries=n_queries, epochs=epochs, seed=seed
+        )
+    except RefreshFailure as exc:
+        return RefreshResult(ok=False, error=str(exc), code=exc.code)
+    except Exception as exc:
+        return RefreshResult(
+            ok=False,
+            error=f"unexpected refresh failure: {exc!r}",
+            code="internal",
+        )
+    return RefreshResult(ok=True, sketch=refreshed)

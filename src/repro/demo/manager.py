@@ -88,6 +88,37 @@ class SketchManager:
             known = ", ".join(self.list_sketches()) or "(none)"
             raise SketchError(f"no sketch named {name!r}; have: {known}") from None
 
+    def replace_sketch(self, name: str, sketch: DeepSketch) -> DeepSketch:
+        """Swap the sketch registered under ``name``; return the old one.
+
+        The replacement must cover the same name (routing tables may
+        differ only if the new sketch was trained on the same subset —
+        enforced by the name check plus the table check, because a
+        different table set would silently change routing under live
+        traffic).  The *old* sketch is returned **without** clearing its
+        cache: in-flight serving rounds may still hold a reference to
+        it, and bumping its snapshot token while they run would corrupt
+        per-response version accounting.  The caller retires it (via
+        ``old.clear_cache()``) once no round can still be using it —
+        see :meth:`repro.serve.engine.EstimationEngine.swap_sketch`.
+        """
+        if name not in self._sketches:
+            known = ", ".join(self.list_sketches()) or "(none)"
+            raise SketchError(f"no sketch named {name!r} to replace; have: {known}")
+        if sketch.name != name:
+            raise SketchError(
+                f"replacement sketch is named {sketch.name!r}, not {name!r}"
+            )
+        old = self._sketches[name]
+        if set(sketch.tables) != set(old.tables):
+            raise SketchError(
+                f"replacement for {name!r} covers tables {sorted(sketch.tables)} "
+                f"but the live sketch covers {sorted(old.tables)}; a swap must "
+                "not change routing"
+            )
+        self._sketches[name] = sketch
+        return old
+
     def drop_sketch(self, name: str) -> None:
         # Invalidate cached estimates: anything still holding a reference
         # to the dropped sketch must not keep serving stale results, and

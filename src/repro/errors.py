@@ -44,8 +44,28 @@ class SketchError(ReproError):
     serialized payload, query outside the sketch's table subset, ...)."""
 
 
+class RefreshFailure(SketchError):
+    """A sketch refresh could not produce a replacement sketch.
+
+    ``code`` names the structured failure class (``"spec_mismatch"``,
+    ``"insufficient_queries"``, ``"internal"``) so a lifecycle manager
+    can record the failure and decide whether a retry with backoff can
+    help (insufficient queries may resolve as data arrives; a spec
+    mismatch never will)."""
+
+    def __init__(self, message: str, code: str = "internal"):
+        super().__init__(message)
+        self.code = str(code)
+
+
 class SerializationError(ReproError):
     """A model or sketch payload could not be serialized or deserialized."""
+
+
+class RegistryError(ReproError):
+    """A model registry operation failed (unknown sketch or version,
+    checksum mismatch on load, corrupt manifest, nothing to roll back
+    to, ...).  See :mod:`repro.serve.registry`."""
 
 
 class EstimationError(ReproError):

@@ -75,7 +75,9 @@ from .executor import (
 from .feature_cache import FeatureCache
 from .gateway import SketchGateway
 from .http import SketchHTTPServer, healthz_payload
+from .lifecycle import PHASES, LifecycleConfig, LifecycleManager
 from .protocol import PROTOCOL_VERSION
+from .registry import SketchRegistry
 from .server import SketchServer
 from .service import SketchService
 
@@ -91,6 +93,10 @@ __all__ = [
     "RemoteSketchServer",
     "SketchGateway",
     "SketchHTTPServer",
+    "SketchRegistry",
+    "LifecycleConfig",
+    "LifecycleManager",
+    "PHASES",
     "healthz_payload",
     "PROTOCOL_VERSION",
     "CODE_DEADLINE",

@@ -55,6 +55,7 @@ facades — snapshots all of it plus the classic
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -226,6 +227,12 @@ class EstimateResponse:
     ``"deadline"`` (it expired in the queue), and ``"internal"`` (an
     unexpected server-side fault).  ``error`` still carries the
     human-readable message; successful responses keep ``code=None``.
+
+    ``token`` is the ``snapshot_token`` of the sketch *version* that
+    produced the answer (stamped by the chunk path and the fast cache
+    path), so hot-swap audits can account every response to exactly one
+    version.  Responses that never reached a sketch (parse/route/shed/
+    deadline) keep ``token=None``.
     """
 
     request: Query | str
@@ -235,6 +242,7 @@ class EstimateResponse:
     cached: bool = False
     error: str | None = None
     code: str | None = None
+    token: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -334,6 +342,11 @@ def answer_chunk(
     for the whole chunk.
     """
     queries = [r.query for r in chunk]
+    for r in chunk:
+        # Version accounting: whatever happens below (batched answer,
+        # per-query retry, cache hit), it is *this* sketch version doing
+        # the work.
+        r.token = sketch.snapshot_token
     if use_cache:
         for r in chunk:
             r.cached = r.query in sketch.cache
@@ -472,6 +485,22 @@ class EstimationEngine:
         self._thread: threading.Thread | None = None
         self._closed = False
         self._last_purge = time.monotonic()
+        # Hot-swap barrier: ids of serving "rounds" (taken flush rounds
+        # and intake-time settles) currently resolving futures.  A swap
+        # replaces the sketch in the manager under the lock, then waits
+        # for every round live *at replace time* to finish before
+        # retiring the old version — rounds starting later fetch the new
+        # sketch, so they never need waiting on (no starvation under
+        # sustained load).
+        self._round_ids = itertools.count(1)
+        self._active_rounds: set[int] = set()
+        self._swap_waiters = 0
+        # Swap telemetry, surfaced via stats()/healthz.
+        self._swaps = 0
+        self._last_swap: dict | None = None
+        #: Set by a LifecycleManager watching this engine (see
+        #: repro.serve.lifecycle); stats()/healthz read its state().
+        self.lifecycle = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -529,16 +558,29 @@ class EstimationEngine:
     ) -> EstimateResponse:
         return prepare_request(self.manager, request, pinned)
 
-    def _fast_hit(self, response: EstimateResponse) -> float | None:
-        """Submit-time result-cache peek (read-only; see touch replay)."""
+    def _fast_hit(self, response: EstimateResponse) -> tuple[float, int] | None:
+        """Submit-time result-cache peek (read-only; see touch replay).
+
+        Returns ``(value, snapshot_token)`` so intake can re-validate
+        under the lock that the peeked version is still the live one —
+        a hot swap between this lock-free peek and the locked intake
+        must not let a retired version's cache answer the request.
+        """
         if not (response.ok and self.config.use_cache):
             return None
         try:
-            return self.manager.get_sketch(response.sketch).cache.peek(
-                response.query
-            )
+            sketch = self.manager.get_sketch(response.sketch)
         except SketchError:
             return None  # dropped since routing; the flush will report it
+        # Token *before* value: if a clear_cache races in between, the
+        # peek sees the post-clear cache while the token is pre-clear,
+        # so intake's re-validation rejects the pair (never the other
+        # way around, which would bless a stale value with a live token).
+        token = sketch.snapshot_token
+        value = sketch.cache.peek(response.query)
+        if value is None:
+            return None
+        return value, token
 
     def submit(
         self,
@@ -575,7 +617,11 @@ class EstimationEngine:
             )
             if gather["notify"]:
                 self._cond.notify_all()
-        self._settle_intake(gather)
+            round_id = self._begin_round_locked(gather)
+        try:
+            self._settle_intake(gather)
+        finally:
+            self._end_round(round_id)
         return future
 
     def submit_many(
@@ -621,7 +667,11 @@ class EstimationEngine:
                 )
             if gather["notify"]:
                 self._cond.notify_all()
-        self._settle_intake(gather)
+            round_id = self._begin_round_locked(gather)
+        try:
+            self._settle_intake(gather)
+        finally:
+            self._end_round(round_id)
         return futures
 
     def _intake_one_locked(
@@ -659,17 +709,30 @@ class EstimationEngine:
             gather["resolved"].append((future, response))
             return future
         if not deferred and hit is not None:
-            response.estimate = float(hit)
-            response.cached = True
-            stats.n_answered += 1
-            stats.n_cache_hits += 1
-            stats.n_fast_cache_hits += 1
-            self._count_sketch_locked(response.sketch)
-            self.queue_wait.observe(0.0)
-            self._record_touch_locked(response)
-            future = Future()
-            gather["resolved"].append((future, response))
-            return future
+            value, hit_token = hit
+            try:
+                live_token = self.manager.get_sketch(
+                    response.sketch
+                ).snapshot_token
+            except SketchError:
+                live_token = None
+            if live_token == hit_token:
+                response.estimate = float(value)
+                response.cached = True
+                response.token = hit_token
+                stats.n_answered += 1
+                stats.n_cache_hits += 1
+                stats.n_fast_cache_hits += 1
+                self._count_sketch_locked(response.sketch)
+                self.queue_wait.observe(0.0)
+                self._record_touch_locked(response)
+                future = Future()
+                gather["resolved"].append((future, response))
+                return future
+            # The sketch was swapped or dropped between the lock-free
+            # peek and this locked intake: the peeked value belongs to a
+            # retired version.  Fall through as a cache miss so the
+            # flush answers it with the live version.
         if not deferred and coalesce and self.config.dedup:
             twin = self._inflight.get((response.sketch, response.query))
             if twin is not None and (
@@ -721,6 +784,97 @@ class EstimationEngine:
             pending.future.set_result(pending.response)
         for future, response in gather["resolved"]:
             future.set_result(response)
+
+    # -- hot-swap barrier -------------------------------------------------
+    def _begin_round_locked(self, gather: dict | None = None) -> int | None:
+        """Register a serving round (flush round or intake settle).
+
+        Must be called under the lock, in the same critical section that
+        took the work — otherwise a swap could complete between the take
+        and the registration and a retired version's responses would
+        resolve after the swap reported done.  With ``gather`` given,
+        registration is skipped (returns None) when the intake produced
+        nothing to settle.
+        """
+        if gather is not None and not (gather["resolved"] or gather["victims"]):
+            return None
+        round_id = next(self._round_ids)
+        self._active_rounds.add(round_id)
+        return round_id
+
+    def _end_round(self, round_id: int | None) -> None:
+        """Deregister a round; wake swaps waiting on the barrier."""
+        if round_id is None:
+            return
+        with self._cond:
+            self._active_rounds.discard(round_id)
+            if self._swap_waiters:
+                self._cond.notify_all()
+
+    def swap_sketch(self, name: str, sketch, timeout: float | None = 30.0):
+        """Atomically replace a live sketch; return the retired one.
+
+        The swap is the engine's hot-refresh point (used by
+        :mod:`repro.serve.lifecycle`): under the engine lock the manager's
+        registration is switched to ``sketch``, then the call blocks until
+        every serving round that was in flight *at the switch* has
+        resolved its futures.  Only then is the old version retired
+        (``clear_cache()`` — bumping its snapshot token and dropping its
+        result cache), so:
+
+        * zero dropped requests — nothing buffered is touched; pendings
+          flushed after the switch are answered by the new version;
+        * zero stale answers — submit-time cache peeks re-validate the
+          snapshot token under the lock, and rounds starting after the
+          switch fetch the new sketch from the manager;
+        * exactly-one-version accounting — when this method returns, every
+          response produced by the old version has already resolved, so no
+          response stamped with the retired token can appear afterwards.
+
+        Rounds starting *after* the switch are not waited on (they serve
+        the new version already), so the barrier cannot starve under
+        sustained traffic.  Must not be called from the flush loop or an
+        executor callback — the barrier would wait on its own round.
+
+        On ``timeout`` (seconds; ``None`` waits forever) a
+        :class:`~repro.errors.SketchError` is raised: the new sketch *is*
+        installed and serving, but the old version was not retired (its
+        cache was left untouched so still-running rounds stay coherent).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._closed:
+                raise SketchError("server is closed")
+            old = self.manager.replace_sketch(name, sketch)
+            barrier = set(self._active_rounds)
+            self._swaps += 1
+            self._last_swap = {
+                "sketch": name,
+                "old_token": old.snapshot_token,
+                "new_token": sketch.snapshot_token,
+                "registry_version": sketch.metadata.get("registry_version"),
+                "at": time.time(),
+            }
+            self._swap_waiters += 1
+            try:
+                while barrier & self._active_rounds:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise SketchError(
+                            f"swap of {name!r} timed out after {timeout:g}s "
+                            f"waiting for {len(barrier & self._active_rounds)} "
+                            "in-flight serving round(s); the new version is "
+                            "installed but the old one was not retired"
+                        )
+                    self._cond.wait(timeout=remaining)
+            finally:
+                self._swap_waiters -= 1
+        # Retire outside the lock: bumping the old token / clearing its
+        # caches is only safe once no round can still hold the object.
+        old.clear_cache()
+        return old
 
     def _drop_inflight_locked(self, pending: _Pending) -> None:
         """Remove ``pending`` from the dedup map — only if the entry is
@@ -917,7 +1071,11 @@ class EstimationEngine:
         """
         with self._cond:
             taken = self._take_ready_locked(time.monotonic(), force=True)
-        self._answer_round(taken)
+            round_id = self._begin_round_locked() if taken else None
+        try:
+            self._answer_round(taken)
+        finally:
+            self._end_round(round_id)
         self._replay_touches()
 
     def _run(self) -> None:
@@ -927,10 +1085,13 @@ class EstimationEngine:
             try:
                 with self._cond:
                     batches = None
+                    round_id = None
                     while True:
                         now = time.monotonic()
                         batches = self._take_ready_locked(now)
                         if batches or self._touches:
+                            if batches:
+                                round_id = self._begin_round_locked()
                             break
                         if self._closed:
                             # Drained: buffers are empty (a closed take
@@ -941,7 +1102,10 @@ class EstimationEngine:
                         if timeout is None:
                             self._maybe_purge_feature_cache(now)
                         self._cond.wait(timeout=timeout)
-                self._answer_round(batches)
+                try:
+                    self._answer_round(batches)
+                finally:
+                    self._end_round(round_id)
                 self._replay_touches()
             except Exception:
                 # The loop IS the no-stranded-futures contract: an
@@ -1192,6 +1356,9 @@ class EstimationEngine:
         with self._lock:
             sketch_requests = dict(c.sketch_requests)
             depth_peak = self._depth_high_water
+            swaps = self._swaps
+            last_swap = None if self._last_swap is None else dict(self._last_swap)
+        lifecycle = self.lifecycle
         return {
             "executor": self.executor.name,
             "executor_workers": self.executor.workers,
@@ -1224,7 +1391,32 @@ class EstimationEngine:
             "flush_latency": self.flush_latency.summary(),
             "queue_wait": self.queue_wait.summary(),
             "sketch_requests": sketch_requests,
+            # sketch lifecycle (hot swaps, versions, background manager)
+            "swaps": swaps,
+            "last_swap": last_swap,
+            "versions": self.describe_versions(),
+            "lifecycle": None if lifecycle is None else lifecycle.state(),
         }
+
+    def describe_versions(self) -> dict:
+        """name -> {token, registry_version} for every live sketch.
+
+        ``token`` is the process-local snapshot token (NOT comparable
+        across processes); ``registry_version`` is the fleet-comparable
+        version stamped by :class:`~repro.serve.registry.SketchRegistry`
+        at save time (None for sketches never saved to a registry).
+        """
+        versions: dict[str, dict] = {}
+        for name in self.manager.list_sketches():
+            try:
+                sketch = self.manager.get_sketch(name)
+            except SketchError:
+                continue  # dropped while iterating
+            versions[name] = {
+                "token": sketch.snapshot_token,
+                "registry_version": sketch.metadata.get("registry_version"),
+            }
+        return versions
 
     def __repr__(self) -> str:
         return (

@@ -223,17 +223,22 @@ class ProcessExecutor(ChunkExecutor):
         self._lock = threading.Lock()
 
     # -- pool lifecycle -------------------------------------------------
-    def _ensure_pool(self, engine, needed: dict[str, int]) -> _ProcessPool:
+    def _ensure_pool(self, engine, needed: dict[str, object]) -> _ProcessPool:
         """The live pool, rebuilt if any needed sketch is missing/stale.
 
-        ``needed`` maps sketch name -> current snapshot token.  On a
-        rebuild, previously shipped sketches that are still registered
-        and current ride along, so alternating traffic between sketches
-        does not thrash the pool.
+        ``needed`` maps sketch name -> the *exact* sketch object this
+        round is answering with.  On a rebuild, those objects are
+        snapshotted directly (not re-fetched from the manager — a hot
+        swap racing the round could otherwise ship the new version
+        recorded under the old version's token, producing a
+        mixed-version batch).  Previously shipped sketches that are
+        still registered and current ride along, so alternating traffic
+        between sketches does not thrash the pool.
         """
         with self._lock:
             if self._pool is not None and all(
-                self._shipped.get(name) == token for name, token in needed.items()
+                self._shipped.get(name) == sketch.snapshot_token
+                for name, sketch in needed.items()
             ):
                 return self._pool
             if self._pool is not None:
@@ -248,8 +253,13 @@ class ProcessExecutor(ChunkExecutor):
                 except SketchError:
                     continue
                 if sketch.snapshot_token == token:
-                    ship[name] = token
-            payloads = engine.manager.snapshot_payloads(sorted(ship))
+                    ship[name] = sketch
+            payloads = {
+                name: pickle.dumps(
+                    ship[name].snapshot(), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                for name in sorted(ship)
+            }
             import multiprocessing
 
             context = multiprocessing.get_context(self._start_method)
@@ -259,7 +269,9 @@ class ProcessExecutor(ChunkExecutor):
                 initializer=_worker_init,
                 initargs=(payloads,),
             )
-            self._shipped = ship
+            self._shipped = {
+                name: sketch.snapshot_token for name, sketch in ship.items()
+            }
             return self._pool
 
     def _discard_pool(self) -> None:
@@ -272,7 +284,7 @@ class ProcessExecutor(ChunkExecutor):
     # -- the flush path -------------------------------------------------
     def run(self, engine, jobs) -> None:
         ready = []
-        needed: dict[str, int] = {}
+        needed: dict[str, object] = {}
         for job in jobs:
             try:
                 sketch = engine.manager.get_sketch(job.sketch)
@@ -286,7 +298,7 @@ class ProcessExecutor(ChunkExecutor):
                     response.code = CODE_ROUTE
                 engine.complete_job(job)
                 continue
-            needed[job.sketch] = sketch.snapshot_token
+            needed[job.sketch] = sketch
             ready.append((job, sketch))
         if not ready:
             return
@@ -337,11 +349,16 @@ class ProcessExecutor(ChunkExecutor):
         """
         t0 = time.perf_counter()
         use_cache = engine.config.use_cache
+        token = sketch.snapshot_token
         slots: list[int | None] = []
         distinct: list = []
         slot_of: dict = {}
         n_cached = 0
         for response in job.responses:
+            # Version accounting: this parent-side sketch object (and the
+            # worker snapshot shipped under the same token) answers the
+            # whole job — cache hits here, forwards in the worker.
+            response.token = token
             hit = sketch.cache.get(response.query) if use_cache else None
             if hit is not None:
                 response.cached = True

@@ -90,7 +90,14 @@ MAX_BACKOFF_S = 1.0
 class _Backend:
     """One backend front door: its client, liveness, and sketch map."""
 
-    __slots__ = ("url", "client", "alive", "sketches", "probe_failures")
+    __slots__ = (
+        "url",
+        "client",
+        "alive",
+        "sketches",
+        "versions",
+        "probe_failures",
+    )
 
     def __init__(self, url: str, client: RemoteSketchServer):
         self.url = url
@@ -98,6 +105,9 @@ class _Backend:
         self.alive = False
         #: sketch name -> tuple of covered tables (from /v1/healthz).
         self.sketches: dict[str, tuple[str, ...]] = {}
+        #: sketch name -> {"token", "registry_version"} (from healthz;
+        #: empty for backends that predate version surfacing).
+        self.versions: dict[str, dict] = {}
         self.probe_failures = 0
 
 
@@ -220,8 +230,14 @@ class SketchGateway:
             return
         names = health.get("sketches") or []
         tables = health.get("tables") or {}
+        versions = health.get("versions") or {}
         backend.sketches = {
             str(name): tuple(tables.get(name, ())) for name in names
+        }
+        backend.versions = {
+            str(name): dict(versions[name])
+            for name in names
+            if isinstance(versions.get(name), dict)
         }
         backend.alive = True
         backend.probe_failures = 0
@@ -259,6 +275,38 @@ class SketchGateway:
             for name in self._routes:
                 merged.setdefault(name, ())
             return merged
+
+    def describe_versions(self) -> dict[str, dict]:
+        """Fleet-wide version view per sketch (for healthz/operators).
+
+        ``registry_version`` is the fleet-comparable coordinate (stamped
+        by :class:`~repro.serve.registry.SketchRegistry` at save time);
+        snapshot *tokens* are process-local counters and deliberately
+        not aggregated.  Each sketch maps to::
+
+            {"registry_version": <the one version every live replica
+                                  runs, else None>,
+             "consistent": <bool>,
+             "replicas": {url: registry_version-or-None, ...}}
+
+        so a fleet mid-rollout (or with a wedged backend after a death
+        mid-swap) is visible as ``consistent: false``.
+        """
+        per_sketch: dict[str, dict] = {}
+        for backend in self._backends:
+            if not backend.alive:
+                continue
+            for name in backend.sketches:
+                entry = per_sketch.setdefault(
+                    name, {"replicas": {}}
+                )
+                info = backend.versions.get(name) or {}
+                entry["replicas"][backend.url] = info.get("registry_version")
+        for entry in per_sketch.values():
+            seen = set(entry["replicas"].values())
+            entry["consistent"] = len(seen) == 1
+            entry["registry_version"] = seen.pop() if len(seen) == 1 else None
+        return per_sketch
 
     def list_sketches(self) -> list[str]:
         """Sorted names of every sketch a live backend advertises."""
@@ -592,6 +640,7 @@ class SketchGateway:
                 "inflight": int(self.inflight.value),
                 "wire_latency": self.wire_latency.summary(),
                 "sketches": sketches,
+                "versions": self.describe_versions(),
             },
             "backends": per_backend,
             "fleet": fleet,

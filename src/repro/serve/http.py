@@ -72,6 +72,15 @@ def healthz_payload(service) -> dict:
     route without holding the models.  Services that are not
     manager-backed (the gateway itself) provide ``describe_sketches()``
     returning the same name -> tables map.
+
+    Two further additive extensions serve the sketch lifecycle
+    (:mod:`repro.serve.lifecycle`): ``versions`` maps each sketch to
+    ``{"token", "registry_version"}`` (the fleet judges version
+    consistency on ``registry_version`` — tokens are process-local),
+    and ``lifecycle`` carries the attached
+    :class:`~repro.serve.lifecycle.LifecycleManager`'s :meth:`state`
+    (``None`` when no manager is attached).  Non-engine services
+    provide the matching ``describe_versions()`` hook.
     """
     describe = getattr(service, "describe_sketches", None)
     if describe is not None:
@@ -85,12 +94,21 @@ def healthz_payload(service) -> dict:
             except SketchError:
                 continue  # dropped between list and get; not served
 
+    engine = getattr(service, "engine", None)
+    describe_versions = getattr(service, "describe_versions", None)
+    if describe_versions is None and engine is not None:
+        describe_versions = engine.describe_versions
+    versions = {} if describe_versions is None else describe_versions()
+    lifecycle = getattr(engine, "lifecycle", None)
+
     return {
         "status": "ok",
         "protocol_version": protocol.PROTOCOL_VERSION,
         "sketches": sorted(tables),
         "tables": tables,
         "pending": service.pending,
+        "versions": versions,
+        "lifecycle": None if lifecycle is None else lifecycle.state(),
     }
 
 

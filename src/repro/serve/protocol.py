@@ -36,7 +36,12 @@ server-side timing::
     {"protocol_version": 1, "ok": true, "request": "SELECT ...",
      "request_kind": "sql", "query": "SELECT ...", "sketch": "imdb",
      "estimate": 1234.0, "cached": false, "error": null, "code": null,
-     "server_ms": 1.7}
+     "token": 7, "server_ms": 1.7}
+
+``token`` is the serving sketch's process-local snapshot version (see
+``EstimateResponse.token``); ``null`` for responses that never reached
+a sketch.  It travels so hot-swap audits work across the wire, but is
+only comparable within one backend process.
 
 ``request_kind`` records whether the in-process response carried raw
 SQL text (``"sql"``) or a canonical :class:`~repro.workload.query.Query`
@@ -178,6 +183,7 @@ def response_to_wire(
         "cached": response.cached,
         "error": response.error,
         "code": response.code,
+        "token": response.token,
         "server_ms": server_ms,
     }
 
@@ -214,6 +220,9 @@ def response_from_wire(payload: dict) -> EstimateResponse:
     sketch = payload.get("sketch")
     if sketch is not None and not isinstance(sketch, str):
         raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    token = payload.get("token")
+    if token is not None and (isinstance(token, bool) or not isinstance(token, int)):
+        raise ProtocolError(f"{what} field 'token' must be an integer or null")
     try:
         query = None if query_sql is None else parse_sql(query_sql)
         request: Query | str = (
@@ -229,6 +238,7 @@ def response_from_wire(payload: dict) -> EstimateResponse:
         cached=bool(payload.get("cached", False)),
         error=error,
         code=code,
+        token=token,
     )
 
 

@@ -1,0 +1,280 @@
+"""Versioned on-disk sketch registry: save/load/list/pin/rollback.
+
+A fleet of serving front doors needs one answer to "which model is
+live?".  The registry stores every saved :class:`~repro.core.sketch.
+DeepSketch` as an immutable, checksummed blob under a monotonically
+increasing per-sketch version number, and keeps a single ``manifest.json``
+naming the *active* version per sketch.  Front doors (or the lifecycle
+manager, :mod:`repro.serve.lifecycle`) pull whatever the manifest says
+is active, so the fleet converges on one version; a bad refresh is one
+:meth:`SketchRegistry.rollback` away.
+
+On-disk layout::
+
+    <root>/
+      manifest.json               # atomic (write temp + os.replace)
+      <sketch_name>/
+        v000001.sketch            # DeepSketch.to_bytes() payload
+        v000002.sketch
+
+Manifest shape (all JSON-native)::
+
+    {"registry_version": 1,
+     "sketches": {
+        "<name>": {"active": 2, "pinned": null, "rollbacks": 0,
+                   "versions": {"1": {"path": ..., "sha256": ...,
+                                      "size": ..., "created_at": ...,
+                                      "note": ...}, ...}}}}
+
+Every blob is verified against its manifest SHA-256 on load, so a
+corrupt or truncated file surfaces as a structured
+:class:`~repro.errors.RegistryError` instead of a garbage model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from ..errors import RegistryError, SketchError
+from ..core.sketch import DeepSketch
+
+MANIFEST_NAME = "manifest.json"
+REGISTRY_FORMAT_VERSION = 1
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class SketchRegistry:
+    """Checksummed, versioned store of serialized sketches.
+
+    Not safe for concurrent *writers* (one lifecycle manager owns the
+    registry); any number of concurrent readers may :meth:`load` while
+    a writer saves, because blobs are immutable once written and the
+    manifest is replaced atomically.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / MANIFEST_NAME
+        if not self._manifest_path.exists():
+            self._write_manifest(
+                {"registry_version": REGISTRY_FORMAT_VERSION, "sketches": {}}
+            )
+
+    # ------------------------------------------------------------------
+    # manifest plumbing
+    # ------------------------------------------------------------------
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self._manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"registry manifest at {self._manifest_path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or "sketches" not in manifest:
+            raise RegistryError(
+                f"registry manifest at {self._manifest_path} is malformed"
+            )
+        if manifest.get("registry_version") != REGISTRY_FORMAT_VERSION:
+            raise RegistryError(
+                "unsupported registry format version "
+                f"{manifest.get('registry_version')!r} "
+                f"(this build supports {REGISTRY_FORMAT_VERSION})"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    def _entry(self, manifest: dict, name: str) -> dict:
+        try:
+            return manifest["sketches"][name]
+        except KeyError:
+            raise RegistryError(f"unknown sketch {name!r} in registry") from None
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+
+    def save(self, sketch: DeepSketch, note: str = "", activate: bool = True) -> int:
+        """Serialize ``sketch`` as the next version; return that version.
+
+        The assigned version is stamped into
+        ``sketch.metadata["registry_version"]`` *before* serialization —
+        a deliberate mutation so the blob itself (and every snapshot cut
+        from the loaded sketch) carries its fleet-comparable version.
+        With ``activate`` (default) the new version becomes the one the
+        fleet pulls; pass ``activate=False`` to stage a candidate.
+        """
+        manifest = self._read_manifest()
+        entry = manifest["sketches"].setdefault(
+            sketch.name,
+            {"active": None, "pinned": None, "rollbacks": 0, "versions": {}},
+        )
+        version = 1 + max((int(v) for v in entry["versions"]), default=0)
+        sketch.metadata["registry_version"] = version
+        try:
+            payload = sketch.to_bytes()
+        except SketchError as exc:
+            raise RegistryError(f"cannot serialize {sketch.name!r}: {exc}") from exc
+
+        blob_rel = Path(sketch.name) / f"v{version:06d}.sketch"
+        blob_path = self.root / blob_rel
+        blob_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = blob_path.with_suffix(".sketch.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, blob_path)
+
+        entry["versions"][str(version)] = {
+            "path": str(blob_rel),
+            "sha256": _sha256(payload),
+            "size": len(payload),
+            "created_at": time.time(),
+            "note": str(note),
+        }
+        if activate:
+            entry["active"] = version
+        self._write_manifest(manifest)
+        return version
+
+    def activate(self, name: str, version: int) -> None:
+        """Mark ``version`` as the one the fleet should pull."""
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        if str(int(version)) not in entry["versions"]:
+            raise RegistryError(f"sketch {name!r} has no version {version}")
+        entry["active"] = int(version)
+        self._write_manifest(manifest)
+
+    def pin(self, name: str, version: int) -> None:
+        """Mark ``version`` as the known-good rollback target."""
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        if str(int(version)) not in entry["versions"]:
+            raise RegistryError(f"sketch {name!r} has no version {version}")
+        entry["pinned"] = int(version)
+        self._write_manifest(manifest)
+
+    def unpin(self, name: str) -> None:
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        entry["pinned"] = None
+        self._write_manifest(manifest)
+
+    def rollback(self, name: str) -> int:
+        """Re-activate the pinned version (or the one before active).
+
+        Returns the version rolled back *to*.  Raises
+        :class:`RegistryError` when there is nothing to roll back to.
+        """
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        target = entry.get("pinned")
+        if target is None:
+            active = entry.get("active")
+            earlier = [
+                int(v)
+                for v in entry["versions"]
+                if active is None or int(v) < int(active)
+            ]
+            if not earlier:
+                raise RegistryError(
+                    f"sketch {name!r} has no pinned version and no version "
+                    "earlier than the active one; nothing to roll back to"
+                )
+            target = max(earlier)
+        entry["active"] = int(target)
+        entry["rollbacks"] = int(entry.get("rollbacks", 0)) + 1
+        self._write_manifest(manifest)
+        return int(target)
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def list_sketches(self) -> list[str]:
+        return sorted(self._read_manifest()["sketches"])
+
+    def versions(self, name: str) -> dict[int, dict]:
+        """version -> manifest record (path, sha256, size, created_at, note)."""
+        entry = self._entry(self._read_manifest(), name)
+        return {int(v): dict(rec) for v, rec in sorted(entry["versions"].items())}
+
+    def active_version(self, name: str) -> int | None:
+        entry = self._entry(self._read_manifest(), name)
+        return entry.get("active")
+
+    def pinned(self, name: str) -> int | None:
+        entry = self._entry(self._read_manifest(), name)
+        return entry.get("pinned")
+
+    def rollback_count(self, name: str) -> int:
+        entry = self._entry(self._read_manifest(), name)
+        return int(entry.get("rollbacks", 0))
+
+    def load(self, name: str, version: int | None = None) -> DeepSketch:
+        """Load a version (default: the active one), verifying its checksum.
+
+        A missing blob, checksum mismatch, or undeserializable payload
+        raises :class:`RegistryError` — the caller keeps whatever it was
+        serving before.
+        """
+        manifest = self._read_manifest()
+        entry = self._entry(manifest, name)
+        if version is None:
+            version = entry.get("active")
+            if version is None:
+                raise RegistryError(f"sketch {name!r} has no active version")
+        record = entry["versions"].get(str(int(version)))
+        if record is None:
+            raise RegistryError(f"sketch {name!r} has no version {version}")
+        blob_path = self.root / record["path"]
+        try:
+            payload = blob_path.read_bytes()
+        except OSError as exc:
+            raise RegistryError(
+                f"sketch {name!r} v{version} blob missing at {blob_path}: {exc}"
+            ) from exc
+        digest = _sha256(payload)
+        if digest != record["sha256"]:
+            raise RegistryError(
+                f"sketch {name!r} v{version} failed checksum verification "
+                f"(manifest {record['sha256'][:12]}…, file {digest[:12]}…); "
+                "the blob is corrupt — refusing to load it"
+            )
+        try:
+            return DeepSketch.from_bytes(payload)
+        except Exception as exc:
+            raise RegistryError(
+                f"sketch {name!r} v{version} payload failed to deserialize: {exc}"
+            ) from exc
+
+    def describe(self) -> dict:
+        """JSON-friendly summary: name -> {active, pinned, rollbacks, versions}."""
+        manifest = self._read_manifest()
+        out = {}
+        for name, entry in sorted(manifest["sketches"].items()):
+            out[name] = {
+                "active": entry.get("active"),
+                "pinned": entry.get("pinned"),
+                "rollbacks": int(entry.get("rollbacks", 0)),
+                "versions": sorted(int(v) for v in entry["versions"]),
+            }
+        return out

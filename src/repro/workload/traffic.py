@@ -212,13 +212,26 @@ class TrafficShaper:
     # ------------------------------------------------------------------
     # replay
     # ------------------------------------------------------------------
-    def replay(self, service, schedule: list[ScheduledRequest] | None = None) -> ReplayResult:
+    def replay(
+        self,
+        service,
+        schedule: list[ScheduledRequest] | None = None,
+        on_response=None,
+    ) -> ReplayResult:
         """Submit the schedule open-loop against ``service`` and audit.
 
         ``service`` is any :class:`~repro.serve.service.SketchService`;
         for the sync facade (which resolves futures only at a flush) the
         shaper calls ``flush()`` once after the last submission, so the
         audit semantics are identical across facades.
+
+        ``on_response`` is an optional callable invoked once per
+        *resolved* response, in collection order, with
+        ``(response, resolved_at)`` where ``resolved_at`` is the
+        ``time.perf_counter()`` instant the future's done-callback fired.
+        Hot-swap audits use it to record which snapshot ``token``
+        answered each request against the swap timeline; unresolved
+        (hung) futures never reach it.
         """
         from ..serve.engine import RESPONSE_CODES
 
@@ -262,6 +275,8 @@ class TrafficShaper:
                 continue
             resolved = done_at[0] if done_at else time.perf_counter()
             latencies_ms.append((resolved - submitted) * 1000.0)
+            if on_response is not None:
+                on_response(response, resolved)
             if getattr(response, "ok", False):
                 result.n_ok += 1
                 if getattr(response, "cached", False):

@@ -1,11 +1,15 @@
 """Drift detection and sketch fine-tuning tests."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
-from repro.core import detect_drift, refresh_sketch
+from repro.core import detect_drift, refresh_sketch, try_refresh_sketch
+from repro.core.maintenance import RefreshResult, _categorical_tv
 from repro.datasets import ImdbConfig, generate_imdb
 from repro.errors import SketchError
+from repro.sampling import materialize_samples
 from repro.workload import spec_for_imdb
 
 
@@ -38,6 +42,72 @@ class TestDriftDetection:
     def test_report_str(self, imdb_small, trained_sketch):
         sketch, _ = trained_sketch
         assert "max=" in str(detect_drift(sketch, imdb_small, seed=1))
+
+
+def _fake_string_column(values, dictionary):
+    codes = np.asarray(values, dtype=np.int64)
+    return SimpleNamespace(
+        non_null_values=lambda: codes, dictionary=list(dictionary)
+    )
+
+
+class TestCategoricalDrift:
+    """Satellite: string columns drift via total-variation distance."""
+
+    def _string_sketch(self, db, sample_size=150, seed=1):
+        # detect_drift only reads samples + tables, so a duck-typed
+        # sketch exercises the string path without training a model
+        # over dimension tables.
+        samples = materialize_samples(db, ("keyword",), sample_size, seed=seed)
+        return SimpleNamespace(samples=samples, tables=("keyword",))
+
+    def test_same_category_mix_is_below_threshold(self, imdb_small):
+        sketch = self._string_sketch(imdb_small)
+        report = detect_drift(sketch, imdb_small, seed=3)
+        assert not report.is_stale(), report
+        assert report.table_drift["keyword"] < report.threshold
+
+    def test_shifted_category_mix_trips_the_detector(self, imdb_small):
+        sketch = self._string_sketch(imdb_small)
+        mutated = generate_imdb(ImdbConfig(scale=0.1, seed=7))
+        column = mutated.table("keyword").columns["keyword"]
+        # Collapse the keyword mix onto three dominant categories: the
+        # dictionary-code *frequencies* shift massively even though the
+        # dictionary itself is unchanged.
+        column.values[:] = column.values % 3
+        report = detect_drift(sketch, mutated, seed=3)
+        assert report.is_stale(), report
+        assert report.table_drift["keyword"] > report.threshold
+
+    def test_tv_zero_for_identical_columns(self):
+        col = _fake_string_column([0, 0, 1, 2], ["a", "b", "c"])
+        assert _categorical_tv(col, col) == pytest.approx(0.0)
+
+    def test_tv_one_for_disjoint_categories(self):
+        a = _fake_string_column([0, 0, 1], ["a", "b"])
+        b = _fake_string_column([0, 1, 1], ["x", "y"])
+        assert _categorical_tv(a, b) == pytest.approx(1.0)
+
+    def test_tv_compares_category_strings_not_codes(self):
+        # The same categories under differently sorted dictionaries must
+        # read as identical: code 0 means different strings on each side.
+        a = _fake_string_column([0, 0, 1], ["alpha", "beta"])
+        b = _fake_string_column([1, 1, 0], ["beta", "alpha"])
+        assert _categorical_tv(a, b) == pytest.approx(0.0)
+
+    def test_tv_empty_side_reads_as_no_drift(self):
+        a = _fake_string_column([], ["a"])
+        b = _fake_string_column([0], ["a"])
+        assert _categorical_tv(a, b) == 0.0
+
+    def test_tail_bucket_registers_head_to_tail_shift(self):
+        # 20 distinct rare categories on one side vs one dominant on the
+        # other: the head-plus-tail bucketing still sees the shift.
+        a = _fake_string_column(
+            list(range(20)), [f"cat{i}" for i in range(20)]
+        )
+        b = _fake_string_column([0] * 20, [f"cat{i}" for i in range(20)])
+        assert _categorical_tv(a, b) > 0.5
 
 
 class TestRefresh:
@@ -111,3 +181,63 @@ class TestRefresh:
             qerrors([refreshed.estimate(q) for q in queries], truths)
         )
         assert fresh_err <= stale_err * 1.05, (stale_err, fresh_err)
+
+
+class TestTryRefresh:
+    """Satellite: every refresh failure folds into a structured result."""
+
+    def test_success_carries_the_refreshed_sketch(
+        self, imdb_small, trained_sketch
+    ):
+        sketch, _ = trained_sketch
+        result = try_refresh_sketch(
+            sketch, imdb_small, spec_for_imdb(), n_queries=200, epochs=1, seed=4
+        )
+        assert result.ok
+        assert result.sketch is not None
+        assert result.sketch.metadata["refreshed"] is True
+        assert result.error is None and result.code is None
+        assert not result.retryable  # nothing to retry
+
+    def test_spec_mismatch_is_structured_and_non_retryable(
+        self, imdb_small, trained_sketch
+    ):
+        sketch, _ = trained_sketch
+        result = try_refresh_sketch(
+            sketch,
+            imdb_small,
+            spec_for_imdb(tables=("title", "movie_keyword")),
+            n_queries=100,
+        )
+        assert not result.ok and result.sketch is None
+        assert result.code == "spec_mismatch"
+        assert not result.retryable  # a config bug; retrying burns time
+
+    def test_unexpected_crash_becomes_internal_code(
+        self, imdb_small, trained_sketch, monkeypatch
+    ):
+        sketch, _ = trained_sketch
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("storage layer died")
+
+        monkeypatch.setattr(
+            "repro.core.maintenance.materialize_samples", explode
+        )
+        result = try_refresh_sketch(
+            sketch, imdb_small, spec_for_imdb(), n_queries=100
+        )
+        assert not result.ok
+        assert result.code == "internal"
+        assert "storage layer died" in result.error
+        assert result.retryable
+
+    def test_retryable_classification(self):
+        retryable = RefreshResult(
+            ok=False, error="x", code="insufficient_queries"
+        )
+        assert retryable.retryable
+        assert RefreshResult(ok=False, error="x", code="internal").retryable
+        assert not RefreshResult(
+            ok=False, error="x", code="spec_mismatch"
+        ).retryable

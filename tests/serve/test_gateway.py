@@ -62,6 +62,9 @@ class _StubClient:
     def __init__(self, url, tables, registry):
         self.url = url
         self.tables = dict(tables)
+        #: sketch name -> {"token", "registry_version"}; advertised via
+        #: healthz like a lifecycle-aware backend (empty = legacy node).
+        self.versions = {}
         self.fail = None
         self.fail_healthz = False
         self.estimate_calls = 0
@@ -83,6 +86,7 @@ class _StubClient:
             "sketches": sorted(self.tables),
             "tables": {k: sorted(v) for k, v in self.tables.items()},
             "pending": 0,
+            "versions": {k: dict(v) for k, v in self.versions.items()},
         }
 
     def estimate(self, request, sketch=None):
@@ -235,6 +239,76 @@ class TestRouting:
             health = gateway.healthz()
             assert health["status"] == "ok"
             assert health["tables"]["other"] == ["movie_keyword"]
+
+
+class TestFleetVersions:
+    """Satellite: registry-version consistency across the fleet."""
+
+    def test_consistent_fleet(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        for url in (URL_A, URL_B):
+            stubs[url].versions = {
+                "s": {"token": 10, "registry_version": 3}
+            }
+        with gateway:
+            gateway.refresh()
+            versions = gateway.describe_versions()
+            assert versions["s"]["consistent"] is True
+            assert versions["s"]["registry_version"] == 3
+            assert versions["s"]["replicas"] == {URL_A: 3, URL_B: 3}
+            # The same block rides stats_summary for operators.
+            assert gateway.stats_summary()["gateway"]["versions"] == versions
+
+    def test_mid_rollout_split_is_flagged_inconsistent(self):
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        stubs[URL_A].versions = {"s": {"token": 10, "registry_version": 2}}
+        stubs[URL_B].versions = {"s": {"token": 55, "registry_version": 3}}
+        with gateway:
+            gateway.refresh()
+            versions = gateway.describe_versions()
+            assert versions["s"]["consistent"] is False
+            assert versions["s"]["registry_version"] is None
+            assert versions["s"]["replicas"] == {URL_A: 2, URL_B: 3}
+
+    def test_backend_death_mid_swap_narrows_the_view(self):
+        # One backend dies while holding the old version: the dead
+        # replica drops out of the consistency view, so the survivor's
+        # version is the fleet version — structured degradation, and
+        # traffic keeps flowing to the survivor.
+        gateway, stubs = _stub_gateway({
+            URL_A: {"s": ("title",)},
+            URL_B: {"s": ("title",)},
+        })
+        stubs[URL_A].versions = {"s": {"token": 10, "registry_version": 2}}
+        stubs[URL_B].versions = {"s": {"token": 55, "registry_version": 3}}
+        with gateway:
+            gateway.refresh()
+            assert gateway.describe_versions()["s"]["consistent"] is False
+            stubs[URL_A].fail_healthz = True
+            stubs[URL_A].fail = RemoteConnectionError("died mid-swap")
+            gateway.refresh()
+            versions = gateway.describe_versions()
+            assert versions["s"]["consistent"] is True
+            assert versions["s"]["registry_version"] == 3
+            assert versions["s"]["replicas"] == {URL_B: 3}
+            assert gateway.estimate(TITLE_SQL).ok
+
+    def test_legacy_backends_read_as_unversioned(self):
+        # A backend that predates version surfacing advertises nothing:
+        # its replicas map to None rather than poisoning the view.
+        gateway, stubs = _stub_gateway({URL_A: {"s": ("title",)}})
+        with gateway:
+            gateway.refresh()
+            versions = gateway.describe_versions()
+            assert versions["s"]["replicas"] == {URL_A: None}
+            assert versions["s"]["consistent"] is True
+            assert versions["s"]["registry_version"] is None
 
 
 class TestReplication:

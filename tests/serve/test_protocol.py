@@ -135,6 +135,37 @@ class TestResponseRoundTrip:
         assert covered == set(RESPONSE_CODES)
 
 
+class TestSnapshotTokens:
+    """The additive ``token`` field: hot-swap audits across the wire."""
+
+    def test_token_round_trips(self):
+        response = EstimateResponse(
+            request=SQL, query=_query(), sketch="imdb",
+            estimate=10.0, token=42,
+        )
+        wire = json.loads(json.dumps(protocol.response_to_wire(response)))
+        assert wire["token"] == 42
+        back = protocol.response_from_wire(wire)
+        assert back == response
+        assert back.token == 42
+
+    def test_null_token_round_trips(self):
+        response = _response_of_every_class()[CODE_PARSE]
+        assert response.token is None
+        wire = protocol.response_to_wire(response)
+        assert wire["token"] is None
+        assert protocol.response_from_wire(wire).token is None
+
+    def test_missing_token_defaults_to_none(self):
+        # Envelopes from pre-lifecycle servers omit the field entirely;
+        # the additive extension must not reject them.
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        del wire["token"]
+        assert protocol.response_from_wire(wire).token is None
+
+
 class TestRequestEnvelopes:
     def test_estimate_request_round_trip(self):
         wire = protocol.estimate_request_to_wire(_query(), sketch="pin")
@@ -215,6 +246,24 @@ class TestValidation:
         )
         wire["query"] = "SELECT nonsense;"
         with pytest.raises(ProtocolError, match="unparseable"):
+            protocol.response_from_wire(wire)
+
+    def test_bool_token_is_rejected(self):
+        # bool is an int subclass; a True token would silently alias
+        # snapshot token 1 on the other side of the wire.
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        wire["token"] = True
+        with pytest.raises(ProtocolError, match="token"):
+            protocol.response_from_wire(wire)
+
+    def test_string_token_is_rejected(self):
+        wire = protocol.response_to_wire(
+            _response_of_every_class()["ok_sql_request"]
+        )
+        wire["token"] = "7"
+        with pytest.raises(ProtocolError, match="token"):
             protocol.response_from_wire(wire)
 
     def test_transport_error_envelope_shape(self):

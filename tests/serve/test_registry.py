@@ -1,0 +1,206 @@
+"""SketchRegistry: versioned save/load/pin/rollback with checksums.
+
+The acceptance contract: every blob loads back bit-faithful (estimates
+identical), corruption anywhere — blob bytes, a deleted file, a
+mangled manifest — surfaces as a structured RegistryError instead of a
+garbage model, and ``rollback`` restores a pinned version end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.core import DeepSketch
+from repro.errors import RegistryError
+from repro.serve import SketchRegistry
+
+SQL = "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000;"
+
+
+@pytest.fixture()
+def sketch(trained_sketch):
+    """A private clone of the session sketch (save() stamps metadata)."""
+    base, _ = trained_sketch
+    return DeepSketch.from_bytes(base.to_bytes())
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return SketchRegistry(tmp_path / "registry")
+
+
+class TestSaveLoad:
+    def test_save_assigns_monotonic_versions(self, registry, sketch):
+        assert registry.save(sketch) == 1
+        assert registry.save(sketch) == 2
+        assert registry.save(sketch) == 3
+        assert sorted(registry.versions(sketch.name)) == [1, 2, 3]
+
+    def test_save_stamps_registry_version_before_serializing(
+        self, registry, sketch
+    ):
+        version = registry.save(sketch)
+        assert sketch.metadata["registry_version"] == version
+        # The stamp travelled into the blob itself.
+        loaded = registry.load(sketch.name, version)
+        assert loaded.metadata["registry_version"] == version
+
+    def test_roundtrip_preserves_estimates(self, registry, sketch):
+        registry.save(sketch)
+        loaded = registry.load(sketch.name)
+        assert loaded.estimate(SQL) == sketch.estimate(SQL)
+        assert loaded.name == sketch.name
+        assert loaded.tables == sketch.tables
+
+    def test_loaded_sketch_gets_a_fresh_snapshot_token(self, registry, sketch):
+        # Re-activating an old version never resurrects a retired token:
+        # every load constructs a new object with its own token, so the
+        # engine's per-response token accounting stays unambiguous.
+        registry.save(sketch)
+        first = registry.load(sketch.name)
+        second = registry.load(sketch.name)
+        assert first.snapshot_token != sketch.snapshot_token
+        assert first.snapshot_token != second.snapshot_token
+
+    def test_load_defaults_to_active_version(self, registry, sketch):
+        registry.save(sketch, note="one")
+        registry.save(sketch, note="two")
+        assert registry.load(sketch.name).metadata["registry_version"] == 2
+        registry.activate(sketch.name, 1)
+        assert registry.load(sketch.name).metadata["registry_version"] == 1
+
+    def test_save_without_activate_stages_a_candidate(self, registry, sketch):
+        registry.save(sketch)
+        staged = registry.save(sketch, activate=False)
+        assert staged == 2
+        assert registry.active_version(sketch.name) == 1
+        # The staged blob is loadable by explicit version.
+        assert registry.load(sketch.name, 2).metadata["registry_version"] == 2
+
+    def test_unknown_sketch_or_version_is_structured(self, registry, sketch):
+        with pytest.raises(RegistryError, match="unknown sketch"):
+            registry.load("ghost")
+        registry.save(sketch)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.load(sketch.name, 9)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.activate(sketch.name, 9)
+
+
+class TestPinRollback:
+    def test_rollback_without_pin_targets_previous_version(
+        self, registry, sketch
+    ):
+        registry.save(sketch)
+        registry.save(sketch)
+        assert registry.rollback(sketch.name) == 1
+        assert registry.active_version(sketch.name) == 1
+        assert registry.rollback_count(sketch.name) == 1
+
+    def test_rollback_prefers_the_pinned_version(self, registry, sketch):
+        for _ in range(3):
+            registry.save(sketch)
+        registry.pin(sketch.name, 1)
+        assert registry.pinned(sketch.name) == 1
+        assert registry.rollback(sketch.name) == 1
+        assert registry.active_version(sketch.name) == 1
+
+    def test_unpin_restores_previous_version_semantics(self, registry, sketch):
+        for _ in range(3):
+            registry.save(sketch)
+        registry.pin(sketch.name, 1)
+        registry.unpin(sketch.name)
+        assert registry.pinned(sketch.name) is None
+        assert registry.rollback(sketch.name) == 2
+
+    def test_nothing_to_roll_back_to_is_structured(self, registry, sketch):
+        registry.save(sketch)
+        with pytest.raises(RegistryError, match="nothing to roll back to"):
+            registry.rollback(sketch.name)
+
+    def test_pin_rollback_restores_the_exact_blob(self, registry, sketch):
+        registry.save(sketch)
+        before = sketch.estimate(SQL)
+        registry.save(sketch)
+        registry.pin(sketch.name, 1)
+        version = registry.rollback(sketch.name)
+        restored = registry.load(sketch.name, version)
+        assert restored.estimate(SQL) == before
+
+
+class TestCorruption:
+    def _blob_path(self, registry, name, version):
+        return registry.root / registry.versions(name)[version]["path"]
+
+    def test_corrupt_blob_fails_checksum_on_load(self, registry, sketch):
+        registry.save(sketch)
+        path = self._blob_path(registry, sketch.name, 1)
+        path.write_bytes(b"garbage" + path.read_bytes()[7:])
+        with pytest.raises(RegistryError, match="checksum"):
+            registry.load(sketch.name, 1)
+
+    def test_other_versions_survive_one_corrupt_blob(self, registry, sketch):
+        registry.save(sketch)
+        registry.save(sketch)
+        self._blob_path(registry, sketch.name, 2).write_bytes(b"\x00" * 16)
+        assert registry.load(sketch.name, 1).metadata["registry_version"] == 1
+
+    def test_missing_blob_is_structured(self, registry, sketch):
+        registry.save(sketch)
+        self._blob_path(registry, sketch.name, 1).unlink()
+        with pytest.raises(RegistryError, match="missing"):
+            registry.load(sketch.name, 1)
+
+    def test_malformed_manifest_is_structured(self, tmp_path, sketch):
+        registry = SketchRegistry(tmp_path / "reg")
+        registry.save(sketch)
+        (tmp_path / "reg" / "manifest.json").write_text("{not json")
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.load(sketch.name)
+
+    def test_unsupported_format_version_is_structured(self, tmp_path):
+        registry = SketchRegistry(tmp_path / "reg")
+        manifest = tmp_path / "reg" / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["registry_version"] = 999
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(RegistryError, match="format version"):
+            registry.list_sketches()
+
+
+class TestDescribe:
+    def test_describe_shape(self, registry, sketch):
+        registry.save(sketch)
+        registry.save(sketch)
+        registry.pin(sketch.name, 1)
+        registry.rollback(sketch.name)
+        description = registry.describe()
+        assert set(description) == {sketch.name}
+        entry = description[sketch.name]
+        assert entry == {
+            "active": 1,
+            "pinned": 1,
+            "rollbacks": 1,
+            "versions": [1, 2],
+        }
+        # The whole block is JSON-native (healthz/CLI serve it verbatim).
+        assert json.loads(json.dumps(description)) == description
+
+    def test_version_records_carry_provenance(self, registry, sketch):
+        registry.save(sketch, note="initial build")
+        record = registry.versions(sketch.name)[1]
+        assert record["note"] == "initial build"
+        assert record["size"] > 0
+        assert len(record["sha256"]) == 64
+        assert record["created_at"] > 0
+
+    def test_empty_registry(self, registry):
+        assert registry.list_sketches() == []
+        assert registry.describe() == {}
+
+    def test_reopening_sees_persisted_state(self, tmp_path, sketch):
+        first = SketchRegistry(tmp_path / "reg")
+        first.save(sketch)
+        reopened = SketchRegistry(tmp_path / "reg")
+        assert reopened.active_version(sketch.name) == 1
+        assert reopened.load(sketch.name).estimate(SQL) == sketch.estimate(SQL)

@@ -584,6 +584,98 @@ class TestWorkload:
         assert excinfo.value.code == 2
 
 
+class TestLifecycleCLI:
+    """repro lifecycle: the registry's operator surface, end to end."""
+
+    @pytest.fixture()
+    def registry_dir(self, tmp_path):
+        return str(tmp_path / "registry")
+
+    def _save(self, sketch_path, registry_dir, *extra):
+        return main(
+            ["lifecycle", "save", sketch_path, "--registry", registry_dir,
+             *extra]
+        )
+
+    def test_save_assigns_versions(self, sketch_path, registry_dir, capsys):
+        assert self._save(sketch_path, registry_dir, "--note", "first") == 0
+        assert "saved 'imdb-sketch' as version 1 (active)" in (
+            capsys.readouterr().out
+        )
+        assert self._save(sketch_path, registry_dir) == 0
+        assert "version 2 (active)" in capsys.readouterr().out
+
+    def test_save_no_activate_stages(self, sketch_path, registry_dir, capsys):
+        self._save(sketch_path, registry_dir)
+        capsys.readouterr()
+        assert self._save(sketch_path, registry_dir, "--no-activate") == 0
+        assert "version 2 (inactive)" in capsys.readouterr().out
+        assert main(["lifecycle", "list", "--registry", registry_dir]) == 0
+        assert "active v1" in capsys.readouterr().out
+
+    def test_list_empty_registry(self, registry_dir, capsys):
+        assert main(["lifecycle", "list", "--registry", registry_dir]) == 0
+        assert "registry is empty" in capsys.readouterr().out
+
+    def test_list_and_status(self, sketch_path, registry_dir, capsys):
+        import json
+
+        self._save(sketch_path, registry_dir)
+        self._save(sketch_path, registry_dir)
+        capsys.readouterr()
+        assert main(["lifecycle", "list", "--registry", registry_dir]) == 0
+        assert "imdb-sketch: 2 version(s), active v2" in (
+            capsys.readouterr().out
+        )
+        assert main(["lifecycle", "status", "--registry", registry_dir]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["imdb-sketch"]["active"] == 2
+        assert status["imdb-sketch"]["versions"] == [1, 2]
+
+    def test_pin_and_rollback_restore_a_version(
+        self, sketch_path, registry_dir, tmp_path, capsys
+    ):
+        from repro.core import DeepSketch
+
+        for _ in range(3):
+            self._save(sketch_path, registry_dir)
+        assert main(
+            ["lifecycle", "pin", "imdb-sketch", "1",
+             "--registry", registry_dir]
+        ) == 0
+        capsys.readouterr()
+        restored_path = str(tmp_path / "restored.sketch")
+        assert main(
+            ["lifecycle", "rollback", "imdb-sketch",
+             "--registry", registry_dir, "--out", restored_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rolled 'imdb-sketch' back to version 1" in out
+        assert restored_path in out
+        # The written blob is a loadable sketch carrying its version.
+        restored = DeepSketch.load(restored_path)
+        assert restored.metadata["registry_version"] == 1
+        assert main(["lifecycle", "list", "--registry", registry_dir]) == 0
+        assert "active v1, pinned v1" in capsys.readouterr().out
+
+    def test_rollback_with_nothing_earlier_is_an_error(
+        self, sketch_path, registry_dir, capsys
+    ):
+        self._save(sketch_path, registry_dir)
+        capsys.readouterr()
+        assert main(
+            ["lifecycle", "rollback", "imdb-sketch",
+             "--registry", registry_dir]
+        ) == 1
+        assert "nothing to roll back to" in capsys.readouterr().err
+
+    def test_pin_unknown_sketch_is_an_error(self, registry_dir, capsys):
+        assert main(
+            ["lifecycle", "pin", "ghost", "1", "--registry", registry_dir]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestBenchServe:
     def test_tiny_benchmark_runs_and_passes(self, capsys):
         code = main(["bench-serve", "--tiny"])
