@@ -31,10 +31,18 @@ Every run writes machine-readable results to
 ``benchmarks/results/BENCH_lifecycle.json`` (sections + config + gates
 + pass) plus the human-readable ``bench_lifecycle.txt``.
 
+With ``--shm`` the served engine runs the zero-copy process path
+(``executor="process"`` with ``shm_snapshots`` + ``sticky_routing``):
+the same drift/swap/rollback audit must hold when snapshots live in
+shared-memory segments, and an additional gate asserts the segment
+registry (and ``/dev/shm``) drained to empty after the rollback — a hot
+swap under load must retire segments, never leak them.
+
 Run from the repository root::
 
     python benchmarks/bench_lifecycle.py          # full (minutes)
     python benchmarks/bench_lifecycle.py --tiny   # CI smoke run (seconds)
+    python benchmarks/bench_lifecycle.py --tiny --shm  # zero-copy engine
 """
 
 from __future__ import annotations
@@ -145,9 +153,17 @@ def run(args) -> int:
         registry = SketchRegistry(registry_dir)
         registry.save(sketch, note="initial build")
 
-        server = AsyncSketchServer(
-            manager, AsyncServeConfig(max_batch_size=64)
-        ).start()
+        if args.shm:
+            serve_config = AsyncServeConfig(
+                max_batch_size=64,
+                executor="process",
+                executor_workers=2,
+                shm_snapshots=True,
+                sticky_routing=True,
+            )
+        else:
+            serve_config = AsyncServeConfig(max_batch_size=64)
+        server = AsyncSketchServer(manager, serve_config).start()
         engine = server.engine
         lifecycle = LifecycleManager(
             server,
@@ -266,6 +282,17 @@ def run(args) -> int:
         finally:
             server.close()
 
+        # -- shm lifecycle: the swaps and the close must leak nothing --
+        from repro.serve import live_segment_names
+        from repro.serve.shm import SEGMENT_PREFIX
+
+        leaked_segments = sorted(live_segment_names())
+        if os.path.isdir("/dev/shm"):
+            mine = f"{SEGMENT_PREFIX}_{os.getpid()}_"
+            leaked_segments += sorted(
+                p for p in os.listdir("/dev/shm") if p.startswith(mine)
+            )
+
         # -- token accounting: no retired version after its swap -------
         # Each swap's barrier drains every round holding the old sketch
         # before swap_sketch returns, so an ok response carrying a
@@ -330,6 +357,9 @@ def run(args) -> int:
             "rollback_restored_v1": rolled_to == 1,
             "final_version_consistent": versions["registry_version"] == 2,
             "rollback_recorded": stats["lifecycle"]["rollbacks"] == 1,
+            # Shared-memory segments (published at all only with --shm)
+            # must all be unlinked once the swaps and the close settle.
+            "no_leaked_segments": leaked_segments == [],
         }
         ok = all(gates.values())
 
@@ -352,8 +382,10 @@ def run(args) -> int:
             },
             "registry": registry.describe(),
             "final_versions": versions,
+            "leaked_segments": leaked_segments,
             "config": {
                 "mode": "tiny" if args.tiny else "full",
+                "shm": bool(args.shm),
                 "scale": args.scale,
                 "queries": args.queries,
                 "epochs": args.epochs,
@@ -415,6 +447,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--tiny", action="store_true",
                         help="smoke-test configuration for CI (seconds)")
+    parser.add_argument("--shm", action="store_true",
+                        help="serve through the zero-copy process engine "
+                        "(shm_snapshots + sticky_routing) and gate on no "
+                        "leaked segments")
     args = parser.parse_args(argv)
     if args.tiny:
         apply_tiny_args(args)

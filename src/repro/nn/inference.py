@@ -65,6 +65,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 #: batch-shape churn, far above anything steady-state serving produces.
 MAX_POOLED_SHAPES = DEFAULT_MAX_SHAPES
 
+#: The four compiled MLPs and their parameters, in export order.  The
+#: flat ``{mlp}.{param}`` key space is the contract between
+#: :meth:`InferenceSession.export_weights` and
+#: :meth:`InferenceSession.from_weights` (and therefore the
+#: shared-memory snapshot layout in :mod:`repro.serve.shm`).
+MLP_NAMES = ("table", "join", "predicate", "out")
+PARAM_NAMES = ("w1", "b1", "w2", "b2")
+
 
 class _MLP:
     """Weight snapshot of one two-layer MLP: ``relu(x@W1+b1) @ W2 + b2``.
@@ -91,6 +99,26 @@ class _MLP:
         self.b1 = np.array(first.bias.data, dtype=dtype, order="C")
         self.w2 = np.array(second.weight.data, dtype=dtype, order="C")
         self.b2 = np.array(second.bias.data, dtype=dtype, order="C")
+
+    @classmethod
+    def from_arrays(
+        cls,
+        w1: np.ndarray,
+        b1: np.ndarray,
+        w2: np.ndarray,
+        b2: np.ndarray,
+    ) -> "_MLP":
+        """Adopt the given arrays verbatim — **no copy**.
+
+        The shared-memory snapshot path hands in read-only views over a
+        mapped segment; the forward pass only ever uses weights as GEMM
+        operands, so read-only is fine.  Callers own the aliasing
+        consequences (the training-path constructor above keeps its
+        deliberate copy).
+        """
+        mlp = cls.__new__(cls)
+        mlp.w1, mlp.b1, mlp.w2, mlp.b2 = w1, b1, w2, b2
+        return mlp
 
 
 class InferenceSession:
@@ -136,6 +164,78 @@ class InferenceSession:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._pools = ArrayPool(zeroed=False, max_shapes=MAX_POOLED_SHAPES)
+
+    # ------------------------------------------------------------------
+    # zero-copy export/import (shared-memory snapshots map, not pickle)
+    # ------------------------------------------------------------------
+    def export_weights(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The compiled weights as named arrays plus a dims header.
+
+        Keys are ``weights.{mlp}.{param}`` over :data:`MLP_NAMES` ×
+        :data:`PARAM_NAMES`; the arrays are the session's *own* weight
+        snapshots (views, not copies — treat them as read-only).  The
+        header carries everything else a session needs, JSON-able so it
+        can ride in a shared-memory segment manifest.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for mlp_name in MLP_NAMES:
+            mlp = getattr(self, f"_{mlp_name}_mlp")
+            for param in PARAM_NAMES:
+                arrays[f"weights.{mlp_name}.{param}"] = getattr(mlp, param)
+        header = {
+            "dtype": self.dtype.name,
+            "hidden_units": int(self.hidden_units),
+            "table_dim": int(self.table_dim),
+            "join_dim": int(self.join_dim),
+            "predicate_dim": int(self.predicate_dim),
+        }
+        return arrays, header
+
+    @classmethod
+    def from_weights(
+        cls, arrays: dict[str, np.ndarray], header: dict
+    ) -> "InferenceSession":
+        """Rebuild a session around ``arrays`` **without copying them**.
+
+        Inverse of :meth:`export_weights`.  This is how a process-pool
+        worker compiles a session directly over a mapped shared-memory
+        segment: the weight arrays stay wherever the caller put them
+        (typically read-only views over ``/dev/shm``), and only the
+        empty buffer pool is process-private.  Runs the same dtype
+        validation as ``__init__``; a missing key or malformed header
+        is a :class:`~repro.errors.ReproError`.
+        """
+        try:
+            dtype = np.dtype(str(header["dtype"]))
+            hidden_units = int(header["hidden_units"])
+            table_dim = int(header["table_dim"])
+            join_dim = int(header["join_dim"])
+            predicate_dim = int(header["predicate_dim"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed session weights header: {exc}") from exc
+        if dtype not in [np.dtype(d) for d in cls.SUPPORTED_DTYPES]:
+            raise ReproError(
+                f"InferenceSession supports float64/float32, got {dtype}"
+            )
+        session = cls.__new__(cls)
+        session.dtype = dtype
+        session.hidden_units = hidden_units
+        session.table_dim = table_dim
+        session.join_dim = join_dim
+        session.predicate_dim = predicate_dim
+        for mlp_name in MLP_NAMES:
+            try:
+                params = [
+                    arrays[f"weights.{mlp_name}.{param}"]
+                    for param in PARAM_NAMES
+                ]
+            except KeyError as exc:
+                raise ReproError(
+                    f"session weights payload missing array {exc}"
+                ) from exc
+            setattr(session, f"_{mlp_name}_mlp", _MLP.from_arrays(*params))
+        session._pools = ArrayPool(zeroed=False, max_shapes=MAX_POOLED_SHAPES)
+        return session
 
     # ------------------------------------------------------------------
     # buffer pool
@@ -240,4 +340,4 @@ class InferenceSession:
         )
 
 
-__all__ = ["InferenceSession", "MAX_POOLED_SHAPES"]
+__all__ = ["InferenceSession", "MAX_POOLED_SHAPES", "MLP_NAMES", "PARAM_NAMES"]

@@ -130,18 +130,28 @@ def samples_from_payload(
             key = f"sample.{table_name}.{name}"
             try:
                 values = arrays[f"{key}.values"]
-                valid = arrays[f"{key}.valid"].astype(bool)
+                valid = arrays[f"{key}.valid"].astype(bool, copy=False)
             except KeyError as exc:
                 raise SketchError(f"samples payload missing array {exc}") from exc
+            # copy=False throughout: payloads already at the canonical
+            # dtype (the common case, and *always* the case for
+            # shared-memory mapped payloads) pass through as views —
+            # an unconditional astype would silently re-copy every
+            # zero-copy segment attach.  Off-dtype payloads (e.g. an
+            # npz round trip that downgraded to int32) still convert.
             if dtype is DType.STRING:
                 columns[name] = Column(
-                    name, dtype, values.astype(np.int64), valid,
+                    name, dtype, values.astype(np.int64, copy=False), valid,
                     dictionary=list(col_meta.get("dictionary", [])),
                 )
             elif dtype is DType.INT64:
-                columns[name] = Column(name, dtype, values.astype(np.int64), valid)
+                columns[name] = Column(
+                    name, dtype, values.astype(np.int64, copy=False), valid
+                )
             else:
-                columns[name] = Column(name, dtype, values.astype(np.float64), valid)
+                columns[name] = Column(
+                    name, dtype, values.astype(np.float64, copy=False), valid
+                )
         schema = TableSchema(table_name, decls, primary_key=table_meta.get("primary_key"))
         samples[table_name] = Table(schema, columns)
     return MaterializedSamples(samples=samples, sample_size=sample_size)

@@ -69,6 +69,7 @@ from .executor import (
     EXECUTOR_NAMES,
     InlineExecutor,
     ProcessExecutor,
+    StickyProcessExecutor,
     ThreadExecutor,
     make_executor,
 )
@@ -80,6 +81,8 @@ from .protocol import PROTOCOL_VERSION
 from .registry import SketchRegistry
 from .server import SketchServer
 from .service import SketchService
+from .shm import SegmentDescriptor, SnapshotSegment, live_segment_names
+from .wire import WIRE_VERSION, BinaryFrameServer
 
 __all__ = [
     "EstimationEngine",
@@ -111,6 +114,7 @@ __all__ = [
     "EstimateResponse",
     "InlineExecutor",
     "ProcessExecutor",
+    "StickyProcessExecutor",
     "ServingBenchResult",
     "ThreadExecutor",
     "answer_chunk",
@@ -118,4 +122,9 @@ __all__ = [
     "prepare_request",
     "run_serving_benchmark",
     "tile_workload",
+    "BinaryFrameServer",
+    "WIRE_VERSION",
+    "SegmentDescriptor",
+    "SnapshotSegment",
+    "live_segment_names",
 ]

@@ -1179,11 +1179,10 @@ def run_http_benchmark(
     :class:`~repro.serve.async_server.AsyncSketchServer` and the
     :class:`~repro.serve.http.SketchHTTPServer`, so the only variable
     is the transport.  One untimed warmup request per service settles
-    buffer pools.  Note the SDK's transport is stdlib ``urllib``: each
-    round trip opens a fresh TCP connection, so the measured HTTP
-    overhead includes loopback connection setup — representative of
-    simple clients; a connection-pooling client would sit between the
-    two curves.
+    buffer pools.  The SDK is pinned to ``transport="json"`` here — this
+    scenario measures the HTTP/JSON front door (over the SDK's pooled
+    keep-alive connections); the negotiated binary framing is measured
+    separately by ``benchmarks/bench_transport.py``.
     """
     from .async_server import AsyncServeConfig, AsyncSketchServer
     from .client import RemoteSketchServer

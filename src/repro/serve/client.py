@@ -3,7 +3,7 @@
 The third :class:`~repro.serve.service.SketchService` implementation:
 the same ``submit`` / ``submit_many`` / ``estimate`` / ``serve`` /
 ``stats_summary`` / ``close`` surface as the in-process facades, spoken
-over the versioned wire protocol (:mod:`repro.serve.protocol`) to a
+over the versioned wire protocol to a
 :class:`~repro.serve.http.SketchHTTPServer`.  Swapping a local facade
 for remote serving is a one-line change::
 
@@ -12,8 +12,28 @@ for remote serving is a one-line change::
     with service:
         response = service.estimate(sql)               # unchanged
 
-Stdlib-only (``urllib.request``), deliberately: the SDK must import
-anywhere the library does.
+Stdlib-only (``http.client`` + ``socket``), deliberately: the SDK must
+import anywhere the library does.
+
+Transports.  The SDK speaks two, over the same protocol v1 envelopes:
+
+* **JSON/HTTP** (:mod:`repro.serve.protocol`) — the compatibility
+  transport and the control surface (``stats_summary``/``healthz`` are
+  always JSON).  Connections are **keep-alive**: a small pool of
+  ``http.client`` connections is reused across round trips instead of
+  the connect-per-request behavior this SDK used to have — at
+  micro-benchmark request sizes the TCP handshake *was* a measurable
+  slice of the ~1.2ms/request JSON overhead.  :attr:`connections_opened`
+  counts real TCP connects so the transport bench can gate the
+  regression.
+* **Binary frames** (:mod:`repro.serve.wire`) — the fast path: one
+  persistent socket per client slot, length-prefixed struct-packed
+  frames, no HTTP parsing, no JSON.  Negotiated, never assumed: the
+  first estimate fetches ``/v1/healthz`` and switches to binary only if
+  the server advertises ``transports.binary`` at this build's
+  :data:`~repro.serve.wire.WIRE_VERSION` (``transport="json"`` /
+  ``"binary"`` pin the choice; default ``"auto"``).  Servers without
+  the capability — or version-skewed ones — keep speaking JSON.
 
 Semantics worth knowing:
 
@@ -21,30 +41,30 @@ Semantics worth knowing:
   (parse/route/vocab/shed/deadline) arrive as ``ok=False``
   :class:`~repro.serve.engine.EstimateResponse` objects with the same
   structured ``code`` a local caller would see — identical dispatch
-  code on both sides of the wire.  Only *transport* failures
-  (connection refused, truncated body, version skew) raise —
-  :class:`~repro.errors.RemoteServerError` or
+  code on both sides of the wire, identical on both transports.  Only
+  *transport* failures (connection refused, truncated frame, version
+  skew) raise — :class:`~repro.errors.RemoteServerError` or
   :class:`~repro.errors.ProtocolError`.
 * **submit() is non-blocking.**  A small thread pool issues the round
   trip and resolves the returned future; ``submit_many`` sends the
-  whole batch as **one** ``POST /v1/estimate_batch`` (one round trip,
-  one server-side amortized intake) and fans the batch response out to
-  per-request futures.
+  whole batch as **one** round trip (one server-side amortized intake)
+  and fans the batch response out to per-request futures.
 * **Batching still happens server-side.**  Concurrent ``submit`` calls
   from many client processes coalesce in the server's engine exactly
   like concurrent in-process submitters; the SDK adds no client-side
   waiting.
 * ``server_ms`` timings from response envelopes are accumulated into
   :meth:`timings` so callers can split wire overhead from serving time
-  (the ``--http`` benchmark does).
+  (the transport benchmark does).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
-import urllib.error
-import urllib.request
+import urllib.parse
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
@@ -58,20 +78,108 @@ from ..errors import (
 from ..metrics import LatencySummary
 from ..workload.query import Query
 from .engine import EstimateResponse
-from . import protocol
+from . import protocol, wire
+
+#: ``transport=`` choices: negotiate, or pin either transport.
+TRANSPORTS = ("auto", "json", "binary")
+
+
+class _HTTPPool:
+    """A free-list of keep-alive ``http.client`` connections.
+
+    ``acquire`` hands back an idle connection (or dials a new one —
+    counted in ``opened``); ``release`` returns it for reuse;
+    ``discard`` drops it (fault, or the server announced close).  The
+    pool never blocks: bursts beyond the idle supply just dial more.
+    """
+
+    def __init__(self, scheme: str, host: str, port: int, timeout: float):
+        self._factory = (
+            http.client.HTTPSConnection
+            if scheme == "https"
+            else http.client.HTTPConnection
+        )
+        self._host, self._port, self._timeout = host, port, timeout
+        self._free: list = []
+        self._lock = threading.Lock()
+        self.opened = 0
+
+    def acquire(self):
+        """-> (connection, reused) — ``reused`` drives stale-retry."""
+        with self._lock:
+            if self._free:
+                return self._free.pop(), True
+            self.opened += 1
+        return self._factory(self._host, self._port, timeout=self._timeout), False
+
+    def release(self, conn) -> None:
+        with self._lock:
+            self._free.append(conn)
+
+    def discard(self, conn) -> None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def close_all(self) -> None:
+        with self._lock:
+            free, self._free = self._free, []
+        for conn in free:
+            self.discard(conn)
+
+
+class _SocketPool:
+    """Same free-list discipline for raw binary-frame sockets."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self._addr = (host, port)
+        self._timeout = timeout
+        self._free: list = []
+        self._lock = threading.Lock()
+        self.opened = 0
+
+    def acquire(self):
+        with self._lock:
+            if self._free:
+                return self._free.pop(), True
+            self.opened += 1
+        sock = socket.create_connection(self._addr, timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock, False
+
+    def release(self, sock) -> None:
+        with self._lock:
+            self._free.append(sock)
+
+    def discard(self, sock) -> None:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def close_all(self) -> None:
+        with self._lock:
+            free, self._free = self._free, []
+        for sock in free:
+            self.discard(sock)
 
 
 class RemoteSketchServer:
     """Estimation over the wire, behind the one `SketchService` surface.
 
     ``url`` is the front door's base address (``http://host:port``);
-    ``timeout`` bounds each HTTP round trip (seconds);
+    ``timeout`` bounds each round trip (seconds);
     ``connection_workers`` sizes the thread pool that makes
     :meth:`submit` non-blocking (it does not limit the server's
     concurrency, only this client's in-flight round trips).
+    ``transport`` is ``"auto"`` (negotiate binary via ``/v1/healthz``,
+    fall back to JSON), ``"json"``, or ``"binary"`` (fail if the server
+    doesn't offer it).
 
     The client is thread-safe: any number of caller threads may
-    submit/estimate concurrently.
+    submit/estimate concurrently (each concurrent round trip uses its
+    own pooled connection).
     """
 
     def __init__(
@@ -80,6 +188,7 @@ class RemoteSketchServer:
         *,
         timeout: float = 30.0,
         connection_workers: int = 4,
+        transport: str = "auto",
     ):
         if not url.startswith(("http://", "https://")):
             raise RemoteServerError(
@@ -95,9 +204,26 @@ class RemoteSketchServer:
             raise RemoteServerError(
                 f"connection_workers must be positive, got {connection_workers!r}"
             )
+        if transport not in TRANSPORTS:
+            raise RemoteServerError(
+                f"unknown transport {transport!r}; "
+                f"choose one of {', '.join(TRANSPORTS)}"
+            )
+        parts = urllib.parse.urlsplit(self.url)
+        self._base_path = parts.path.rstrip("/")
+        self._http_pool = _HTTPPool(
+            parts.scheme,
+            parts.hostname or "127.0.0.1",
+            parts.port or (443 if parts.scheme == "https" else 80),
+            self.timeout,
+        )
+        self.transport = transport
+        self._active: str | None = "json" if transport == "json" else None
+        self._binary_pool: _SocketPool | None = None
         self._workers = int(connection_workers)
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._negotiate_lock = threading.Lock()
         self._closed = False
         #: Client-observed round-trip latency (seconds) per request.
         self.wire_latency = LatencySummary(window=8192)
@@ -105,41 +231,65 @@ class RemoteSketchServer:
         self.server_latency = LatencySummary(window=8192)
 
     # ------------------------------------------------------------------
-    # transport
+    # JSON/HTTP transport (keep-alive)
     # ------------------------------------------------------------------
     def _http(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One JSON round trip; structured 4xx/5xx bodies raise typed
-        errors, transport faults raise RemoteServerError."""
+        """One JSON round trip on a pooled keep-alive connection.
+
+        Structured 4xx/5xx bodies raise typed errors, transport faults
+        raise RemoteServerError.  A *reused* connection that turns out
+        stale (the server closed it while idle) is retried once on a
+        fresh dial — estimates are idempotent, and a stale keep-alive
+        connection is an artifact of pooling, not a server fault.
+        """
         if self._closed:
             raise RemoteServerError("client is closed")
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self.url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+        retried = False
+        while True:
+            conn, reused = self._acquire_http(method, path)
+            try:
+                conn.request(
+                    method,
+                    self._base_path + path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                reply = conn.getresponse()
                 raw = reply.read()
-        except urllib.error.HTTPError as exc:
-            # The front door answers errors with a structured JSON body;
-            # surface its message (and 400s as protocol errors).
+                status = reply.status
+                keep = not reply.will_close
+            except (
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+            ) as exc:
+                self._http_pool.discard(conn)
+                if reused and not retried:
+                    retried = True
+                    continue
+                raise self._classify_transport_fault(exc, method, path) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                self._http_pool.discard(conn)
+                raise self._classify_transport_fault(exc, method, path) from exc
+            break
+        if keep:
+            self._http_pool.release(conn)
+        else:
+            self._http_pool.discard(conn)
+        if status >= 400:
             detail = ""
             try:
-                wire = json.loads(exc.read())
-                detail = wire.get("error") or ""
+                detail = json.loads(raw).get("error") or ""
             except Exception:
                 pass
             message = (
-                f"{method} {path} failed with HTTP {exc.code}"
+                f"{method} {path} failed with HTTP {status}"
                 + (f": {detail}" if detail else "")
             )
-            if exc.code == 400:
-                raise ProtocolError(message) from exc
-            raise RemoteHTTPError(message, exc.code) from exc
-        except OSError as exc:  # URLError, timeouts, refused connections
-            raise self._classify_transport_fault(exc, method, path) from exc
+            if status == 400:
+                raise ProtocolError(message)
+            raise RemoteHTTPError(message, status)
         try:
             return json.loads(raw)
         except ValueError as exc:
@@ -147,41 +297,162 @@ class RemoteSketchServer:
                 f"{method} {path} answered non-JSON payload"
             ) from exc
 
-    def _classify_transport_fault(
-        self, exc: OSError, method: str, path: str
-    ) -> RemoteServerError:
-        """Map an OSError from ``urlopen`` onto the typed taxonomy.
+    def _acquire_http(self, method: str, path: str):
+        try:
+            return self._http_pool.acquire()
+        except OSError as exc:  # a fresh dial refused/unroutable
+            raise self._classify_transport_fault(exc, method, path) from exc
 
-        ``urllib`` wraps most socket faults in ``URLError`` with the
-        real exception on ``.reason``, but timeouts and resets can also
-        surface bare — classify the innermost cause.  A failover layer
-        keys retry policy on the type: connection faults never executed
-        (retry anywhere), timeouts may have (retry because estimates
-        are idempotent), anything else stays a plain
-        :class:`~repro.errors.RemoteServerError`.
+    def _classify_transport_fault(
+        self, exc: Exception, method: str, path: str
+    ) -> RemoteServerError:
+        """Map a socket-layer fault onto the typed taxonomy.
+
+        A failover layer keys retry policy on the type: connection
+        faults never executed (retry anywhere), timeouts may have
+        (retry because estimates are idempotent), anything else stays a
+        plain :class:`~repro.errors.RemoteServerError`.
         """
-        cause = exc
-        if isinstance(exc, urllib.error.URLError) and isinstance(
-            exc.reason, BaseException
-        ):
-            cause = exc.reason
-        if isinstance(cause, TimeoutError):  # socket.timeout is an alias
+        if isinstance(exc, TimeoutError):  # socket.timeout is an alias
             return RemoteTimeoutError(
                 f"{method} {path} to {self.url} timed out "
-                f"after {self.timeout:g}s: {cause}"
+                f"after {self.timeout:g}s: {exc}"
             )
-        if isinstance(cause, ConnectionError):  # refused/reset/aborted
+        if isinstance(exc, ConnectionError):  # refused/reset/aborted
             return RemoteConnectionError(
-                f"cannot reach estimation service at {self.url}: {cause}"
+                f"cannot reach estimation service at {self.url}: {exc}"
             )
         return RemoteServerError(
             f"cannot reach estimation service at {self.url}: {exc}"
         )
 
-    def _observe(self, payload: dict, elapsed: float, n: int = 1) -> None:
+    # ------------------------------------------------------------------
+    # binary transport
+    # ------------------------------------------------------------------
+    @property
+    def active_transport(self) -> str | None:
+        """The negotiated estimate transport (``None`` = not yet known)."""
+        return self._active
+
+    @property
+    def connections_opened(self) -> dict:
+        """Lifetime TCP connects per transport (the keep-alive gate)."""
+        return {
+            "json": self._http_pool.opened,
+            "binary": 0 if self._binary_pool is None else self._binary_pool.opened,
+        }
+
+    def negotiate_transport(self, health: dict | None = None) -> str:
+        """Settle the estimate transport now; returns ``"json"``/``"binary"``.
+
+        ``health`` is an already-fetched ``/v1/healthz`` payload (the
+        gateway passes the one its prober just read); without it, one
+        is fetched.  ``transport="auto"`` picks binary iff the server
+        advertises it at this build's wire version.  An HTTP-level or
+        malformed-payload answer settles on JSON (the server is alive —
+        it just can't speak binary); a *transport* fault propagates and
+        leaves negotiation open for the next call.
+        """
+        with self._negotiate_lock:
+            if self._active is not None:
+                return self._active
+            try:
+                if health is None:
+                    health = self.healthz()
+                offered = health.get("transports")
+                binary = offered.get("binary") if isinstance(offered, dict) else None
+                usable = (
+                    isinstance(binary, dict)
+                    and binary.get("wire_version") == wire.WIRE_VERSION
+                    and isinstance(binary.get("port"), int)
+                )
+            except (RemoteHTTPError, ProtocolError):
+                usable = False
+                if self.transport == "binary":
+                    raise
+            if usable:
+                host = binary.get("host")
+                if not isinstance(host, str) or not host:
+                    host = urllib.parse.urlsplit(self.url).hostname
+                self._binary_pool = _SocketPool(
+                    host, binary["port"], self.timeout
+                )
+                self._active = "binary"
+            else:
+                if self.transport == "binary":
+                    raise RemoteServerError(
+                        f"server at {self.url} does not offer the binary "
+                        f"transport at wire version {wire.WIRE_VERSION}"
+                    )
+                self._active = "json"
+            return self._active
+
+    def _binary_call(self, kind: int, payload: bytes, what: str):
+        """One frame round trip; returns ``(kind, payload)`` of the reply.
+
+        Fault mapping mirrors the HTTP path: dial faults are
+        connection errors (never executed), timeouts are timeouts (may
+        have executed), a connection that dies *mid-frame* is a plain
+        :class:`~repro.errors.RemoteServerError` (the request may have
+        executed; no partial response is ever surfaced), and version
+        skew / malformed frames are :class:`~repro.errors.ProtocolError`.
+        """
+        pool = self._binary_pool
+        if pool is None:  # pragma: no cover - guarded by negotiation
+            raise RemoteServerError("binary transport is not negotiated")
+        retried = False
+        while True:
+            try:
+                sock, reused = pool.acquire()
+            except OSError as exc:
+                raise self._classify_transport_fault(exc, "BINARY", what) from exc
+            try:
+                wire.write_frame(sock, kind, payload)
+                frame = wire.read_frame(sock)
+            except wire.TruncatedFrame as exc:
+                pool.discard(sock)
+                raise RemoteServerError(
+                    f"binary {what} to {self.url}: connection lost mid-frame "
+                    f"(the request may have executed): {exc}"
+                ) from exc
+            except ProtocolError:
+                pool.discard(sock)
+                raise
+            except (OSError, TimeoutError) as exc:
+                pool.discard(sock)
+                if (
+                    reused
+                    and not retried
+                    and isinstance(exc, ConnectionError)
+                ):
+                    retried = True  # stale keep-alive socket: one re-dial
+                    continue
+                raise self._classify_transport_fault(exc, "BINARY", what) from exc
+            if frame is None:
+                pool.discard(sock)
+                if reused and not retried:
+                    retried = True
+                    continue
+                raise RemoteConnectionError(
+                    f"binary {what}: server at {self.url} closed the "
+                    "connection before answering"
+                )
+            break
+        reply_kind, reply_payload = frame
+        if reply_kind == wire.KIND_ERROR:
+            # The server answers transport-level failures with one
+            # error frame and closes; never reuse this socket.
+            pool.discard(sock)
+            message, code = wire.decode_error(reply_payload)
+            if code == "protocol":
+                raise ProtocolError(f"binary {what}: {message}")
+            raise RemoteServerError(f"binary {what}: {message}")
+        pool.release(sock)
+        return reply_kind, reply_payload
+
+    def _observe(self, server_ms, elapsed: float, n: int = 1) -> None:
         for _ in range(n):
             self.wire_latency.observe(elapsed / max(n, 1))
-        server_ms = payload.get("server_ms")
         if isinstance(server_ms, (int, float)):
             for _ in range(n):
                 self.server_latency.observe(server_ms / 1000.0 / max(n, 1))
@@ -192,41 +463,71 @@ class RemoteSketchServer:
     def estimate(
         self, request: Query | str, sketch: str | None = None
     ) -> EstimateResponse:
-        """One blocking round trip: ``POST /v1/estimate``."""
+        """One blocking round trip (binary frame or ``POST /v1/estimate``)."""
         import time
 
+        transport = self._active or self.negotiate_transport()
         t0 = time.perf_counter()
-        payload = self._http(
-            "POST",
-            "/v1/estimate",
-            protocol.estimate_request_to_wire(request, sketch),
-        )
-        response = protocol.response_from_wire(payload)
-        self._observe(payload, time.perf_counter() - t0)
+        if transport == "binary":
+            reply_kind, payload = self._binary_call(
+                wire.KIND_ESTIMATE,
+                wire.encode_estimate_request(request, sketch),
+                "estimate",
+            )
+            if reply_kind != wire.KIND_RESPONSE:
+                raise ProtocolError(
+                    f"binary estimate answered frame kind 0x{reply_kind:02x}"
+                )
+            response, server_ms = wire.decode_response(payload)
+        else:
+            body = self._http(
+                "POST",
+                "/v1/estimate",
+                protocol.estimate_request_to_wire(request, sketch),
+            )
+            response = protocol.response_from_wire(body)
+            server_ms = body.get("server_ms")
+        self._observe(server_ms, time.perf_counter() - t0)
         return self._restore_request(response, request)
 
     def estimate_many(
         self, requests: Sequence[Query | str], sketch: str | None = None
     ) -> list[EstimateResponse]:
-        """One round trip for a whole batch: ``POST /v1/estimate_batch``."""
+        """One round trip for a whole batch (binary batch frame or
+        ``POST /v1/estimate_batch``)."""
         import time
 
         requests = list(requests)
         if not requests:
             return []
+        transport = self._active or self.negotiate_transport()
         t0 = time.perf_counter()
-        payload = self._http(
-            "POST",
-            "/v1/estimate_batch",
-            protocol.batch_request_to_wire(requests, sketch),
-        )
-        responses = protocol.batch_response_from_wire(payload)
+        if transport == "binary":
+            reply_kind, payload = self._binary_call(
+                wire.KIND_BATCH,
+                wire.encode_batch_request(requests, sketch),
+                "estimate_batch",
+            )
+            if reply_kind != wire.KIND_BATCH_RESPONSE:
+                raise ProtocolError(
+                    f"binary estimate_batch answered frame "
+                    f"kind 0x{reply_kind:02x}"
+                )
+            responses, server_ms = wire.decode_batch_response(payload)
+        else:
+            body = self._http(
+                "POST",
+                "/v1/estimate_batch",
+                protocol.batch_request_to_wire(requests, sketch),
+            )
+            responses = protocol.batch_response_from_wire(body)
+            server_ms = body.get("server_ms")
         if len(responses) != len(requests):
             raise ProtocolError(
                 f"batch answered {len(responses)} responses "
                 f"for {len(requests)} requests"
             )
-        self._observe(payload, time.perf_counter() - t0, n=len(requests))
+        self._observe(server_ms, time.perf_counter() - t0, n=len(requests))
         return [
             self._restore_request(response, request)
             for response, request in zip(responses, requests)
@@ -272,11 +573,12 @@ class RemoteSketchServer:
 
     def stats_summary(self) -> dict:
         """The server engine's telemetry snapshot: ``GET /v1/stats``
-        (byte-for-byte the shape in-process ``stats_summary()`` returns)."""
+        (byte-for-byte the shape in-process ``stats_summary()`` returns).
+        Always JSON — the control surface does not negotiate."""
         return self._http("GET", "/v1/stats")
 
     def healthz(self) -> dict:
-        """Liveness probe: ``GET /v1/healthz``."""
+        """Liveness probe: ``GET /v1/healthz``.  Always JSON."""
         return self._http("GET", "/v1/healthz")
 
     def timings(self) -> dict:
@@ -286,10 +588,15 @@ class RemoteSketchServer:
         (batch round trips amortized across their requests); ``server``
         percentiles are the service's self-reported handling time from
         the response envelopes.  The gap is marshalling + network.
+        ``transport`` is the negotiated estimate transport and
+        ``connections_opened`` the lifetime TCP dials per transport
+        (the keep-alive regression gate reads it).
         """
         return {
             "wire": self.wire_latency.summary(),
             "server": self.server_latency.summary(),
+            "transport": self._active,
+            "connections_opened": self.connections_opened,
         }
 
     # ------------------------------------------------------------------
@@ -311,9 +618,9 @@ class RemoteSketchServer:
         return self._closed
 
     def close(self) -> None:
-        """Release the connection pool (idempotent).  In-flight
-        ``submit`` round trips complete first; the remote server is
-        not affected."""
+        """Release the thread pool and every pooled connection
+        (idempotent).  In-flight ``submit`` round trips complete first;
+        the remote server is not affected."""
         with self._lock:
             if self._closed:
                 return
@@ -321,6 +628,9 @@ class RemoteSketchServer:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self._http_pool.close_all()
+        if self._binary_pool is not None:
+            self._binary_pool.close_all()
 
     def __enter__(self) -> "RemoteSketchServer":
         return self
@@ -330,7 +640,11 @@ class RemoteSketchServer:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        return f"RemoteSketchServer(url={self.url!r}, {state})"
+        transport = self._active or self.transport
+        return (
+            f"RemoteSketchServer(url={self.url!r}, "
+            f"transport={transport!r}, {state})"
+        )
 
     # ------------------------------------------------------------------
     # helpers
@@ -350,4 +664,4 @@ class RemoteSketchServer:
         return response
 
 
-__all__ = ["RemoteSketchServer"]
+__all__ = ["RemoteSketchServer", "TRANSPORTS"]

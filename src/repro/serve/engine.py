@@ -125,7 +125,14 @@ class ServeConfig:
     thread pool overlapping chunks), or ``"process"`` (a process pool
     of ``executor_workers`` workers holding shipped weight snapshots;
     ``mp_start_method`` overrides the multiprocessing start method,
-    default: the interpreter's platform default).
+    default: the interpreter's platform default).  Two process-pool
+    refinements (both require ``executor="process"``):
+    ``shm_snapshots`` publishes snapshots as shared-memory segments
+    that workers map instead of unpickle-copy (zero per-worker copies;
+    see ``docs/performance.md``), and ``sticky_routing`` pins each
+    sketch to one dedicated worker so worker-side featurization state
+    stays warm across micro-batches (worker death degrades to the
+    re-ship path).
 
     Admission: ``max_queue_depth`` bounds buffered computations
     (``None`` = unbounded); on overflow ``shed_policy`` either rejects
@@ -155,6 +162,8 @@ class ServeConfig:
     shed_policy: str = "reject"
     deadline_ms: float | None = None
     mp_start_method: str | None = None
+    shm_snapshots: bool = False
+    sticky_routing: bool = False
     feature_cache_size: int = DEFAULT_FEATURE_CACHE_SIZE
     feature_cache_ttl_s: float | None = 600.0
     latency_window: int = 8192
@@ -203,6 +212,18 @@ class ServeConfig:
             raise SketchError(
                 f"unknown mp_start_method {self.mp_start_method!r}; "
                 f"choose one of {', '.join(MP_START_METHODS)}"
+            )
+        if self.shm_snapshots and self.executor != "process":
+            raise SketchError(
+                "shm_snapshots=True requires executor='process' "
+                f"(got executor={self.executor!r}); the inline/thread "
+                "paths already share the parent's arrays"
+            )
+        if self.sticky_routing and self.executor != "process":
+            raise SketchError(
+                "sticky_routing=True requires executor='process' "
+                f"(got executor={self.executor!r}); only process workers "
+                "hold per-worker state to pin"
             )
         if self.feature_cache_size < 0:
             raise SketchError(

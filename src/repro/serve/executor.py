@@ -33,6 +33,22 @@ implementations cover the scale spectrum:
   ``snapshot_token`` changes — a retrained or re-registered sketch can
   never be served from stale worker weights.
 
+Two opt-in refinements reshape the process path (``ServeConfig``
+flags, both default-off):
+
+* ``shm_snapshots`` — snapshots are published once into
+  shared-memory segments (:mod:`repro.serve.shm`) and workers *map*
+  them as read-only views instead of unpickle-copying: per-worker
+  snapshot cost drops to page tables, and only a few-KB descriptor
+  crosses the process boundary.  Segment lifecycle follows
+  ``snapshot_token`` exactly as re-shipping does, so hot swaps retire
+  segments only after their pool generation is gone.
+* ``sticky_routing`` — :class:`StickyProcessExecutor` pins each sketch
+  to one dedicated worker, which keeps a worker-side template
+  :class:`~repro.serve.feature_cache.FeatureCache` warm across
+  micro-batches and re-ships single sketches via an install task
+  instead of pool rebuilds.
+
 Executors are constructed from :class:`~repro.serve.engine.ServeConfig`
 via :func:`make_executor` (``config.executor`` by name); unknown names
 are rejected at config construction, so the factory never guesses.
@@ -143,12 +159,65 @@ class ThreadExecutor(ChunkExecutor):
 #: means a new pool, never a worker-side check.
 _WORKER_SKETCHES: dict = {}
 
+#: Shared-memory attachments backing shm-shipped sketches, kept so the
+#: mapping outlives the install call (sketch name -> AttachedSnapshot).
+_WORKER_ATTACHMENTS: dict = {}
 
-def _worker_init(payloads: dict) -> None:
+#: Sticky workers keep a worker-side template feature cache: the same
+#: sketch always lands on the same worker, so featurization state built
+#: for a query template is warm for the next micro-batch.  ``None``
+#: outside sticky mode (non-sticky pools are re-shipped wholesale on
+#: token changes; a cache keyed by featurizer identity would never hit
+#: across rebuilds anyway).
+_WORKER_FEATURE_CACHE = None
+
+
+def _install_sketch(name: str, payload) -> None:
+    """(Re)install one sketch in this worker from either payload kind.
+
+    ``payload`` is a pickled :class:`~repro.core.sketch.SketchSnapshot`
+    blob (the copy path) or a :class:`~repro.serve.shm.SegmentDescriptor`
+    (the zero-copy path: attach the parent's segment and restore over
+    read-only views).  Replacing an shm-shipped sketch detaches its old
+    mapping first so a retired segment's memory is actually released.
+    """
+    previous = _WORKER_ATTACHMENTS.pop(name, None)
+    if previous is not None:
+        previous.detach()
+    if isinstance(payload, (bytes, bytearray)):
+        _WORKER_SKETCHES[name] = pickle.loads(payload).restore()
+    else:
+        from .shm import AttachedSnapshot
+
+        attachment = AttachedSnapshot(payload)
+        _WORKER_ATTACHMENTS[name] = attachment
+        _WORKER_SKETCHES[name] = attachment.sketch
+
+
+def _worker_init(payloads: dict, warm_features: bool = False) -> None:
     """Pool initializer: restore every shipped sketch snapshot once."""
+    global _WORKER_FEATURE_CACHE
     _WORKER_SKETCHES.clear()
-    for name, blob in payloads.items():
-        _WORKER_SKETCHES[name] = pickle.loads(blob).restore()
+    for attachment in _WORKER_ATTACHMENTS.values():
+        attachment.detach()
+    _WORKER_ATTACHMENTS.clear()
+    if warm_features and _WORKER_FEATURE_CACHE is None:
+        from .feature_cache import FeatureCache
+
+        _WORKER_FEATURE_CACHE = FeatureCache()
+    for name, payload in payloads.items():
+        _install_sketch(name, payload)
+
+
+def _worker_install(name: str, payload) -> bool:
+    """Install task for sticky pools: runs *on* the slot's one worker.
+
+    Sticky slots ship sketches through a submitted task instead of a
+    pool rebuild, so a hot swap re-ships one sketch without tearing
+    down the worker (or its warm feature cache).
+    """
+    _install_sketch(name, payload)
+    return True
 
 
 def _worker_answer(sketch_name: str, queries: list) -> tuple[list, int]:
@@ -169,7 +238,9 @@ def _worker_answer(sketch_name: str, queries: list) -> tuple[list, int]:
             "the parent should have rebuilt the pool"
         )
     try:
-        values = sketch.estimate_many(queries, use_cache=False)
+        values = sketch.estimate_many(
+            queries, use_cache=False, feature_cache=_WORKER_FEATURE_CACHE
+        )
     except ReproError:
         from .engine import CODE_ROUTE, CODE_VOCAB
 
@@ -213,14 +284,59 @@ class ProcessExecutor(ChunkExecutor):
 
     name = "process"
 
-    def __init__(self, workers: int = 2, start_method: str | None = None):
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: str | None = None,
+        use_shm: bool = False,
+    ):
         import multiprocessing
 
         self.workers = int(workers)
+        self.use_shm = bool(use_shm)
         self._start_method = start_method or multiprocessing.get_start_method()
         self._pool: _ProcessPool | None = None
         self._shipped: dict[str, int] = {}
+        #: sketch name -> live SnapshotSegment (shm mode only).  The
+        #: parent owns every segment: published on ship, unlinked when
+        #: the sketch's generation is retired (rebuild), discarded, or
+        #: closed — the ``snapshot_token``-tied lifecycle that keeps
+        #: the hot-swap zero-stale guarantee.
+        self._segments: dict = {}
         self._lock = threading.Lock()
+
+    # -- shared-memory segment lifecycle --------------------------------
+    def _shm_payloads(self, ship: dict) -> dict:
+        """Descriptors for every shipped sketch, publishing as needed.
+
+        Reuses the current segment when the sketch's token is
+        unchanged (alternating traffic must not republish), publishes a
+        new segment otherwise, and unlinks every replaced/dropped
+        segment.  Callers guarantee the previous pool is already shut
+        down (or its workers have detached), so an unlink here frees
+        the memory as soon as lingering mappings close.
+        """
+        from .shm import SnapshotSegment
+
+        payloads: dict = {}
+        segments: dict = {}
+        for name in sorted(ship):
+            sketch = ship[name]
+            segment = self._segments.get(name)
+            if segment is None or segment.token != sketch.snapshot_token:
+                segment = SnapshotSegment.publish(sketch.snapshot())
+            segments[name] = segment
+            payloads[name] = segment.descriptor
+        for name, segment in self._segments.items():
+            if segments.get(name) is not segment:
+                segment.unlink()
+        self._segments = segments
+        return payloads
+
+    def _unlink_segments(self) -> None:
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            segment.unlink()
 
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self, engine, needed: dict[str, object]) -> _ProcessPool:
@@ -254,12 +370,15 @@ class ProcessExecutor(ChunkExecutor):
                     continue
                 if sketch.snapshot_token == token:
                     ship[name] = sketch
-            payloads = {
-                name: pickle.dumps(
-                    ship[name].snapshot(), protocol=pickle.HIGHEST_PROTOCOL
-                )
-                for name in sorted(ship)
-            }
+            if self.use_shm:
+                payloads = self._shm_payloads(ship)
+            else:
+                payloads = {
+                    name: pickle.dumps(
+                        ship[name].snapshot(), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    for name in sorted(ship)
+                }
             import multiprocessing
 
             context = multiprocessing.get_context(self._start_method)
@@ -267,7 +386,7 @@ class ProcessExecutor(ChunkExecutor):
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(payloads,),
+                initargs=(payloads, False),
             )
             self._shipped = {
                 name: sketch.snapshot_token for name, sketch in ship.items()
@@ -278,6 +397,10 @@ class ProcessExecutor(ChunkExecutor):
         with self._lock:
             pool, self._pool = self._pool, None
             self._shipped = {}
+            # Unlink before the workers are necessarily gone: POSIX
+            # keeps an unlinked segment alive for existing mappings, so
+            # dying workers are unaffected and the name is gone now.
+            self._unlink_segments()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
@@ -375,7 +498,7 @@ class ProcessExecutor(ChunkExecutor):
         future = pool.submit(_worker_answer, job.sketch, distinct) if distinct else None
         return t0, slots, future, n_cached
 
-    def _collect(self, engine, job, sketch, state) -> None:
+    def _collect(self, engine, job, sketch, state, on_broken=None) -> None:
         t0, slots, future, n_cached = state
         use_cache = engine.config.use_cache
         n_forwards = 0
@@ -388,8 +511,9 @@ class ProcessExecutor(ChunkExecutor):
                 # queued futures — name it so the no-stranded-futures
                 # chain survives any future exception-hierarchy move.
                 # Worker or transport failure: the pool may be broken —
-                # discard it and answer the model portion inline.
-                self._discard_pool()
+                # discard it (or, sticky, just this job's slot) and
+                # answer the model portion inline.
+                (on_broken or self._discard_pool)()
                 engine.count_executor_fallback(1)
                 subset = [
                     r
@@ -423,8 +547,171 @@ class ProcessExecutor(ChunkExecutor):
         with self._lock:
             pool, self._pool = self._pool, None
             self._shipped = {}
+            self._unlink_segments()
         if pool is not None:
             pool.shutdown(wait=True)
+
+
+class StickyProcessExecutor(ProcessExecutor):
+    """Process executor with sketch-to-worker pinning ("sticky routing").
+
+    ``workers`` independent single-worker pools ("slots"); each sketch
+    is assigned to one slot on first sight (least-loaded wins) and
+    every later micro-batch for it runs on that same worker.  Pinning
+    buys two things the shared pool cannot offer:
+
+    * **Warm worker state.**  Each slot's worker keeps a module-level
+      :class:`~repro.serve.feature_cache.FeatureCache`; since the same
+      sketch (same featurizer) always lands there, template features
+      built for one micro-batch are hits for the next.  The shared
+      pool's workers can't do this usefully — any of them may see any
+      sketch, and rebuilds discard the worker anyway.
+    * **Rebuild-free re-shipping.**  A hot swap ships the new snapshot
+      to one slot via a submitted :func:`_worker_install` task instead
+      of tearing down the whole pool — other sketches' slots (and
+      their warm caches) are untouched.
+
+    Failure containment is per slot: a dead worker fails only its own
+    sketches' jobs over to the inline path, its slot is discarded and
+    lazily rebuilt, and the next round re-ships exactly like the
+    shared pool's recovery — the degradation ladder is unchanged, just
+    narrower.  Composes with ``use_shm`` (descriptors install instead
+    of blobs).
+    """
+
+    name = "process-sticky"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: str | None = None,
+        use_shm: bool = False,
+    ):
+        super().__init__(
+            workers=workers, start_method=start_method, use_shm=use_shm
+        )
+        self._slot_pools: list[_ProcessPool | None] = [None] * self.workers
+        self._slot_shipped: list[dict[str, int]] = [
+            {} for _ in range(self.workers)
+        ]
+        self._assignment: dict[str, int] = {}
+
+    # -- slot lifecycle -------------------------------------------------
+    def _slot_of(self, name: str) -> int:
+        slot = self._assignment.get(name)
+        if slot is None:
+            load = [0] * self.workers
+            for assigned in self._assignment.values():
+                load[assigned] += 1
+            slot = load.index(min(load))
+            self._assignment[name] = slot
+        return slot
+
+    def _slot_pool(self, slot: int) -> _ProcessPool:
+        pool = self._slot_pools[slot]
+        if pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._start_method)
+            pool = _ProcessPool(
+                max_workers=1,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=({}, True),
+            )
+            self._slot_pools[slot] = pool
+            self._slot_shipped[slot] = {}
+        return pool
+
+    def _discard_slot(self, slot: int) -> None:
+        pool, self._slot_pools[slot] = self._slot_pools[slot], None
+        self._slot_shipped[slot] = {}
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _install(self, pool, slot: int, name: str, sketch) -> None:
+        """Ship ``sketch`` to its slot if the worker's copy is stale."""
+        token = sketch.snapshot_token
+        if self._slot_shipped[slot].get(name) == token:
+            return
+        if self.use_shm:
+            from .shm import SnapshotSegment
+
+            segment = self._segments.get(name)
+            retired = None
+            if segment is None or segment.token != token:
+                retired = segment
+                segment = SnapshotSegment.publish(sketch.snapshot())
+                self._segments[name] = segment
+            payload = segment.descriptor
+        else:
+            retired = None
+            payload = pickle.dumps(
+                sketch.snapshot(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        pool.submit(_worker_install, name, payload).result()
+        self._slot_shipped[slot][name] = token
+        if retired is not None:
+            # The install above detached the only worker mapping the
+            # old generation, so this unlink releases it fully.
+            retired.unlink()
+
+    # -- the flush path -------------------------------------------------
+    def run(self, engine, jobs) -> None:
+        ready = []
+        for job in jobs:
+            try:
+                sketch = engine.manager.get_sketch(job.sketch)
+            except SketchError as exc:
+                from .engine import CODE_ROUTE
+
+                for response in job.responses:
+                    response.error = str(exc)
+                    response.code = CODE_ROUTE
+                engine.complete_job(job)
+                continue
+            ready.append((job, sketch))
+        dispatched = []
+        with self._lock:
+            for job, sketch in ready:
+                slot = self._slot_of(job.sketch)
+                try:
+                    pool = self._slot_pool(slot)
+                    self._install(pool, slot, job.sketch, sketch)
+                    state = self._dispatch(engine, pool, job, sketch)
+                except Exception:
+                    # This slot is broken (worker died, install or
+                    # submit failed): contain the damage to its own
+                    # jobs and rebuild it lazily next round.
+                    self._discard_slot(slot)
+                    engine.count_executor_fallback(1)
+                    engine.run_job_inline(job)
+                    continue
+                dispatched.append((job, sketch, slot, state))
+        for job, sketch, slot, state in dispatched:
+            self._collect(
+                engine, job, sketch, state,
+                on_broken=lambda slot=slot: self._discard_slot(slot),
+            )
+
+    def _discard_pool(self) -> None:
+        # The shared-pool recovery hook, repurposed slot-wide: only
+        # reachable through paths that already hold no slot state.
+        with self._lock:
+            for slot in range(self.workers):
+                self._discard_slot(slot)
+            self._shipped = {}
+            self._unlink_segments()
+
+    def close(self) -> None:
+        with self._lock:
+            pools = list(self._slot_pools)
+            self._slot_pools = [None] * self.workers
+            self._slot_shipped = [{} for _ in range(self.workers)]
+            self._unlink_segments()
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
 
 def make_executor(config) -> ChunkExecutor:
@@ -434,9 +721,15 @@ def make_executor(config) -> ChunkExecutor:
     if config.executor == "thread":
         return ThreadExecutor(workers=config.executor_workers)
     if config.executor == "process":
-        return ProcessExecutor(
+        cls = (
+            StickyProcessExecutor
+            if getattr(config, "sticky_routing", False)
+            else ProcessExecutor
+        )
+        return cls(
             workers=config.executor_workers,
             start_method=config.mp_start_method,
+            use_shm=getattr(config, "shm_snapshots", False),
         )
     raise SketchError(f"unknown executor {config.executor!r}")  # pragma: no cover
 
@@ -448,5 +741,6 @@ __all__ = [
     "InlineExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "StickyProcessExecutor",
     "make_executor",
 ]

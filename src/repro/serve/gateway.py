@@ -241,6 +241,17 @@ class SketchGateway:
         }
         backend.alive = True
         backend.probe_failures = 0
+        # Transport negotiation rides the probe for free: the payload in
+        # hand is exactly what the client's negotiation would re-fetch,
+        # so backends that advertise the binary transport get it picked
+        # before the first estimate ever flows.  Best-effort — injected
+        # fake clients may not negotiate at all.
+        negotiate = getattr(backend.client, "negotiate_transport", None)
+        if negotiate is not None:
+            try:
+                negotiate(health)
+            except (RemoteServerError, ProtocolError):
+                pass  # JSON keeps working; the next probe may retry
 
     def _rebuild_routes(self) -> None:
         routes: dict[str, list[_Backend]] = {}
@@ -641,6 +652,10 @@ class SketchGateway:
                 "wire_latency": self.wire_latency.summary(),
                 "sketches": sketches,
                 "versions": self.describe_versions(),
+                "transports": {
+                    b.url: getattr(b.client, "active_transport", None)
+                    for b in self._backends
+                },
             },
             "backends": per_backend,
             "fleet": fleet,

@@ -56,6 +56,7 @@ from ..demo.manager import SketchManager
 from .async_server import AsyncSketchServer
 from .engine import ServeConfig
 from .feature_cache import FeatureCache
+from .wire import WIRE_VERSION, BinaryFrameServer
 from . import protocol
 
 #: Largest accepted request body, in bytes.  A batch of several
@@ -63,7 +64,7 @@ from . import protocol
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
-def healthz_payload(service) -> dict:
+def healthz_payload(service, transports: dict | None = None) -> dict:
     """The ``GET /v1/healthz`` body for any served ``SketchService``.
 
     ``sketches`` (sorted names) and ``pending`` are the liveness core;
@@ -81,6 +82,13 @@ def healthz_payload(service) -> dict:
     :class:`~repro.serve.lifecycle.LifecycleManager`'s :meth:`state`
     (``None`` when no manager is attached).  Non-engine services
     provide the matching ``describe_versions()`` hook.
+
+    ``transports`` is the capability field clients negotiate on: a map
+    from transport name to its parameters.  ``"json"`` (this HTTP
+    surface, always present) and — when the front door runs a
+    :class:`~repro.serve.wire.BinaryFrameServer` —
+    ``"binary": {"host", "port", "wire_version"}``.  Clients that
+    don't read the field keep speaking JSON; nothing is ever removed.
     """
     describe = getattr(service, "describe_sketches", None)
     if describe is not None:
@@ -109,6 +117,7 @@ def healthz_payload(service) -> dict:
         "pending": service.pending,
         "versions": versions,
         "lifecycle": None if lifecycle is None else lifecycle.state(),
+        "transports": dict(transports) if transports else {"json": {}},
     }
 
 
@@ -120,6 +129,9 @@ class _Handler(BaseHTTPRequestHandler):
     # AsyncSketchServer, a gateway node binds a SketchGateway.
     service: "AsyncSketchServer"
     quiet: bool = True
+    # The owning front door's transport capabilities, advertised in
+    # /v1/healthz for client/gateway negotiation.
+    transports: dict = {"json": {}}
 
     # HTTP/1.1 keep-alive for clients that reuse connections (curl with
     # several URLs, requests.Session, http.client).  The stdlib-urllib
@@ -207,7 +219,9 @@ class _Handler(BaseHTTPRequestHandler):
                 # SDK read the same JSON local callers get.
                 self._send_json(200, self.service.stats_summary())
             elif self.path == "/v1/healthz":
-                self._send_json(200, healthz_payload(self.service))
+                self._send_json(
+                    200, healthz_payload(self.service, self.transports)
+                )
             else:
                 self._send_error_json(
                     404, f"unknown endpoint {self.path!r}", "not_found"
@@ -232,6 +246,13 @@ class SketchHTTPServer:
     first (no new requests), then the inner service drains every
     accepted request, so no in-flight HTTP client is ever dropped
     without a response.
+
+    ``binary=True`` (the default) additionally runs a
+    :class:`~repro.serve.wire.BinaryFrameServer` on an ephemeral port
+    of the same host — the zero-copy estimate path — and advertises it
+    under ``transports.binary`` in ``/v1/healthz`` so SDK clients and
+    gateways negotiate onto it.  JSON remains the control surface
+    (stats/healthz) and the fallback transport either way.
     """
 
     def __init__(
@@ -244,6 +265,7 @@ class SketchHTTPServer:
         port: int = 8080,
         feature_cache: FeatureCache | None = None,
         quiet: bool = True,
+        binary: bool = True,
     ):
         # Two construction modes: a manager (the front door builds and
         # owns an AsyncSketchServer over it — the classic single-node
@@ -264,10 +286,26 @@ class SketchHTTPServer:
                 )
             self.service = service
 
+        self._binary: BinaryFrameServer | None = None
+        transports: dict = {"json": {}}
+        if binary:
+            self._binary = BinaryFrameServer(self.service, host=host, port=0)
+            transports["binary"] = {
+                "host": self._binary.host,
+                "port": self._binary.port,
+                "wire_version": WIRE_VERSION,
+            }
+
         # A per-instance handler subclass so several servers (tests,
         # shards) never share service state through class attributes.
         handler = type(
-            "_BoundHandler", (_Handler,), {"service": self.service, "quiet": quiet}
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "service": self.service,
+                "quiet": quiet,
+                "transports": transports,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -287,6 +325,11 @@ class SketchHTTPServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def binary_port(self) -> int | None:
+        """The binary transport's port (``None`` when ``binary=False``)."""
+        return None if self._binary is None else self._binary.port
+
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "SketchHTTPServer":
         """Start the acceptor thread and the flush loop (idempotent)."""
@@ -295,6 +338,8 @@ class SketchHTTPServer:
         start = getattr(self.service, "start", None)
         if start is not None:  # gateways and remote clients have no loop
             start()
+        if self._binary is not None:
+            self._binary.start()
         if self._thread is None or not self._thread.is_alive():
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -321,6 +366,8 @@ class SketchHTTPServer:
         if self._closed:
             return
         self._closed = True
+        if self._binary is not None:
+            self._binary.close()
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(5.0)

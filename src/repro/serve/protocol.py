@@ -106,8 +106,18 @@ def check_version(payload: dict, what: str) -> None:
         )
 
 
-def _sql_text(request: Query | str) -> str:
-    return request.to_sql() if isinstance(request, Query) else request
+def _sql_text(request: Query | str, memo: dict | None = None) -> str:
+    if not isinstance(request, Query):
+        return request
+    if memo is None:
+        return request.to_sql()
+    # Batches repeat canonical queries; render each distinct Query
+    # object once per envelope.
+    key = id(request)
+    sql = memo.get(key)
+    if sql is None:
+        sql = memo[key] = request.to_sql()
+    return sql
 
 
 # ----------------------------------------------------------------------
@@ -139,9 +149,10 @@ def batch_request_to_wire(
     requests: Sequence[Query | str], sketch: str | None = None
 ) -> dict:
     """Envelope for a batch request (``POST /v1/estimate_batch``)."""
+    memo: dict = {}
     return {
         "protocol_version": PROTOCOL_VERSION,
-        "queries": [_sql_text(r) for r in requests],
+        "queries": [_sql_text(r, memo) for r in requests],
         "sketch": sketch,
     }
 
@@ -167,17 +178,24 @@ def batch_request_from_wire(payload: dict) -> tuple[list[str], str | None]:
 # response envelopes
 # ----------------------------------------------------------------------
 def response_to_wire(
-    response: EstimateResponse, server_ms: float | None = None
+    response: EstimateResponse,
+    server_ms: float | None = None,
+    *,
+    sql_memo: dict | None = None,
 ) -> dict:
     """Serialize one :class:`EstimateResponse` (all outcome classes)."""
     return {
         "protocol_version": PROTOCOL_VERSION,
         "ok": response.ok,
-        "request": _sql_text(response.request),
+        "request": _sql_text(response.request, sql_memo),
         "request_kind": (
             _KIND_QUERY if isinstance(response.request, Query) else _KIND_SQL
         ),
-        "query": None if response.query is None else response.query.to_sql(),
+        "query": (
+            None
+            if response.query is None
+            else _sql_text(response.query, sql_memo)
+        ),
         "sketch": response.sketch,
         "estimate": response.estimate,
         "cached": response.cached,
@@ -188,15 +206,28 @@ def response_to_wire(
     }
 
 
-def response_from_wire(payload: dict) -> EstimateResponse:
+def _parse_memo(sql: str, memo: dict | None):
+    from ..db.sql import parse_sql
+
+    if memo is None:
+        return parse_sql(sql)
+    query = memo.get(sql)
+    if query is None:
+        query = memo[sql] = parse_sql(sql)
+    return query
+
+
+def response_from_wire(
+    payload: dict, *, parse_cache: dict | None = None
+) -> EstimateResponse:
     """Reconstruct the exact :class:`EstimateResponse` a server produced.
 
     ``parse_sql(to_sql(q)) == q`` makes the query fields lossless; the
     ``server_ms`` timing is envelope metadata, not a response field
-    (read it from the payload directly if you need it).
+    (read it from the payload directly if you need it).  ``parse_cache``
+    memoizes ``parse_sql`` per distinct SQL string — batches repeat
+    canonical queries, and re-parsing them dominates unmarshalling.
     """
-    from ..db.sql import parse_sql
-
     what = "estimate response"
     check_version(payload, what)
     kind = _require(payload, "request_kind", str, what)
@@ -224,9 +255,13 @@ def response_from_wire(payload: dict) -> EstimateResponse:
     if token is not None and (isinstance(token, bool) or not isinstance(token, int)):
         raise ProtocolError(f"{what} field 'token' must be an integer or null")
     try:
-        query = None if query_sql is None else parse_sql(query_sql)
+        query = (
+            None if query_sql is None else _parse_memo(query_sql, parse_cache)
+        )
         request: Query | str = (
-            parse_sql(request_sql) if kind == _KIND_QUERY else request_sql
+            _parse_memo(request_sql, parse_cache)
+            if kind == _KIND_QUERY
+            else request_sql
         )
     except Exception as exc:
         raise ProtocolError(f"{what} carries unparseable SQL: {exc}") from exc
@@ -246,9 +281,10 @@ def batch_response_to_wire(
     responses: Sequence[EstimateResponse], server_ms: float | None = None
 ) -> dict:
     """Envelope for a batch of responses (one ``server_ms`` for all)."""
+    memo: dict = {}
     return {
         "protocol_version": PROTOCOL_VERSION,
-        "responses": [response_to_wire(r) for r in responses],
+        "responses": [response_to_wire(r, sql_memo=memo) for r in responses],
         "server_ms": server_ms,
     }
 
@@ -257,7 +293,11 @@ def batch_response_from_wire(payload: dict) -> list[EstimateResponse]:
     what = "estimate_batch response"
     check_version(payload, what)
     responses = _require(payload, "responses", list, what)
-    return [response_from_wire(item) for item in responses]
+    parse_cache: dict = {}
+    return [
+        response_from_wire(item, parse_cache=parse_cache)
+        for item in responses
+    ]
 
 
 # ----------------------------------------------------------------------
