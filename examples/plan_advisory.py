@@ -1,0 +1,187 @@
+"""Plan advice as a service: one POST, a whole join order.
+
+Demonstrates the ``/v1/plan`` advisory surface end to end:
+
+1. build a small Deep Sketch over the synthetic IMDb,
+2. start a ``SketchHTTPServer`` front door on an ephemeral port and
+   feature-detect the capability from ``/v1/healthz`` (``"plan": true``),
+3. speak the wire protocol by hand — the raw JSON a ``curl`` user
+   would POST to ``/v1/plan`` — and read the structured response:
+   the chosen join order, its estimated C_out cost, and every
+   connected subplan's served cardinality,
+4. ask the ``RemoteSketchServer`` SDK for plans on a JOB-light
+   workload; all subplan estimates for a query travel as **one**
+   batched round trip,
+5. assert **parity**: every remote plan is *identical* (same join
+   order, same cost) to what the in-process
+   ``PlanOptimizer`` chooses from the same sketch — the wire does not
+   change plans,
+6. show a structured failure: malformed SQL answers ``code="parse"``,
+   never an exception or a hang.
+
+Run from the repository root::
+
+    python examples/plan_advisory.py           # full (a minute or two)
+    python examples/plan_advisory.py --tiny    # smoke run (seconds)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import SketchConfig  # noqa: E402
+from repro.datasets import ImdbConfig, generate_imdb  # noqa: E402
+from repro.demo import SketchManager  # noqa: E402
+from repro.optimizer import PlanOptimizer  # noqa: E402
+from repro.serve import RemoteSketchServer, SketchHTTPServer  # noqa: E402
+from repro.workload import (  # noqa: E402
+    JobLightConfig,
+    generate_job_light,
+    spec_for_imdb,
+)
+
+#: The acceptance bound: remote plan cost vs the in-process optimizer.
+PARITY_RTOL = 1e-12
+
+
+def build_manager(args) -> SketchManager:
+    db = generate_imdb(ImdbConfig(scale=args.scale, seed=7))
+    manager = SketchManager(db)
+    print(
+        f"building sketch (scale={args.scale}, {args.queries} training "
+        f"queries, {args.epochs} epochs)...",
+        file=sys.stderr,
+    )
+    manager.create_sketch(
+        "imdb",
+        spec_for_imdb(),
+        config=SketchConfig(
+            sample_size=args.samples,
+            n_training_queries=args.queries,
+            epochs=args.epochs,
+            hidden_units=args.hidden,
+            seed=0,
+        ),
+    )
+    return manager
+
+
+def curl_style_plan(url: str, sql: str) -> dict:
+    """What ``curl -X POST $URL/v1/plan -d '{...}'`` would do."""
+    body = json.dumps(
+        {"protocol_version": 1, "sql": sql, "sketch": None}
+    ).encode()
+    request = urllib.request.Request(
+        url + "/v1/plan",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as reply:
+        return json.loads(reply.read())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument("--hidden", type=int, default=64)
+    parser.add_argument("--plans", type=int, default=30)
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke configuration (seconds, not minutes)")
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.scale, args.queries, args.epochs = 0.05, 300, 2
+        args.samples, args.hidden = 50, 16
+        args.plans = 10
+
+    manager = build_manager(args)
+    queries = [
+        q
+        for q in generate_job_light(
+            manager.db, JobLightConfig(n_queries=args.plans, seed=1)
+        )
+        if q.num_joins >= 1
+    ]
+    sketch = manager.get_sketch("imdb")
+
+    # The in-process reference: the DP optimizer over the same sketch.
+    optimizer = PlanOptimizer(manager.db, sketch)
+    reference = {q: optimizer.optimize(q) for q in queries}
+
+    with SketchHTTPServer(manager, port=0) as front_door:
+        print(f"front door listening on {front_door.url}", file=sys.stderr)
+
+        # 1. feature detection, then the raw wire protocol
+        with RemoteSketchServer(front_door.url) as remote:
+            health = remote.healthz()
+            print(f"healthz: plan={health['plan']} status={health['status']}")
+            assert remote.plan_capable(health)
+
+            envelope = curl_style_plan(front_door.url, queries[0].to_sql())
+            print(
+                "curl-style envelope: "
+                f"ok={envelope['ok']} plan={envelope['plan']} "
+                f"cost={envelope['estimated_cost']:.1f} "
+                f"subplans={len(envelope['subplans'])} "
+                f"server_ms={envelope['server_ms']:.2f}"
+            )
+
+            # 2. the SDK: one call per query, one round trip per call
+            worst = 0.0
+            n_divergent = 0
+            n_degraded = 0
+            for query in queries:
+                response = remote.plan(query)
+                assert response.ok, response.error
+                local = reference[query]
+                if str(response.plan) != str(local.plan):
+                    n_divergent += 1
+                    continue
+                n_degraded += response.degraded
+                scale = max(abs(local.estimated_cost), 1e-300)
+                worst = max(
+                    worst,
+                    abs(response.estimated_cost - local.estimated_cost)
+                    / scale,
+                )
+            print(
+                f"parity: {len(queries)} plans, {n_divergent} divergent, "
+                f"max cost rel diff {worst:.2e}, {n_degraded} degraded"
+            )
+            widest = max(queries, key=lambda q: q.num_joins)
+            shown = remote.plan(widest)
+            print(
+                f"advice for {widest.num_joins + 1} relations: "
+                f"{shown.join_order}  (C_out {shown.estimated_cost:.1f}, "
+                f"estimate {shown.estimate_ms:.2f} ms + "
+                f"enumerate+DP {shown.enumerate_ms:.2f} ms)"
+            )
+
+            # 3. failure is a value with a code, not a hang
+            broken = remote.plan("SELECT nonsense")
+            print(f"malformed SQL: code={broken.code} error={broken.error!r}")
+            assert not broken.ok and broken.code == "parse"
+
+    if n_divergent or worst > PARITY_RTOL:
+        print(
+            f"FAIL: served plans diverged ({n_divergent} different plans, "
+            f"max cost rel diff {worst:.2e})",
+            file=sys.stderr,
+        )
+        return 1
+    print("remote plan == in-process plan: advice without the optimizer")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

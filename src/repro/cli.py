@@ -7,6 +7,9 @@ The file-based analogue of the demo's workflow::
     python -m repro info imdb.sketch
     python -m repro estimate imdb.sketch \
         "SELECT COUNT(*) FROM title t WHERE t.production_year>2010;"
+    python -m repro plan \
+        "SELECT COUNT(*) FROM title t, movie_keyword mk \
+         WHERE mk.movie_id=t.id;" imdb.sketch
     python -m repro compare --dataset imdb --scale 0.5 imdb.sketch \
         "SELECT COUNT(*) FROM title t, movie_keyword mk \
          WHERE mk.movie_id=t.id AND t.production_year>2010;"
@@ -62,6 +65,25 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="estimate remotely against a running "
                           "'repro serve --http' front door "
                           "(e.g. http://127.0.0.1:8080)")
+
+    plan = commands.add_parser(
+        "plan",
+        help="join-order advice for one SQL query: every connected "
+        "subplan estimated as one batch, the answers injected into "
+        "the C_out dynamic-programming enumerator (local sketch "
+        "files, or one POST /v1/plan round trip via --url)",
+    )
+    plan.add_argument("sql", help="SELECT COUNT(*) query text")
+    plan.add_argument("sketches", nargs="*",
+                      help="saved sketch file(s); the query routes to the "
+                      "narrowest covering sketch (omit with --url)")
+    plan.add_argument("--url", default=None,
+                      help="plan remotely against a running "
+                      "'repro serve --http' front door or gateway "
+                      "(e.g. http://127.0.0.1:8080)")
+    plan.add_argument("--sketch", default=None,
+                      help="pin the plan to a named sketch instead of "
+                      "routing by table coverage")
 
     compare = commands.add_parser(
         "compare",
@@ -400,6 +422,49 @@ def _cmd_estimate(args) -> int:
     estimate = sketch.estimate(args.sql)
     print(f"{estimate:.0f}")
     return 0
+
+
+def _cmd_plan(args) -> int:
+    import json
+
+    if args.url is not None:
+        from .serve import RemoteSketchServer
+
+        with RemoteSketchServer(args.url) as client:
+            response = client.plan(args.sql, args.sketch)
+    else:
+        from .demo import SketchManager
+        from .serve import SketchServer
+
+        manager = SketchManager(db=None)
+        for path in args.sketches:
+            manager.register_sketch(DeepSketch.load(path))
+        with SketchServer(manager) as server:
+            response = server.plan(args.sql, args.sketch)
+    payload = {
+        "ok": response.ok,
+        "join_order": response.join_order,
+        "estimated_cost": response.estimated_cost,
+        "sketch": response.sketch,
+        "degraded": response.degraded,
+        "subplans": [
+            {
+                "aliases": list(sub.aliases),
+                "estimate": sub.estimate,
+                "cached": sub.cached,
+                "degraded": sub.degraded,
+                "code": sub.code,
+                "error": sub.error,
+            }
+            for sub in response.subplans
+        ],
+        "error": response.error,
+        "code": response.code,
+        "estimate_ms": response.estimate_ms,
+        "enumerate_ms": response.enumerate_ms,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0 if response.ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -904,6 +969,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
     "estimate": _cmd_estimate,
+    "plan": _cmd_plan,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
     "gateway": _cmd_gateway,
@@ -923,6 +989,14 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
             )
         if args.url is None and args.sketch is None:
             parser.error("estimate needs a sketch path (or --url for remote)")
+    elif args.command == "plan":
+        if args.url is not None and args.sketches:
+            parser.error(
+                "plan takes sketch file(s) OR --url, not both "
+                "(remote mode plans against the server's sketches)"
+            )
+        if args.url is None and not args.sketches:
+            parser.error("plan needs sketch file(s) (or --url for remote)")
     elif args.command == "serve":
         if args.http and args.use_async:
             parser.error(

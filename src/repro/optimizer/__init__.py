@@ -5,7 +5,12 @@ estimates to a join enumerator with a cost model and get better plans.
 """
 
 from .cost import CardinalityCache, cout_cost, true_cost
-from .enumerate import MAX_DP_RELATIONS, dp_optimal_plan, greedy_plan
+from .enumerate import (
+    MAX_DP_RELATIONS,
+    connected_subsets,
+    dp_optimal_plan,
+    greedy_plan,
+)
 from .optimizer import PlanOptimizer, PlannedQuery
 from .plans import JoinNode, LeafNode, PlanNode, sub_query, validate_plan
 
@@ -18,6 +23,7 @@ __all__ = [
     "CardinalityCache",
     "cout_cost",
     "true_cost",
+    "connected_subsets",
     "dp_optimal_plan",
     "greedy_plan",
     "MAX_DP_RELATIONS",

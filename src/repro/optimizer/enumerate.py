@@ -53,6 +53,39 @@ def _has_edge_between(
     return any(neighbors[alias] & b for alias in a)
 
 
+def connected_subsets(query: Query) -> list[frozenset[str]]:
+    """Every connected alias subset of the query's join graph.
+
+    Deterministic order: by size, then by the alias order of
+    ``query.aliases`` (the same ``combinations`` sweep the DP uses) —
+    singletons first, the full query last.  These are exactly the
+    subsets ``dp_optimal_plan`` probes cardinalities for (plus the
+    singletons, which the DP seeds at zero cost but a degraded-estimate
+    fallback needs), so a caller batching estimates ahead of the DP
+    enumerates with this function and injects the answers.
+
+    Raises :class:`~repro.errors.QueryError` under the same guards as
+    the DP: more than :data:`MAX_DP_RELATIONS` relations, or a
+    disconnected join graph.
+    """
+    aliases = list(query.aliases)
+    n = len(aliases)
+    if n > MAX_DP_RELATIONS:
+        raise QueryError(
+            f"{n} relations exceed the DP enumeration limit of {MAX_DP_RELATIONS}"
+        )
+    neighbors = _neighbors(query)
+    if n > 1 and not _connected(frozenset(aliases), neighbors):
+        raise QueryError("DP enumeration requires a connected join graph")
+    subsets: list[frozenset[str]] = []
+    for size in range(1, n + 1):
+        for combo in combinations(aliases, size):
+            subset = frozenset(combo)
+            if _connected(subset, neighbors):
+                subsets.append(subset)
+    return subsets
+
+
 def dp_optimal_plan(
     query: Query, cards: CardinalityCache
 ) -> tuple[PlanNode, float]:

@@ -4,9 +4,9 @@ The paper's pitch is that a Deep Sketch is "fast to query (within
 milliseconds)"; this package turns the one-query-at-a-time estimation
 path into a throughput-oriented serving subsystem.  The public surface
 is the :class:`SketchService` protocol — ``submit`` / ``submit_many`` /
-``estimate`` / ``serve`` / ``stats_summary`` / ``close`` — with three
-interchangeable implementations, so swapping in-process serving for a
-network round trip is a one-line change:
+``estimate`` / ``serve`` / ``plan`` / ``stats_summary`` / ``close`` —
+with interchangeable implementations, so swapping in-process serving
+for a network round trip is a one-line change:
 
 * :class:`SketchServer` — in-process, synchronous: caller-driven
   flushes over an explicit queue (``submit``/``flush``) or a stream
@@ -77,6 +77,14 @@ from .feature_cache import FeatureCache
 from .gateway import SketchGateway
 from .http import SketchHTTPServer, healthz_payload
 from .lifecycle import PHASES, LifecycleConfig, LifecycleManager
+from .plan import (
+    CODE_PLAN,
+    PLAN_RESPONSE_CODES,
+    PlanResponse,
+    SubplanEstimate,
+    plan_failure,
+    plan_query,
+)
 from .protocol import PROTOCOL_VERSION
 from .registry import SketchRegistry
 from .server import SketchServer
@@ -105,10 +113,16 @@ __all__ = [
     "CODE_DEADLINE",
     "CODE_INTERNAL",
     "CODE_PARSE",
+    "CODE_PLAN",
     "CODE_ROUTE",
     "CODE_SHED",
     "CODE_VOCAB",
     "RESPONSE_CODES",
+    "PLAN_RESPONSE_CODES",
+    "PlanResponse",
+    "SubplanEstimate",
+    "plan_failure",
+    "plan_query",
     "EXECUTOR_NAMES",
     "FeatureCache",
     "EstimateResponse",

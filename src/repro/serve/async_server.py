@@ -210,6 +210,15 @@ class AsyncSketchServer:
         futures = self.submit_many(list(requests), sketch)
         return [future.result() for future in futures]
 
+    def plan(self, request: Query | str, sketch: str | None = None):
+        """Join-order advice: every connected subplan estimated as one
+        ``submit_many`` batch (resolved by the background loop), the
+        answers injected into the DP enumerator.  Returns a structured
+        :class:`~repro.serve.plan.PlanResponse`."""
+        from .plan import plan_query
+
+        return plan_query(self, request, sketch)
+
     # ------------------------------------------------------------------
     # latency accounting
     # ------------------------------------------------------------------

@@ -2,7 +2,8 @@
 
 The third :class:`~repro.serve.service.SketchService` implementation:
 the same ``submit`` / ``submit_many`` / ``estimate`` / ``serve`` /
-``stats_summary`` / ``close`` surface as the in-process facades, spoken
+``plan`` / ``stats_summary`` / ``close`` surface as the in-process
+facades, spoken
 over the versioned wire protocol to a
 :class:`~repro.serve.http.SketchHTTPServer`.  Swapping a local facade
 for remote serving is a one-line change::
@@ -78,6 +79,7 @@ from ..errors import (
 from ..metrics import LatencySummary
 from ..workload.query import Query
 from .engine import EstimateResponse
+from .plan import PlanResponse
 from . import protocol, wire
 
 #: ``transport=`` choices: negotiate, or pin either transport.
@@ -224,6 +226,7 @@ class RemoteSketchServer:
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._negotiate_lock = threading.Lock()
+        self._plan_capable: bool | None = None
         self._closed = False
         #: Client-observed round-trip latency (seconds) per request.
         self.wire_latency = LatencySummary(window=8192)
@@ -359,6 +362,10 @@ class RemoteSketchServer:
             try:
                 if health is None:
                     health = self.healthz()
+                # Piggyback feature detection on the health payload the
+                # negotiation already holds (additive v1 field; absent
+                # on pre-plan servers -> False).
+                self._plan_capable = bool(health.get("plan"))
                 offered = health.get("transports")
                 binary = offered.get("binary") if isinstance(offered, dict) else None
                 usable = (
@@ -570,6 +577,69 @@ class RemoteSketchServer:
     ) -> list[EstimateResponse]:
         """Submit a stream and block for all responses (submission order)."""
         return self.estimate_many(list(requests), sketch)
+
+    def plan_capable(self, health: dict | None = None) -> bool:
+        """Whether the server advertises the plan advisory capability.
+
+        Read from ``/v1/healthz``'s additive ``plan`` field — absent on
+        pre-plan servers.  Cached after the first look (negotiation
+        caches it for free); ``health`` short-circuits the fetch when
+        the caller already holds a health payload.
+        """
+        if health is not None:
+            self._plan_capable = bool(health.get("plan"))
+        elif self._plan_capable is None:
+            try:
+                self._plan_capable = bool(self.healthz().get("plan"))
+            except (RemoteHTTPError, ProtocolError):
+                self._plan_capable = False
+        return self._plan_capable
+
+    def plan(
+        self, request: Query | str, sketch: str | None = None
+    ) -> PlanResponse:
+        """Join-order advice in **one** wire round trip.
+
+        ``POST /v1/plan`` (or one ``KIND_PLAN`` frame on the binary
+        transport): the server enumerates every connected subplan,
+        answers them as a single engine batch, and runs the DP
+        enumerator over the injected estimates
+        (:mod:`repro.serve.plan`).  Request-level failures arrive as
+        structured ``ok=False`` :class:`~repro.serve.plan.PlanResponse`
+        values; a server without the capability (feature-detected via
+        ``/v1/healthz``) raises :class:`~repro.errors.RemoteServerError`.
+        """
+        import time
+
+        if not self.plan_capable():
+            raise RemoteServerError(
+                f"server at {self.url} does not advertise the plan "
+                "advisory capability (/v1/plan)"
+            )
+        transport = self._active or self.negotiate_transport()
+        t0 = time.perf_counter()
+        if transport == "binary":
+            reply_kind, payload = self._binary_call(
+                wire.KIND_PLAN,
+                wire.encode_plan_request(request, sketch),
+                "plan",
+            )
+            if reply_kind != wire.KIND_PLAN_RESPONSE:
+                raise ProtocolError(
+                    f"binary plan answered frame kind 0x{reply_kind:02x}"
+                )
+            response, server_ms = wire.decode_plan_response(payload)
+        else:
+            body = self._http(
+                "POST",
+                "/v1/plan",
+                protocol.plan_request_to_wire(request, sketch),
+            )
+            response = protocol.plan_response_from_wire(body)
+            server_ms = body.get("server_ms")
+        self._observe(server_ms, time.perf_counter() - t0)
+        response.request = request
+        return response
 
     def stats_summary(self) -> dict:
         """The server engine's telemetry snapshot: ``GET /v1/stats``

@@ -43,6 +43,13 @@ Responsibilities, in fleet terms:
   get ``code="route"``, malformed SQL ``code="parse"`` — the same
   closed code set as every other implementation.  Every future
   returned by ``submit``/``submit_many`` resolves.
+* **Plan advisory pass-through.**  :meth:`plan` routes a whole
+  join-order request to one live replica whose sketch covers the join
+  graph *and* that advertises the ``plan`` capability in healthz; the
+  answer is one downstream round trip with the same failover.  A fleet
+  that cannot cover the join graph answers ``code="route"``, a fleet
+  with no capable live replica ``code="shed"`` — structured values,
+  never hangs, even when a backend dies mid-plan.
 * **One fleet view.**  :meth:`stats_summary` merges each backend's
   engine snapshot into a fleet-wide aggregate next to the gateway's
   own routing/failover counters and the raw per-backend snapshots.
@@ -96,6 +103,7 @@ class _Backend:
         "alive",
         "sketches",
         "versions",
+        "plan_ok",
         "probe_failures",
     )
 
@@ -108,6 +116,8 @@ class _Backend:
         #: sketch name -> {"token", "registry_version"} (from healthz;
         #: empty for backends that predate version surfacing).
         self.versions: dict[str, dict] = {}
+        #: whether healthz advertises the plan advisory capability.
+        self.plan_ok = False
         self.probe_failures = 0
 
 
@@ -239,6 +249,7 @@ class SketchGateway:
             for name in names
             if isinstance(versions.get(name), dict)
         }
+        backend.plan_ok = bool(health.get("plan"))
         backend.alive = True
         backend.probe_failures = 0
         # Transport negotiation rides the probe for free: the payload in
@@ -390,14 +401,17 @@ class SketchGateway:
     # dispatch with failover
     # ------------------------------------------------------------------
     def _pick_replica(
-        self, sketch: str, tried: set[int]
+        self, sketch: str, tried: set[int], capable=None
     ) -> _Backend | None:
         """Next live replica of ``sketch``, round-robin; prefers
         backends not yet tried for this request (timeout retries may
-        revisit one when nothing else is live)."""
+        revisit one when nothing else is live).  ``capable`` narrows
+        the candidates further (e.g. to plan-capable backends)."""
         with self._state_lock:
             replicas = [
-                b for b in self._routes.get(sketch, ()) if b.alive
+                b
+                for b in self._routes.get(sketch, ())
+                if b.alive and (capable is None or capable(b))
             ]
             if not replicas:
                 return None
@@ -406,7 +420,7 @@ class SketchGateway:
             self._rr[sketch] = cursor
             return fresh[cursor % len(fresh)]
 
-    def _call_with_failover(self, sketch: str, call):
+    def _call_with_failover(self, sketch: str, call, capable=None):
         """Run ``call(backend)`` against live replicas until one answers.
 
         Retry policy by fault class (see :mod:`repro.errors`):
@@ -414,7 +428,8 @@ class SketchGateway:
         executed); timeouts and HTTP 5xx back off then retry (estimates
         are idempotent); HTTP 4xx and protocol errors propagate — they
         are wrong everywhere.  Raises :class:`_NoLiveReplica` when the
-        attempt budget is exhausted or no replica is live.
+        attempt budget is exhausted or no replica is live (or none
+        passes ``capable``).
         """
         attempts = self.retries + 1
         delay = self.backoff_s
@@ -422,7 +437,7 @@ class SketchGateway:
         last: Exception | None = None
         made = 0
         for attempt in range(attempts):
-            backend = self._pick_replica(sketch, tried)
+            backend = self._pick_replica(sketch, tried, capable)
             if backend is None:
                 break
             tried.add(id(backend))
@@ -573,6 +588,60 @@ class SketchGateway:
     ) -> list[EstimateResponse]:
         """Submit a stream and block for all responses (submission order)."""
         return self.estimate_many(list(requests), sketch)
+
+    def plan(self, request: Query | str, sketch: str | None = None):
+        """Join-order advice through the fleet, as one downstream call.
+
+        The gateway parses and routes locally — the whole join graph
+        must be covered by **one** sketch on a live, plan-capable
+        backend (feature-detected via healthz's ``plan`` field), since
+        the subplan batch runs against a single engine.  The plan
+        request then travels as one wire round trip with the usual
+        failover.  Every failure path resolves to a structured
+        :class:`~repro.serve.plan.PlanResponse`: unroutable join graphs
+        ``code="route"``, malformed SQL ``code="parse"``, no capable
+        live replica (or budget exhausted, e.g. a backend dying
+        mid-plan) ``code="shed"``.
+        """
+        from .plan import plan_failure
+
+        if self._closed:
+            raise RemoteServerError("gateway is closed")
+        self.n_requests.inc()
+        prepared = self._prepare(request, sketch)
+        if not prepared.ok:
+            self.n_errors.inc()
+            return plan_failure(
+                request, prepared.error, prepared.code, query=prepared.query
+            )
+        t0 = time.perf_counter()
+        self.inflight.adjust(1)
+        try:
+            response = self._call_with_failover(
+                prepared.sketch,
+                lambda b: b.client.plan(request, prepared.sketch),
+                capable=lambda b: b.plan_ok,
+            )
+        except _NoLiveReplica as exc:
+            self.n_errors.inc()
+            self.n_shed.inc()
+            return plan_failure(
+                request,
+                str(exc),
+                CODE_SHED,
+                query=prepared.query,
+                sketch=prepared.sketch,
+            )
+        finally:
+            self.inflight.adjust(-1)
+            self.wire_latency.observe(time.perf_counter() - t0)
+        if response.ok:
+            self.n_answered.inc()
+        else:
+            self.n_errors.inc()
+            if response.code == CODE_SHED:
+                self.n_shed.inc()
+        return response
 
     def healthz(self) -> dict:
         """The gateway's own liveness payload (same shape a fronting

@@ -22,6 +22,9 @@ Endpoints (all JSON, schemas in :mod:`repro.serve.protocol`):
 =====================  ====================================================
 ``POST /v1/estimate``        one request envelope -> one response envelope
 ``POST /v1/estimate_batch``  batch envelope -> batch response envelope
+``POST /v1/plan``            one SQL query -> join-order advice (every
+                             connected subplan estimated in one engine
+                             batch; :mod:`repro.serve.plan`)
 ``GET /v1/stats``            the engine's ``stats_summary()`` snapshot,
                              byte-for-byte the shape local callers get
 ``GET /v1/healthz``          liveness + protocol version + sketch names
@@ -89,6 +92,11 @@ def healthz_payload(service, transports: dict | None = None) -> dict:
     :class:`~repro.serve.wire.BinaryFrameServer` —
     ``"binary": {"host", "port", "wire_version"}``.  Clients that
     don't read the field keep speaking JSON; nothing is ever removed.
+
+    ``plan`` advertises the plan advisory capability
+    (``POST /v1/plan``, :mod:`repro.serve.plan`): ``true`` when the
+    served service answers :meth:`plan`.  Clients and gateways
+    feature-detect on it instead of probing with a request.
     """
     describe = getattr(service, "describe_sketches", None)
     if describe is not None:
@@ -118,6 +126,7 @@ def healthz_payload(service, transports: dict | None = None) -> dict:
         "versions": versions,
         "lifecycle": None if lifecycle is None else lifecycle.state(),
         "transports": dict(transports) if transports else {"json": {}},
+        "plan": callable(getattr(service, "plan", None)),
     }
 
 
@@ -200,6 +209,15 @@ class _Handler(BaseHTTPRequestHandler):
                 server_ms = (time.perf_counter() - t0) * 1000.0
                 self._send_json(
                     200, protocol.batch_response_to_wire(responses, server_ms)
+                )
+            elif self.path == "/v1/plan":
+                payload = self._read_json()
+                sql, sketch = protocol.plan_request_from_wire(payload)
+                t0 = time.perf_counter()
+                response = self.service.plan(sql, sketch)
+                server_ms = (time.perf_counter() - t0) * 1000.0
+                self._send_json(
+                    200, protocol.plan_response_to_wire(response, server_ms)
                 )
             else:
                 self._send_error_json(

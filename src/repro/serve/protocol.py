@@ -301,6 +301,199 @@ def batch_response_from_wire(payload: dict) -> list[EstimateResponse]:
 
 
 # ----------------------------------------------------------------------
+# plan advisory envelopes (POST /v1/plan) — additive wire v1
+# ----------------------------------------------------------------------
+def plan_request_to_wire(request: Query | str, sketch: str | None = None) -> dict:
+    """Envelope for one plan advisory request (``POST /v1/plan``).
+
+    Same shape as an estimate request: one SQL text plus an optional
+    pinned sketch (``null`` routes every subplan to its narrowest
+    cover).
+    """
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "sql": _sql_text(request),
+        "sketch": sketch,
+    }
+
+
+def plan_request_from_wire(payload: dict) -> tuple[str, str | None]:
+    """Validate a plan request envelope; returns ``(sql, pinned sketch)``."""
+    what = "plan request"
+    check_version(payload, what)
+    sql = _require(payload, "sql", str, what)
+    sketch = payload.get("sketch")
+    if sketch is not None and not isinstance(sketch, str):
+        raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    return sql, sketch
+
+
+def _plan_node_to_wire(node):
+    """A join tree as nested JSON: leaves are alias strings, joins are
+    two-element ``[left, right]`` lists."""
+    from ..optimizer.plans import JoinNode
+
+    if isinstance(node, JoinNode):
+        return [_plan_node_to_wire(node.left), _plan_node_to_wire(node.right)]
+    return node.alias
+
+
+def _plan_node_from_wire(obj, what: str):
+    from ..optimizer.plans import JoinNode, LeafNode
+
+    if isinstance(obj, str):
+        return LeafNode(obj)
+    if isinstance(obj, list) and len(obj) == 2:
+        return JoinNode(
+            _plan_node_from_wire(obj[0], what),
+            _plan_node_from_wire(obj[1], what),
+        )
+    raise ProtocolError(
+        f"{what} plan nodes must be alias strings or [left, right] "
+        f"pairs, got {type(obj).__name__}"
+    )
+
+
+def _optional_number(payload: dict, field: str, what: str) -> float | None:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{what} field {field!r} must be a number or null")
+    return float(value)
+
+
+def plan_response_to_wire(response, server_ms: float | None = None) -> dict:
+    """Serialize one :class:`~repro.serve.plan.PlanResponse`.
+
+    Exact round-trip identity holds
+    (``plan_response_from_wire(plan_response_to_wire(r)) == r``): the
+    join tree, every subplan estimate, and the f64 timings reconstruct
+    precisely.  ``server_ms`` is envelope metadata, as on the estimate
+    envelopes.
+    """
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "ok": response.ok,
+        "request": _sql_text(response.request),
+        "request_kind": (
+            _KIND_QUERY if isinstance(response.request, Query) else _KIND_SQL
+        ),
+        "query": None if response.query is None else _sql_text(response.query),
+        "sketch": response.sketch,
+        "plan": (
+            None if response.plan is None else _plan_node_to_wire(response.plan)
+        ),
+        "estimated_cost": response.estimated_cost,
+        "subplans": [
+            {
+                "aliases": list(s.aliases),
+                "estimate": s.estimate,
+                "cached": s.cached,
+                "degraded": s.degraded,
+                "code": s.code,
+                "error": s.error,
+            }
+            for s in response.subplans
+        ],
+        "error": response.error,
+        "code": response.code,
+        "estimate_ms": response.estimate_ms,
+        "enumerate_ms": response.enumerate_ms,
+        "server_ms": server_ms,
+    }
+
+
+def _subplan_from_wire(item, what: str):
+    from .plan import SubplanEstimate
+
+    if not isinstance(item, dict):
+        raise ProtocolError(
+            f"{what} subplans must be objects, got {type(item).__name__}"
+        )
+    aliases = _require(item, "aliases", list, what)
+    for alias in aliases:
+        if not isinstance(alias, str):
+            raise ProtocolError(f"{what} subplan aliases must be strings")
+    estimate = _require(item, "estimate", (int, float), what)
+    if isinstance(estimate, bool):
+        raise ProtocolError(f"{what} field 'estimate' must be a number")
+    code = item.get("code")
+    if code is not None and code not in RESPONSE_CODES:
+        raise ProtocolError(f"{what} subplan has unknown error code {code!r}")
+    error = item.get("error")
+    if error is not None and not isinstance(error, str):
+        raise ProtocolError(f"{what} subplan 'error' must be a string or null")
+    degraded = bool(item.get("degraded", False))
+    if degraded != (code is not None):
+        raise ProtocolError(
+            f"{what} subplan degradation and its code disagree"
+        )
+    return SubplanEstimate(
+        aliases=tuple(aliases),
+        estimate=float(estimate),
+        cached=bool(item.get("cached", False)),
+        degraded=degraded,
+        code=code,
+        error=error,
+    )
+
+
+def plan_response_from_wire(payload: dict):
+    """Reconstruct the exact :class:`~repro.serve.plan.PlanResponse`."""
+    from .plan import PLAN_RESPONSE_CODES, PlanResponse
+
+    what = "plan response"
+    check_version(payload, what)
+    kind = _require(payload, "request_kind", str, what)
+    if kind not in (_KIND_SQL, _KIND_QUERY):
+        raise ProtocolError(f"{what} has unknown request_kind {kind!r}")
+    request_sql = _require(payload, "request", str, what)
+    query_sql = payload.get("query")
+    if query_sql is not None and not isinstance(query_sql, str):
+        raise ProtocolError(f"{what} field 'query' must be a string or null")
+    error = payload.get("error")
+    if error is not None and not isinstance(error, str):
+        raise ProtocolError(f"{what} field 'error' must be a string or null")
+    code = payload.get("code")
+    if code is not None and code not in PLAN_RESPONSE_CODES:
+        raise ProtocolError(f"{what} has unknown error code {code!r}")
+    if error is None and code is not None:
+        raise ProtocolError(f"{what} carries code {code!r} without an error")
+    sketch = payload.get("sketch")
+    if sketch is not None and not isinstance(sketch, str):
+        raise ProtocolError(f"{what} field 'sketch' must be a string or null")
+    estimated_cost = _optional_number(payload, "estimated_cost", what)
+    plan_obj = payload.get("plan")
+    if (plan_obj is None) != (error is not None):
+        raise ProtocolError(
+            f"{what} must carry exactly one of a plan or an error"
+        )
+    subplans = payload.get("subplans", [])
+    if not isinstance(subplans, list):
+        raise ProtocolError(f"{what} field 'subplans' must be a list")
+    try:
+        query = None if query_sql is None else _parse_memo(query_sql, None)
+        request: Query | str = (
+            _parse_memo(request_sql, None) if kind == _KIND_QUERY else request_sql
+        )
+    except Exception as exc:
+        raise ProtocolError(f"{what} carries unparseable SQL: {exc}") from exc
+    return PlanResponse(
+        request=request,
+        query=query,
+        sketch=sketch,
+        plan=None if plan_obj is None else _plan_node_from_wire(plan_obj, what),
+        estimated_cost=estimated_cost,
+        subplans=tuple(_subplan_from_wire(item, what) for item in subplans),
+        error=error,
+        code=code,
+        estimate_ms=_optional_number(payload, "estimate_ms", what),
+        enumerate_ms=_optional_number(payload, "enumerate_ms", what),
+    )
+
+
+# ----------------------------------------------------------------------
 # transport-level errors (HTTP 4xx/5xx bodies)
 # ----------------------------------------------------------------------
 def error_to_wire(message: str, code: str = "protocol") -> dict:
@@ -328,6 +521,10 @@ __all__ = [
     "error_to_wire",
     "estimate_request_from_wire",
     "estimate_request_to_wire",
+    "plan_request_from_wire",
+    "plan_request_to_wire",
+    "plan_response_from_wire",
+    "plan_response_to_wire",
     "response_from_wire",
     "response_to_wire",
 ]

@@ -160,6 +160,20 @@ class SketchServer:
     def pending(self) -> int:
         return len(self._futures)
 
+    def plan(self, request: Query | str, sketch: str | None = None):
+        """Join-order advice: one batched estimation round for every
+        connected subplan, injected into the DP enumerator.
+
+        Returns a structured
+        :class:`~repro.serve.plan.PlanResponse` (never an exception for
+        request-level failures).  Facade semantics as with
+        :meth:`estimate`: the internal flush answers *everything*
+        pending on this server, not just the plan's subplan batch.
+        """
+        from .plan import plan_query
+
+        return plan_query(self, request, sketch, flush=self.flush)
+
     def serve(
         self, requests: Iterable[Query | str], sketch: str | None = None
     ) -> list[EstimateResponse]:

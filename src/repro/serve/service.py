@@ -41,6 +41,12 @@ The shared surface:
 ``serve(requests, sketch=None) -> list[EstimateResponse]``
     Submit a whole stream and block for every response, in submission
     order.
+``plan(request, sketch=None) -> PlanResponse``
+    Join-order advice (:mod:`repro.serve.plan`): every connected
+    subplan of the query estimated as **one** batch, the answers
+    injected into the DP enumerator under C_out.  Structured
+    :class:`~repro.serve.plan.PlanResponse` values on every failure
+    path, mirroring the estimate contract.
 ``stats_summary() -> dict``
     The engine's one-call JSON telemetry snapshot
     (:meth:`~repro.serve.engine.EstimationEngine.stats`); remotely this
@@ -57,10 +63,13 @@ conformance only; per-method semantics are this module's contract.
 from __future__ import annotations
 
 from concurrent.futures import Future
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
 from ..workload.query import Query
 from .engine import EstimateResponse
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from .plan import PlanResponse
 
 
 @runtime_checkable
@@ -82,6 +91,10 @@ class SketchService(Protocol):
     def serve(
         self, requests: Iterable[Query | str], sketch: str | None = None
     ) -> list[EstimateResponse]: ...
+
+    def plan(
+        self, request: Query | str, sketch: str | None = None
+    ) -> "PlanResponse": ...
 
     def stats_summary(self) -> dict: ...
 

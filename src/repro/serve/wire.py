@@ -51,6 +51,7 @@ import time
 from ..errors import ProtocolError
 from ..workload.query import Query
 from .engine import EstimateResponse, RESPONSE_CODES
+from .plan import PLAN_RESPONSE_CODES, PlanResponse, SubplanEstimate
 
 #: Two-byte frame magic ("Sketch Binary").
 MAGIC = b"SB"
@@ -70,6 +71,8 @@ KIND_BATCH = 0x02           # client -> server: a batch of requests
 KIND_RESPONSE = 0x03        # server -> client: one response envelope
 KIND_BATCH_RESPONSE = 0x04  # server -> client: a batch response envelope
 KIND_ERROR = 0x05           # server -> client: transport-level failure
+KIND_PLAN = 0x06            # client -> server: one plan advisory request
+KIND_PLAN_RESPONSE = 0x07   # server -> client: a plan response envelope
 
 _HEADER = struct.Struct("!2sBBI")
 _F64 = struct.Struct("!d")
@@ -92,6 +95,31 @@ _FLAG_CACHED = 0x02
 _FLAG_HAS_ESTIMATE = 0x04
 _FLAG_HAS_TOKEN = 0x08
 _FLAG_HAS_SERVER_MS = 0x10
+
+#: The plan code set (engine codes + ``"plan"``) as one byte; same
+#: additive-append / no-reorder discipline as ``_CODE_TO_BYTE``.
+_PLAN_CODE_TO_BYTE = {code: i + 1 for i, code in enumerate(PLAN_RESPONSE_CODES)}
+_PLAN_BYTE_TO_CODE = {i + 1: code for i, code in enumerate(PLAN_RESPONSE_CODES)}
+
+# plan-response flag bits
+_PFLAG_KIND_QUERY = 0x01    # request_kind == "query" (else "sql")
+_PFLAG_HAS_PLAN = 0x02
+_PFLAG_HAS_COST = 0x04
+_PFLAG_HAS_ESTIMATE_MS = 0x08
+_PFLAG_HAS_ENUMERATE_MS = 0x10
+_PFLAG_HAS_SERVER_MS = 0x20
+
+# subplan flag bits
+_SPFLAG_CACHED = 0x01
+_SPFLAG_DEGRADED = 0x02
+
+# plan-tree node tags
+_NODE_LEAF = 0x00
+_NODE_JOIN = 0x01
+
+#: Join trees nest at most MAX_DP_RELATIONS deep in practice; a frame
+#: claiming more is corrupt (and would otherwise recurse unboundedly).
+_MAX_PLAN_DEPTH = 64
 
 
 class TruncatedFrame(ProtocolError):
@@ -387,6 +415,200 @@ def decode_batch_response(
 
 
 # ----------------------------------------------------------------------
+# plan advisory envelopes (KIND_PLAN / KIND_PLAN_RESPONSE)
+# ----------------------------------------------------------------------
+def encode_plan_request(
+    request: Query | str, sketch: str | None = None
+) -> bytes:
+    out: list = []
+    _pack_str(out, _sql_text(request))
+    _pack_str(out, sketch)
+    return b"".join(out)
+
+
+def decode_plan_request(payload: bytes) -> tuple[str, str | None]:
+    r = _Reader(payload, "binary plan request")
+    sql = r.require_str("sql")
+    sketch = r.string()
+    r.done()
+    return sql, sketch
+
+
+def _encode_plan_node(out: list, node) -> None:
+    """Preorder tree walk: a leaf tag + alias, or a join tag + both
+    children."""
+    from ..optimizer.plans import JoinNode
+
+    if isinstance(node, JoinNode):
+        out.append(bytes((_NODE_JOIN,)))
+        _encode_plan_node(out, node.left)
+        _encode_plan_node(out, node.right)
+    else:
+        out.append(bytes((_NODE_LEAF,)))
+        _pack_str(out, node.alias)
+
+
+def _decode_plan_node(r: _Reader, depth: int = 0):
+    from ..optimizer.plans import JoinNode, LeafNode
+
+    if depth > _MAX_PLAN_DEPTH:
+        raise ProtocolError(
+            f"{r.what} plan tree nests deeper than {_MAX_PLAN_DEPTH}"
+        )
+    tag = r.u8()
+    if tag == _NODE_LEAF:
+        return LeafNode(r.require_str("alias"))
+    if tag == _NODE_JOIN:
+        left = _decode_plan_node(r, depth + 1)
+        right = _decode_plan_node(r, depth + 1)
+        return JoinNode(left, right)
+    raise ProtocolError(f"{r.what} has unknown plan-node tag 0x{tag:02x}")
+
+
+def encode_plan_response(
+    response: PlanResponse, server_ms: float | None = None
+) -> bytes:
+    out: list = []
+    flags = 0
+    if isinstance(response.request, Query):
+        flags |= _PFLAG_KIND_QUERY
+    if response.plan is not None:
+        flags |= _PFLAG_HAS_PLAN
+    if response.estimated_cost is not None:
+        flags |= _PFLAG_HAS_COST
+    if response.estimate_ms is not None:
+        flags |= _PFLAG_HAS_ESTIMATE_MS
+    if response.enumerate_ms is not None:
+        flags |= _PFLAG_HAS_ENUMERATE_MS
+    if server_ms is not None:
+        flags |= _PFLAG_HAS_SERVER_MS
+    out.append(bytes((flags, _PLAN_CODE_TO_BYTE.get(response.code, 0))))
+    _pack_str(out, _sql_text(response.request))
+    _pack_str(
+        out, None if response.query is None else _sql_text(response.query)
+    )
+    _pack_str(out, response.sketch)
+    _pack_str(out, response.error)
+    if response.estimated_cost is not None:
+        out.append(_F64.pack(float(response.estimated_cost)))
+    if response.estimate_ms is not None:
+        out.append(_F64.pack(float(response.estimate_ms)))
+    if response.enumerate_ms is not None:
+        out.append(_F64.pack(float(response.enumerate_ms)))
+    if server_ms is not None:
+        out.append(_F64.pack(float(server_ms)))
+    if response.plan is not None:
+        _encode_plan_node(out, response.plan)
+    out.append(_U32.pack(len(response.subplans)))
+    for sub in response.subplans:
+        sub_flags = 0
+        if sub.cached:
+            sub_flags |= _SPFLAG_CACHED
+        if sub.degraded:
+            sub_flags |= _SPFLAG_DEGRADED
+        out.append(bytes((sub_flags, _CODE_TO_BYTE.get(sub.code, 0))))
+        out.append(_U32.pack(len(sub.aliases)))
+        for alias in sub.aliases:
+            _pack_str(out, alias)
+        out.append(_F64.pack(float(sub.estimate)))
+        _pack_str(out, sub.error)
+    return b"".join(out)
+
+
+def decode_plan_response(
+    payload: bytes,
+) -> tuple[PlanResponse, float | None]:
+    r = _Reader(payload, "binary plan response")
+    flags = r.u8()
+    code_byte = r.u8()
+    if code_byte and code_byte not in _PLAN_BYTE_TO_CODE:
+        raise ProtocolError(f"{r.what} has unknown error-code byte {code_byte}")
+    code = _PLAN_BYTE_TO_CODE.get(code_byte)
+    request_sql = r.require_str("request")
+    query_sql = r.string()
+    sketch = r.string()
+    error = r.string()
+    if error is None and code is not None:
+        raise ProtocolError(f"{r.what} carries code {code!r} without an error")
+    if bool(flags & _PFLAG_HAS_PLAN) == (error is not None):
+        raise ProtocolError(
+            f"{r.what} must carry exactly one of a plan or an error"
+        )
+    cost = r.f64() if flags & _PFLAG_HAS_COST else None
+    estimate_ms = r.f64() if flags & _PFLAG_HAS_ESTIMATE_MS else None
+    enumerate_ms = r.f64() if flags & _PFLAG_HAS_ENUMERATE_MS else None
+    server_ms = r.f64() if flags & _PFLAG_HAS_SERVER_MS else None
+    plan = _decode_plan_node(r) if flags & _PFLAG_HAS_PLAN else None
+    count = r.u32()
+    if count > MAX_FRAME_BYTES // 4:
+        raise ProtocolError(
+            f"binary plan response claims {count} subplans"
+        )
+    subplans: list[SubplanEstimate] = []
+    for _ in range(count):
+        sub_flags = r.u8()
+        sub_code_byte = r.u8()
+        if sub_code_byte and sub_code_byte not in _BYTE_TO_CODE:
+            raise ProtocolError(
+                f"{r.what} subplan has unknown error-code byte {sub_code_byte}"
+            )
+        sub_code = _BYTE_TO_CODE.get(sub_code_byte)
+        n_aliases = r.u32()
+        if n_aliases > MAX_FRAME_BYTES // 4:
+            raise ProtocolError(
+                f"binary plan response subplan claims {n_aliases} aliases"
+            )
+        aliases = tuple(
+            r.require_str(f"aliases[{i}]") for i in range(n_aliases)
+        )
+        estimate = r.f64()
+        sub_error = r.string()
+        degraded = bool(sub_flags & _SPFLAG_DEGRADED)
+        if degraded != (sub_code is not None):
+            raise ProtocolError(
+                f"{r.what} subplan degradation and its code disagree"
+            )
+        subplans.append(
+            SubplanEstimate(
+                aliases=aliases,
+                estimate=estimate,
+                cached=bool(sub_flags & _SPFLAG_CACHED),
+                degraded=degraded,
+                code=sub_code,
+                error=sub_error,
+            )
+        )
+    r.done()
+    parse_cache: dict = {}
+    try:
+        query = (
+            None if query_sql is None else _parse_memo(query_sql, parse_cache)
+        )
+        request: Query | str = (
+            _parse_memo(request_sql, parse_cache)
+            if flags & _PFLAG_KIND_QUERY
+            else request_sql
+        )
+    except Exception as exc:
+        raise ProtocolError(f"{r.what} carries unparseable SQL: {exc}") from exc
+    return (
+        PlanResponse(
+            request=request,
+            query=query,
+            sketch=sketch,
+            plan=plan,
+            estimated_cost=cost,
+            subplans=tuple(subplans),
+            error=error,
+            code=code,
+            estimate_ms=estimate_ms,
+            enumerate_ms=enumerate_ms,
+        ),
+        server_ms,
+    )
+
+
+# ----------------------------------------------------------------------
 # transport-level errors
 # ----------------------------------------------------------------------
 def encode_error(message: str, code: str = "protocol") -> bytes:
@@ -568,6 +790,16 @@ class BinaryFrameServer:
                             KIND_BATCH_RESPONSE,
                             encode_batch_response(responses, server_ms),
                         )
+                    elif kind == KIND_PLAN:
+                        sql, sketch = decode_plan_request(payload)
+                        t0 = time.perf_counter()
+                        response = self.service.plan(sql, sketch)
+                        server_ms = (time.perf_counter() - t0) * 1000.0
+                        write_frame(
+                            conn,
+                            KIND_PLAN_RESPONSE,
+                            encode_plan_response(response, server_ms),
+                        )
                     else:
                         self._answer_error(
                             conn, f"unknown frame kind 0x{kind:02x}", "protocol"
@@ -653,6 +885,8 @@ __all__ = [
     "KIND_BATCH_RESPONSE",
     "KIND_ERROR",
     "KIND_ESTIMATE",
+    "KIND_PLAN",
+    "KIND_PLAN_RESPONSE",
     "KIND_RESPONSE",
     "MAGIC",
     "MAX_FRAME_BYTES",
@@ -662,11 +896,15 @@ __all__ = [
     "decode_batch_response",
     "decode_error",
     "decode_estimate_request",
+    "decode_plan_request",
+    "decode_plan_response",
     "decode_response",
     "encode_batch_request",
     "encode_batch_response",
     "encode_error",
     "encode_estimate_request",
+    "encode_plan_request",
+    "encode_plan_response",
     "encode_response",
     "read_frame",
     "write_frame",

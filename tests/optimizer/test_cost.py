@@ -1,0 +1,111 @@
+"""C_out cost model and cardinality-cache tests."""
+
+import pytest
+
+from repro.optimizer import CardinalityCache, cout_cost
+from repro.optimizer.cost import true_cost
+from repro.optimizer.plans import JoinNode, LeafNode
+from repro.workload import JoinEdge, Query, TableRef
+
+
+class _ScriptedCards:
+    """Estimator stub with scripted subset cardinalities."""
+
+    name = "scripted"
+
+    def __init__(self, table: dict, default: float = 100.0):
+        self.table = table
+        self.default = default
+        self.calls = 0
+
+    def estimate(self, query):
+        self.calls += 1
+        return self.table.get(frozenset(query.aliases), self.default)
+
+
+def star_query():
+    """t joined to mk and mi (the tiny-star shape)."""
+    return Query(
+        tables=(
+            TableRef("title", "t"),
+            TableRef("movie_keyword", "mk"),
+            TableRef("movie_info", "mi"),
+        ),
+        joins=(
+            JoinEdge("mk", "movie_id", "t", "id"),
+            JoinEdge("mi", "movie_id", "t", "id"),
+        ),
+    )
+
+
+class TestCardinalityCache:
+    def test_memoizes_one_probe_per_subset(self):
+        query = star_query()
+        estimator = _ScriptedCards({}, default=5.0)
+        cards = CardinalityCache(estimator, query)
+        subset = frozenset(["t", "mk"])
+        assert cards.cardinality(subset) == 5.0
+        assert cards.cardinality(subset) == 5.0
+        assert estimator.calls == 1
+        assert cards.probes == 1
+
+    def test_clamps_to_at_least_one(self):
+        # Sub-one and negative estimates would make C_out prefer plans
+        # through "free" intermediates; the cache floors them at 1.
+        query = star_query()
+        cards = CardinalityCache(
+            _ScriptedCards({frozenset(["t", "mk"]): 0.001}), query
+        )
+        assert cards.cardinality(frozenset(["t", "mk"])) == 1.0
+
+
+class TestCoutCost:
+    def test_single_table_plan_is_free(self):
+        # Base-table scans are excluded: their size does not depend on
+        # the join order.
+        query = Query(tables=(TableRef("title", "t"),))
+        cards = CardinalityCache(_ScriptedCards({}), query)
+        assert cout_cost(LeafNode("t"), cards) == 0.0
+        assert cards.probes == 0  # no estimator traffic at all
+
+    def test_two_way_join_costs_its_output(self):
+        query = Query(
+            tables=(TableRef("title", "t"), TableRef("movie_keyword", "mk")),
+            joins=(JoinEdge("mk", "movie_id", "t", "id"),),
+        )
+        cards = CardinalityCache(
+            _ScriptedCards({frozenset(["t", "mk"]): 42.0}), query
+        )
+        plan = JoinNode(LeafNode("t"), LeafNode("mk"))
+        assert cout_cost(plan, cards) == 42.0
+
+    def test_sums_every_intermediate_including_root(self):
+        scripted = {
+            frozenset(["t", "mk"]): 10.0,
+            frozenset(["t", "mk", "mi"]): 3.0,
+        }
+        cards = CardinalityCache(_ScriptedCards(scripted), star_query())
+        plan = JoinNode(JoinNode(LeafNode("t"), LeafNode("mk")), LeafNode("mi"))
+        assert cout_cost(plan, cards) == pytest.approx(13.0)
+
+    def test_cost_depends_on_join_order(self):
+        scripted = {
+            frozenset(["t", "mk"]): 1000.0,
+            frozenset(["t", "mi"]): 2.0,
+            frozenset(["t", "mk", "mi"]): 50.0,
+        }
+        query = star_query()
+        via_mk = JoinNode(
+            JoinNode(LeafNode("t"), LeafNode("mk")), LeafNode("mi")
+        )
+        via_mi = JoinNode(
+            JoinNode(LeafNode("t"), LeafNode("mi")), LeafNode("mk")
+        )
+        cards = CardinalityCache(_ScriptedCards(scripted), query)
+        assert cout_cost(via_mi, cards) < cout_cost(via_mk, cards)
+
+    def test_true_cost_is_cout_under_the_given_cache(self):
+        query = star_query()
+        cards = CardinalityCache(_ScriptedCards({}, default=7.0), query)
+        plan = JoinNode(JoinNode(LeafNode("t"), LeafNode("mk")), LeafNode("mi"))
+        assert true_cost(plan, query, cards) == cout_cost(plan, cards)

@@ -96,6 +96,58 @@ class TestCompare:
         assert "PostgreSQL" in out
 
 
+class TestPlan:
+    JOIN_SQL = (
+        "SELECT COUNT(*) FROM title t,movie_keyword mk,movie_info mi "
+        "WHERE mk.movie_id=t.id AND mi.movie_id=t.id;"
+    )
+
+    def test_plan_prints_structured_json(self, sketch_path, capsys):
+        import json
+
+        assert main(["plan", self.JOIN_SQL, sketch_path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["error"] is None
+        assert payload["join_order"].count("⨝") == 2  # 3 relations
+        assert len(payload["subplans"]) == 6  # connected subsets of a star
+        assert payload["estimated_cost"] > 0
+        assert payload["estimate_ms"] is not None
+
+    def test_plan_failure_is_structured_and_exit_1(self, sketch_path, capsys):
+        import json
+
+        assert main(["plan", "SELECT nonsense", sketch_path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["code"] == "parse"
+        assert payload["join_order"] is None
+
+    def test_remote_plan_matches_local(self, sketch_path, capsys, monkeypatch):
+        """`repro plan --url` against `repro serve --http` chooses the
+        same join order as `repro plan` over the local file."""
+        import json
+
+        import repro.cli as cli
+
+        assert main(["plan", self.JOIN_SQL, sketch_path]) == 0
+        local = json.loads(capsys.readouterr().out)
+
+        remote = {}
+
+        def driver(server):
+            remote["code"] = main(["plan", "--url", server.url, self.JOIN_SQL])
+            remote["payload"] = json.loads(capsys.readouterr().out)
+
+        monkeypatch.setattr(cli, "_http_wait", driver)
+        assert main(["serve", sketch_path, "--http", "--port", "0"]) == 0
+        capsys.readouterr()
+        assert remote["code"] == 0
+        assert remote["payload"]["join_order"] == local["join_order"]
+        assert remote["payload"]["estimated_cost"] == pytest.approx(
+            local["estimated_cost"]
+        )
+
+
 class TestServe:
     def test_serve_sql_file(self, sketch_path, tmp_path, capsys):
         sql_file = tmp_path / "queries.sql"
@@ -407,6 +459,17 @@ class TestBadFlagCombinations:
     def test_estimate_needs_sketch_or_url(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["estimate", "SELECT COUNT(*) FROM title t;"])
+        assert excinfo.value.code == 2
+
+    def test_plan_sketches_and_url_conflict(self, sketch_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plan", "SELECT COUNT(*) FROM title t;", sketch_path,
+                  "--url", "http://127.0.0.1:1"])
+        assert excinfo.value.code == 2
+
+    def test_plan_needs_sketches_or_url(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plan", "SELECT COUNT(*) FROM title t;"])
         assert excinfo.value.code == 2
 
     def test_serve_http_excludes_async(self, sketch_path):
